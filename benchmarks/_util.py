@@ -1,0 +1,15 @@
+"""Helpers shared by the benchmark modules."""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def save_result(name: str, text: str) -> None:
+    """Persist a regenerated table under benchmarks/results/ and print it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n=== {name} ===\n{text}\n[saved to {path}]")

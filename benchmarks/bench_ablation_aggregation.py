@@ -1,0 +1,75 @@
+"""ABL-AGG — Section 6 ablation: per-peer vs per-term aggregation.
+
+Compares the two multi-keyword aggregation strategies under disjunctive
+and conjunctive query semantics on the combination testbed, and times
+one IQN routing decision per strategy.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.aggregation import PerPeerAggregation, PerTermAggregation
+from repro.core.iqn import IQNRouter
+from repro.experiments.ablations import aggregation_ablation
+from repro.experiments.report import format_recall_curves
+
+from _util import save_result
+
+SPEC_LABEL = "mips-64"
+
+
+@pytest.fixture(scope="module")
+def figure_data(combination_testbed, fig3_params):
+    sections = []
+    results = {}
+    for conjunctive in (False, True):
+        curves = aggregation_ablation(
+            combination_testbed,
+            spec_label=SPEC_LABEL,
+            max_peers=fig3_params["max_peers_left"],
+            k=fig3_params["k"],
+            conjunctive=conjunctive,
+        )
+        mode = "conjunctive" if conjunctive else "disjunctive"
+        sections.append(f"[{mode}]\n" + format_recall_curves(curves))
+        results[mode] = {c.method: c for c in curves}
+    save_result("ablation_aggregation", "\n\n".join(sections))
+    return results
+
+
+def test_both_strategies_effective(figure_data):
+    """Both strategies produce sane, rising curves in both query modes."""
+    for mode, curves in figure_data.items():
+        for curve in curves.values():
+            assert curve.recall_at[-1] >= curve.recall_at[0]
+            assert curve.recall_at[-1] > 0.0
+
+
+def test_strategies_comparable_disjunctive(figure_data):
+    """Section 6.3: per-term preserves relative ranking well enough to
+    stay in the same league as per-peer."""
+    per_peer = figure_data["disjunctive"]["IQN per-peer"]
+    per_term = figure_data["disjunctive"]["IQN per-term"]
+    assert per_term.recall_at[-1] > 0.6 * per_peer.recall_at[-1]
+
+
+@pytest.mark.parametrize("strategy_name", ["per-peer", "per-term"])
+def test_routing_decision(
+    benchmark, combination_testbed, fig3_params, strategy_name, figure_data
+):
+    engine = combination_testbed.engines[SPEC_LABEL]
+    strategy = (
+        PerPeerAggregation() if strategy_name == "per-peer" else PerTermAggregation()
+    )
+    selector = IQNRouter(strategy)
+    query = combination_testbed.queries[0]
+    context = engine.make_context(
+        query, initiator_id=sorted(engine.peers)[0], k=fig3_params["peer_k"]
+    )
+    ranked = benchmark.pedantic(
+        lambda: selector.rank(context, fig3_params["max_peers_left"]),
+        rounds=5,
+        iterations=1,
+    )
+    assert ranked

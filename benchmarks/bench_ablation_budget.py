@@ -1,0 +1,80 @@
+"""ABL-BUDGET — Section 7.2 ablation: adaptive synopsis lengths.
+
+At a fixed total bit budget per peer, compares uniform per-term lengths
+against benefit-proportional allocation by the accuracy of the novelty
+estimates the resulting synopses produce, and times the allocator.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.budget import allocate_budget, benefit_list_length
+from repro.experiments.ablations import budget_ablation
+from repro.experiments.report import format_table
+from repro.synopses.mips import BITS_PER_POSITION
+
+from _util import save_result
+
+#: Budgets in MIPs positions per query term on average: scarce to ample.
+POSITIONS_PER_TERM = (8, 24, 64)
+
+
+@pytest.fixture(scope="module")
+def figure_data(combination_testbed):
+    engine = combination_testbed.engines["mips-64"]
+    queries = combination_testbed.queries
+    num_terms = len({t for q in queries for t in q.terms})
+    rows = []
+    results = {}
+    for positions in POSITIONS_PER_TERM:
+        total_bits = positions * num_terms * BITS_PER_POSITION
+        trials = budget_ablation(engine, queries, total_bits=total_bits)
+        for trial in trials:
+            rows.append(
+                [
+                    f"{positions} pos/term",
+                    trial.policy,
+                    trial.total_bits,
+                    trial.mean_absolute_error,
+                ]
+            )
+            results[(positions, trial.policy)] = trial.mean_absolute_error
+    save_result(
+        "ablation_budget",
+        format_table(["budget", "policy", "total bits", "mean abs error"], rows),
+    )
+    return results
+
+
+def test_adaptive_allocation_helps_under_scarcity(figure_data):
+    """With scarce budgets, spending bits on long lists must not hurt —
+    benefit-proportional stays within a whisker of uniform and typically
+    wins."""
+    scarce = POSITIONS_PER_TERM[0]
+    adaptive = figure_data[(scarce, "benefit-proportional")]
+    uniform = figure_data[(scarce, "uniform")]
+    assert adaptive <= 1.25 * uniform
+
+
+def test_more_budget_reduces_error(figure_data):
+    for policy in ("uniform", "benefit-proportional"):
+        assert figure_data[(POSITIONS_PER_TERM[-1], policy)] <= figure_data[
+            (POSITIONS_PER_TERM[0], policy)
+        ]
+
+
+def test_allocator_speed(benchmark, combination_testbed, figure_data):
+    engine = combination_testbed.engines["mips-64"]
+    peer = engine.peers[sorted(engine.peers)[0]]
+    terms = sorted(peer.index.vocabulary)[:200]
+
+    allocation = benchmark(
+        lambda: allocate_budget(
+            peer.index,
+            terms,
+            200 * 32 * BITS_PER_POSITION,
+            benefit=benefit_list_length,
+        )
+    )
+    assert sum(allocation.values()) == 200 * 32 * BITS_PER_POSITION

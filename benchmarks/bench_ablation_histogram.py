@@ -1,0 +1,114 @@
+"""ABL-HIST — Section 7.1 ablation: flat vs score-conscious novelty.
+
+Builds a sliding-window network twice over the same collections — once
+with flat per-term synopses, once with per-score-cell histogram synopses
+— and compares IQN recall, plus times the weighted novelty computation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.histogram_routing import (
+    HistogramAggregation,
+    weighted_histogram_novelty,
+)
+from repro.datasets.corpus import build_gov_corpus
+from repro.datasets.partition import (
+    corpora_from_doc_id_sets,
+    fragment_corpus,
+    sliding_window_collections,
+)
+from repro.datasets.queries import make_workload
+from repro.experiments.ablations import histogram_ablation
+from repro.experiments.config import (
+    FIG3_CORPUS,
+    FIG3_PEER_K,
+    FIG3_QUERY_POOL,
+    FIG3_QUERY_POOL_OFFSET,
+    FIG3_REFERENCE_K,
+)
+from repro.experiments.report import format_recall_curves
+from repro.ir.index import InvertedIndex
+from repro.minerva.engine import MinervaEngine
+from repro.synopses.factory import SynopsisSpec
+from repro.synopses.histogram import ScoreHistogramSynopsis
+
+from _util import save_result
+
+SPEC = SynopsisSpec.parse("mips-32")
+CELLS = 4
+
+
+@pytest.fixture(scope="module")
+def engines_and_queries():
+    corpus = build_gov_corpus(FIG3_CORPUS)
+    fragments = fragment_corpus(corpus, 100)
+    collections = corpora_from_doc_id_sets(
+        corpus, sliding_window_collections(fragments, 10, 2)
+    )
+    queries = make_workload(
+        FIG3_CORPUS,
+        num_queries=6,
+        pool_size=FIG3_QUERY_POOL,
+        pool_offset=FIG3_QUERY_POOL_OFFSET,
+        seed=7,
+    )
+    terms = {t for q in queries for t in q.terms}
+    indexes = [InvertedIndex(c) for c in collections]
+    flat = MinervaEngine(collections, spec=SPEC, indexes=indexes)
+    flat.publish(terms)
+    hist = MinervaEngine(
+        collections,
+        spec=SPEC,
+        indexes=indexes,
+        histogram_cells=CELLS,
+        reference_index=flat.reference_index,
+    )
+    hist.publish(terms, with_histogram=True)
+    return flat, hist, queries
+
+
+@pytest.fixture(scope="module")
+def figure_data(engines_and_queries):
+    flat, hist, queries = engines_and_queries
+    curves = histogram_ablation(
+        flat, hist, queries, max_peers=8, k=FIG3_REFERENCE_K
+    )
+    save_result("ablation_histogram", format_recall_curves(curves))
+    return {c.method: c for c in curves}
+
+
+def test_histogram_routing_competitive(figure_data):
+    """Score-conscious novelty must be at least competitive with flat
+    novelty on top-k recall (the quantity it optimizes for)."""
+    flat = figure_data["IQN flat"]
+    hist = figure_data["IQN histogram"]
+    assert hist.recall_at[-1] >= 0.85 * flat.recall_at[-1]
+
+
+def test_histogram_curves_monotone(figure_data):
+    for curve in figure_data.values():
+        for earlier, later in zip(curve.recall_at, curve.recall_at[1:]):
+            assert later >= earlier - 1e-9
+
+
+def test_weighted_novelty_cost(benchmark, engines_and_queries, figure_data):
+    """Cost of one Section 7.1 weighted novelty: cells^2 estimations."""
+    _, hist_engine, queries = engines_and_queries
+    peers = sorted(hist_engine.peers)
+    term = queries[0].terms[0]
+    reference = hist_engine.peers[peers[0]].histogram_synopsis(term)
+    candidate = hist_engine.peers[peers[1]].histogram_synopsis(term)
+    value = benchmark(lambda: weighted_histogram_novelty(candidate, reference))
+    assert value >= 0.0
+
+
+def test_histogram_aggregation_strategy_runs(engines_and_queries):
+    _, hist_engine, queries = engines_and_queries
+    context = hist_engine.make_context(
+        queries[0], initiator_id=sorted(hist_engine.peers)[0], k=FIG3_PEER_K
+    )
+    strategy = HistogramAggregation()
+    state = strategy.start(context)
+    assert isinstance(state.reference, ScoreHistogramSynopsis)

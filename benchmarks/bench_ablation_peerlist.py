@@ -1,0 +1,150 @@
+"""ABL-PEERLIST — Section 4's PeerList retrieval trade-off.
+
+"For efficiency reasons, the query initiator can decide to not retrieve
+the complete PeerLists, but only a subset ... calculated by a
+distributed top-k algorithm like [25]."
+
+Two measurements:
+
+1. **Payload scaling** on a synthetic 400-peer directory (the regime the
+   optimization targets — popular terms with very long PeerLists): bits
+   shipped by a full fetch vs the NRA top-k threshold fetch.
+2. **Recall trade** on the real sliding-window testbed, whose PeerLists
+   are short (~25 peers/term): here top-k shortlisting mainly caps the
+   candidate set, costing some recall for little payload — the honest
+   flip side the harness should show too.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dht.ring import ChordRing
+from repro.experiments.ablations import peerlist_fetch_ablation
+from repro.experiments.report import format_table
+from repro.minerva.directory import Directory
+from repro.minerva.posts import Post
+from repro.minerva.topk_peers import fetch_top_k_peers
+from repro.net.cost import CostModel, MessageKinds
+from repro.synopses.factory import SynopsisSpec
+
+from _util import save_result
+
+SPEC_LABEL = "mips-64"
+SPEC = SynopsisSpec.parse(SPEC_LABEL)
+LARGE_NETWORK_PEERS = 400
+
+
+@pytest.fixture(scope="module")
+def large_directory():
+    """A directory where two popular terms have 400-entry PeerLists."""
+    ring = ChordRing([f"n{i}" for i in range(32)], bits=16)
+    directory = Directory(ring, cost=CostModel())
+    for i in range(LARGE_NETWORK_PEERS):
+        for term in ("apple", "pear"):
+            score = 1000.0 / (i + 1) if term == "apple" else 1000.0 / ((i * 7) % 400 + 1)
+            directory.publish(
+                Post(
+                    peer_id=f"p{i:03d}",
+                    term=term,
+                    cdf=50 + i % 100,
+                    max_score=score,
+                    avg_score=score / 2,
+                    term_space_size=1000,
+                    synopsis=SPEC.build(range(50)),
+                )
+            )
+    return directory
+
+
+@pytest.fixture(scope="module")
+def payload_scaling(large_directory):
+    rows = []
+    results = {}
+    for mode in ("full", "top-20", "top-5"):
+        large_directory.cost.reset()
+        if mode == "full":
+            for term in ("apple", "pear"):
+                large_directory.peer_list(term)
+        else:
+            k = int(mode.split("-")[1])
+            fetch_top_k_peers(
+                large_directory, ("apple", "pear"), k, batch_size=16
+            )
+        snap = large_directory.cost.snapshot()
+        rows.append(
+            [mode, snap.bits(MessageKinds.PEERLIST_FETCH), snap.messages(MessageKinds.DHT_HOP)]
+        )
+        results[mode] = snap.bits(MessageKinds.PEERLIST_FETCH)
+    save_result(
+        "ablation_peerlist_payload",
+        format_table(
+            [f"fetch mode ({LARGE_NETWORK_PEERS}-peer lists)", "peerlist bits", "dht hops"],
+            rows,
+        ),
+    )
+    return results
+
+
+def test_topk_fetch_saves_payload_on_long_lists(payload_scaling):
+    """On 400-entry PeerLists the threshold fetch ships a fraction."""
+    assert payload_scaling["top-5"] < 0.35 * payload_scaling["full"]
+    assert payload_scaling["top-20"] < 0.7 * payload_scaling["full"]
+
+
+@pytest.fixture(scope="module")
+def recall_trade(sliding_window_testbed, fig3_params):
+    trials = peerlist_fetch_ablation(
+        sliding_window_testbed,
+        spec_label=SPEC_LABEL,
+        max_peers=fig3_params["max_peers_right"],
+        k=fig3_params["k"],
+        peer_k=fig3_params["peer_k"],
+        peer_list_limits=(None, 20, 10),
+    )
+    rows = [
+        [
+            trial.mode,
+            trial.mean_final_recall,
+            int(trial.mean_peerlist_bits),
+            trial.mean_dht_hops,
+        ]
+        for trial in trials
+    ]
+    save_result(
+        "ablation_peerlist_fetch",
+        format_table(
+            ["fetch mode", "final recall", "peerlist bits/query", "dht hops"],
+            rows,
+        ),
+    )
+    return {trial.mode: trial for trial in trials}
+
+
+def test_topk_recall_stays_close(recall_trade):
+    """Routing over the top-20 shortlist keeps most of the recall."""
+    full = recall_trade["full"].mean_final_recall
+    limited = recall_trade["top-20"].mean_final_recall
+    assert limited > 0.8 * full
+
+
+def test_tighter_limits_trade_monotonically(recall_trade):
+    assert (
+        recall_trade["top-10"].mean_peerlist_bits
+        <= recall_trade["top-20"].mean_peerlist_bits
+    )
+    assert (
+        recall_trade["top-10"].mean_final_recall
+        <= recall_trade["top-20"].mean_final_recall + 0.02
+    )
+
+
+def test_nra_fetch_speed(benchmark, large_directory, payload_scaling):
+    result = benchmark.pedantic(
+        lambda: fetch_top_k_peers(
+            large_directory, ("apple", "pear"), 10, batch_size=16
+        ),
+        rounds=5,
+        iterations=1,
+    )
+    assert len(result.top_peers) == 10

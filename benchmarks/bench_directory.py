@@ -1,0 +1,79 @@
+"""Directory/DHT micro-benchmarks: Chord lookups, posting, PeerList fetch.
+
+Not a paper figure, but quantifies the claim underlying IQN's efficiency
+argument: routing decisions cost only "very fast DHT-based directory
+lookups".  Also reports the average Chord hop count, which should grow
+logarithmically with network size.
+"""
+
+from __future__ import annotations
+
+from statistics import mean
+
+import pytest
+
+from repro.dht.ring import ChordRing
+from repro.experiments.report import format_table
+from repro.minerva.directory import Directory
+from repro.minerva.posts import Post
+from repro.synopses.factory import SynopsisSpec
+
+from _util import save_result
+
+SPEC = SynopsisSpec.parse("mips-64")
+
+
+def make_post(peer_id, term):
+    return Post(
+        peer_id=peer_id,
+        term=term,
+        cdf=100,
+        max_score=1.0,
+        avg_score=0.5,
+        term_space_size=1000,
+        synopsis=SPEC.build(range(100)),
+    )
+
+
+@pytest.fixture(scope="module")
+def hop_scaling():
+    rows = []
+    for size in (16, 64, 256, 1024):
+        ring = ChordRing([f"peer-{i}" for i in range(size)])
+        hops = [ring.lookup(f"term-{i}").hops for i in range(300)]
+        rows.append([size, mean(hops), max(hops)])
+    save_result(
+        "directory_chord_hops",
+        format_table(["nodes", "mean hops", "max hops"], rows),
+    )
+    return rows
+
+
+def test_hops_grow_sublinearly(hop_scaling):
+    """64x more nodes must cost far less than 64x more hops (~log n)."""
+    small, large = hop_scaling[0], hop_scaling[-1]
+    assert large[1] < 4 * small[1]
+
+
+@pytest.fixture(scope="module")
+def directory():
+    ring = ChordRing([f"peer-{i}" for i in range(64)])
+    directory = Directory(ring)
+    for i in range(500):
+        directory.publish(make_post(f"peer-{i % 64}", f"term-{i % 50}"))
+    return directory
+
+
+def test_chord_lookup(benchmark, directory, hop_scaling):
+    result = benchmark(lambda: directory.ring.lookup("term-17"))
+    assert result.hops >= 0
+
+
+def test_publish_post(benchmark, directory):
+    post = make_post("peer-1", "term-3")
+    benchmark(lambda: directory.publish(post))
+
+
+def test_peerlist_fetch(benchmark, directory):
+    peer_list = benchmark(lambda: directory.peer_list("term-3"))
+    assert len(peer_list) >= 1

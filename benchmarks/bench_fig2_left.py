@@ -1,0 +1,52 @@
+"""FIG2-L — Figure 2 (left): resemblance error vs collection size.
+
+Regenerates the chart's series (relative error of MIPs 64 / HSs 32 /
+BF 2048 at 33% mutual overlap, collection sizes 1k-60k) and benchmarks
+one full estimation cycle (build two synopses + estimate) per technique
+at the 10k-document point.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.datasets.synthetic import pair_with_overlap_fraction
+from repro.experiments.fig2 import DEFAULT_SPECS, error_vs_collection_size
+from repro.experiments.report import format_error_points
+
+from _util import save_result
+
+SIZES = (1_000, 5_000, 10_000, 20_000, 30_000, 45_000, 60_000)
+RUNS = 30
+
+
+@pytest.fixture(scope="module")
+def figure_data():
+    points = error_vs_collection_size(sizes=SIZES, runs=RUNS, seed=2006)
+    save_result(
+        "fig2_left_error_vs_size",
+        format_error_points(points, x_name="docs/collection"),
+    )
+    return points
+
+
+def test_fig2_left_shape(figure_data):
+    """The paper's finding: MIPs lowest and size-independent; BF blows up
+    once overloaded."""
+    by_key = {(p.spec_label, p.x_value): p.mean_relative_error for p in figure_data}
+    assert by_key[("BF 2048", 60_000)] > 3 * by_key[("MIPs 64", 60_000)]
+    assert by_key[("MIPs 64", 60_000)] < by_key[("MIPs 64", 1_000)] + 0.3
+
+
+@pytest.mark.parametrize("spec", DEFAULT_SPECS, ids=lambda s: s.label)
+def test_estimation_cycle(benchmark, spec, figure_data):
+    rng = random.Random(42)
+    set_a, set_b = pair_with_overlap_fraction(10_000, 1 / 3, rng=rng)
+
+    def cycle():
+        return spec.build(set_a).estimate_resemblance(spec.build(set_b))
+
+    estimate = benchmark(cycle)
+    assert 0.0 <= estimate <= 1.0

@@ -1,0 +1,63 @@
+"""FIG2-R — Figure 2 (right): resemblance error vs mutual overlap.
+
+Regenerates the chart's series (relative error at overlaps 50% ... 11%,
+fixed 10k-document collections) and benchmarks the per-overlap estimation
+cycle at the two extreme overlap settings.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.datasets.synthetic import pair_with_overlap_fraction
+from repro.experiments.fig2 import (
+    DEFAULT_SPECS,
+    FIG2_RIGHT_OVERLAPS,
+    error_vs_overlap,
+)
+from repro.experiments.report import format_error_points
+
+from _util import save_result
+
+RUNS = 30
+COLLECTION_SIZE = 10_000
+
+
+@pytest.fixture(scope="module")
+def figure_data():
+    points = error_vs_overlap(
+        overlaps=FIG2_RIGHT_OVERLAPS,
+        collection_size=COLLECTION_SIZE,
+        runs=RUNS,
+        seed=2006,
+    )
+    save_result(
+        "fig2_right_error_vs_overlap",
+        format_error_points(points, x_name="mutual overlap"),
+    )
+    return points
+
+
+def test_fig2_right_shape(figure_data):
+    """BF overloaded at every overlap; MIPs and HSs low across the range."""
+    mips = [p for p in figure_data if p.spec_label == "MIPs 64"]
+    bloom = [p for p in figure_data if p.spec_label == "BF 2048"]
+    assert all(p.mean_relative_error < 1.0 for p in mips)
+    assert min(p.mean_relative_error for p in bloom) > max(
+        p.mean_relative_error for p in mips
+    )
+
+
+@pytest.mark.parametrize("overlap", [0.5, 1.0 / 9.0], ids=["50pct", "11pct"])
+@pytest.mark.parametrize("spec", DEFAULT_SPECS, ids=lambda s: s.label)
+def test_estimation_cycle(benchmark, spec, overlap, figure_data):
+    rng = random.Random(7)
+    set_a, set_b = pair_with_overlap_fraction(COLLECTION_SIZE, overlap, rng=rng)
+
+    def cycle():
+        return spec.build(set_a).estimate_resemblance(spec.build(set_b))
+
+    estimate = benchmark(cycle)
+    assert 0.0 <= estimate <= 1.0

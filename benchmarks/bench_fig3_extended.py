@@ -1,0 +1,151 @@
+"""FIG3-EXT — the comparison the paper discarded, completed.
+
+Section 8.2: "We discarded hash sketches from these experiments because
+of the insights from Section 3."  This bench runs the discarded
+configuration anyway — IQN over Flajolet–Martin hash sketches at the
+2048-bit budget — plus their cited successor (LogLog counting, [16],
+which packs 409 buckets into the same budget), against the MIPs variant
+the paper recommends, on the sliding-window testbed.
+
+Expected shape: the counter families work (union-based novelty is
+sound) but trail MIPs, justifying both the paper's discard decision and
+its final choice of MIPs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.iqn import IQNRouter
+from repro.datasets.partition import (
+    corpora_from_doc_id_sets,
+    fragment_corpus,
+    sliding_window_collections,
+)
+from repro.datasets.corpus import build_gov_corpus
+from repro.datasets.queries import make_workload
+from repro.experiments.config import (
+    FIG3_CORPUS,
+    FIG3_PEER_K,
+    FIG3_QUERY_POOL,
+    FIG3_QUERY_POOL_OFFSET,
+    FIG3_REFERENCE_K,
+)
+from repro.experiments.fig3 import RecallCurve
+from repro.experiments.report import format_recall_curves
+from repro.ir.index import InvertedIndex
+from repro.ir.metrics import micro_average
+from repro.minerva.engine import MinervaEngine
+from repro.routing.cori import CoriSelector
+from repro.synopses.factory import SynopsisSpec
+
+from _util import save_result
+
+#: All at the 2048-bit budget: MIPs 64, HSs 32, LL 409.
+EXTENDED_LABELS = ("mips-64", "hs-32", "ll-409")
+MAX_PEERS = 10
+
+
+@pytest.fixture(scope="module")
+def extended_testbed():
+    corpus = build_gov_corpus(FIG3_CORPUS)
+    fragments = fragment_corpus(corpus, 100)
+    collections = corpora_from_doc_id_sets(
+        corpus, sliding_window_collections(fragments, 10, 2)
+    )
+    queries = make_workload(
+        FIG3_CORPUS,
+        num_queries=8,
+        pool_size=FIG3_QUERY_POOL,
+        pool_offset=FIG3_QUERY_POOL_OFFSET,
+        seed=7,
+    )
+    terms = {t for q in queries for t in q.terms}
+    indexes = [InvertedIndex(c) for c in collections]
+    engines = {}
+    reference = None
+    for label in EXTENDED_LABELS:
+        engine = MinervaEngine(
+            collections,
+            spec=SynopsisSpec.parse(label),
+            indexes=indexes,
+            reference_index=reference,
+        )
+        engine.publish(terms)
+        reference = engine.reference_index
+        engines[label] = engine
+    return engines, queries
+
+
+@pytest.fixture(scope="module")
+def figure_data(extended_testbed):
+    engines, queries = extended_testbed
+    methods = [("CORI", "mips-64", CoriSelector())]
+    for label in EXTENDED_LABELS:
+        methods.append(
+            (f"IQN {SynopsisSpec.parse(label).label}", label, IQNRouter())
+        )
+    curves = []
+    for name, label, selector in methods:
+        per_query = [
+            engines[label]
+            .run_query(
+                q,
+                selector,
+                max_peers=MAX_PEERS,
+                k=FIG3_REFERENCE_K,
+                peer_k=FIG3_PEER_K,
+            )
+            .recall_at
+            for q in queries
+        ]
+        depth = min(len(r) for r in per_query)
+        curves.append(
+            RecallCurve(
+                method=name,
+                recall_at=tuple(
+                    micro_average([r[j] for r in per_query]) for j in range(depth)
+                ),
+            )
+        )
+    save_result("fig3_extended_counter_families", format_recall_curves(curves))
+    return {c.method: c for c in curves}
+
+
+def test_counter_families_beat_cori(figure_data):
+    """Even the discarded families carry useful novelty signal."""
+    cori = figure_data["CORI"]
+    for method in ("IQN HSs 32", "IQN LL 409"):
+        assert figure_data[method].at(MAX_PEERS) > cori.at(MAX_PEERS)
+
+
+def test_mips_justifies_the_papers_choice(figure_data):
+    """MIPs at the same budget >= both counter families."""
+    mips = figure_data["IQN MIPs 64"].at(MAX_PEERS)
+    assert mips >= figure_data["IQN HSs 32"].at(MAX_PEERS) - 0.03
+    assert mips >= figure_data["IQN LL 409"].at(MAX_PEERS) - 0.03
+
+
+def test_loglog_at_least_matches_hash_sketches(figure_data):
+    """The successor should not be worse than FM sketches mid-curve."""
+    ll = figure_data["IQN LL 409"]
+    hs = figure_data["IQN HSs 32"]
+    midrange = sum(ll.at(j) for j in (4, 6, 8))
+    assert midrange >= sum(hs.at(j) for j in (4, 6, 8)) - 0.1
+
+
+def test_one_routed_query_per_family(benchmark, extended_testbed, figure_data):
+    engines, queries = extended_testbed
+    engine = engines["ll-409"]
+    outcome = benchmark.pedantic(
+        lambda: engine.run_query(
+            queries[0],
+            IQNRouter(),
+            max_peers=MAX_PEERS,
+            k=FIG3_REFERENCE_K,
+            peer_k=FIG3_PEER_K,
+        ),
+        rounds=3,
+        iterations=1,
+    )
+    assert outcome.selected

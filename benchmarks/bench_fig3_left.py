@@ -1,0 +1,68 @@
+"""FIG3-L — Figure 3 (left): recall vs queried peers, C(6,3) placement.
+
+Regenerates the recall curves for CORI and the four IQN variants over
+the 20-peer combination testbed, and benchmarks one complete routed
+query (PeerList fetch + IQN loop + execution + merge) per method.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.iqn import IQNRouter
+from repro.experiments.fig3 import default_selectors, run_recall_experiment
+from repro.experiments.report import format_recall_curves
+from repro.routing.cori import CoriSelector
+
+from _util import save_result
+
+
+@pytest.fixture(scope="module")
+def figure_data(combination_testbed, fig3_params):
+    curves = run_recall_experiment(
+        combination_testbed,
+        max_peers=fig3_params["max_peers_left"],
+        k=fig3_params["k"],
+        peer_k=fig3_params["peer_k"],
+    )
+    save_result("fig3_left_recall_combination", format_recall_curves(curves))
+    return {c.method: c for c in curves}
+
+
+def test_fig3_left_iqn_beats_cori_midrange(figure_data):
+    """All IQN variants >= CORI in the 2-4 peer range (paper's margin)."""
+    for peers in (2, 3, 4):
+        cori = figure_data["CORI"].at(peers)
+        assert figure_data["IQN MIPs 64"].at(peers) >= cori
+        assert figure_data["IQN MIPs 32"].at(peers) >= cori - 0.02
+
+
+def test_fig3_left_mips_at_least_bloom_at_1024_bits(figure_data):
+    """At the 1024-bit budget MIPs-based IQN >= Bloom-based IQN."""
+    mips = figure_data["IQN MIPs 32"]
+    bloom = figure_data["IQN BF 1024"]
+    midrange = range(2, 5)
+    assert sum(mips.at(j) for j in midrange) >= sum(
+        bloom.at(j) for j in midrange
+    ) - 0.02
+
+
+@pytest.mark.parametrize("method", ["CORI", "IQN MIPs 64"])
+def test_routed_query(
+    benchmark, combination_testbed, fig3_params, method, figure_data
+):
+    engine = combination_testbed.engines["mips-64"]
+    selector = CoriSelector() if method == "CORI" else IQNRouter()
+    query = combination_testbed.queries[0]
+
+    def routed_query():
+        return engine.run_query(
+            query,
+            selector,
+            max_peers=fig3_params["max_peers_left"],
+            k=fig3_params["k"],
+            peer_k=fig3_params["peer_k"],
+        )
+
+    outcome = benchmark.pedantic(routed_query, rounds=5, iterations=1)
+    assert outcome.selected

@@ -1,0 +1,78 @@
+"""FIG3-R — Figure 3 (right): recall vs queried peers, sliding window.
+
+Regenerates the 50-peer sliding-window recall curves (the setting where
+the paper reports IQN's largest margins: ">3x recall at ~5 peers", "50%
+recall with ~5 peers where CORI needs >20") and benchmarks the routing
+decision alone — the IQN Select-Best-Peer/Aggregate-Synopses loop over
+50 candidates — separately from execution.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.iqn import IQNRouter
+from repro.experiments.fig3 import run_recall_experiment
+from repro.experiments.report import format_recall_curves
+from repro.routing.cori import CoriSelector
+
+from _util import save_result
+
+
+@pytest.fixture(scope="module")
+def figure_data(sliding_window_testbed, fig3_params):
+    curves = run_recall_experiment(
+        sliding_window_testbed,
+        max_peers=fig3_params["max_peers_right"],
+        k=fig3_params["k"],
+        peer_k=fig3_params["peer_k"],
+    )
+    save_result("fig3_right_recall_sliding_window", format_recall_curves(curves))
+    return {c.method: c for c in curves}
+
+
+def test_fig3_right_iqn_dominates_cori(figure_data):
+    """Every IQN variant strictly beats CORI from 3 peers on."""
+    cori = figure_data["CORI"]
+    for method, curve in figure_data.items():
+        if method == "CORI":
+            continue
+        for peers in (3, 5, 8, 10):
+            assert curve.at(peers) > cori.at(peers)
+
+
+def test_fig3_right_large_margin_at_five_peers(figure_data):
+    """The paper's headline: a large recall multiple at ~5 peers."""
+    assert figure_data["IQN MIPs 32"].at(5) > 1.4 * figure_data["CORI"].at(5)
+
+
+def test_fig3_right_mips_beats_bloom_at_1024(figure_data):
+    assert figure_data["IQN MIPs 32"].at(10) > figure_data["IQN BF 1024"].at(10)
+
+
+def test_fig3_right_doubling_bits_helps_bloom_more(figure_data):
+    """Doubling the budget rescues BF far more than it improves MIPs."""
+    bloom_gain = figure_data["IQN BF 2048"].at(10) - figure_data["IQN BF 1024"].at(10)
+    mips_gain = figure_data["IQN MIPs 64"].at(10) - figure_data["IQN MIPs 32"].at(10)
+    assert bloom_gain > mips_gain
+
+
+@pytest.mark.parametrize("method", ["CORI", "IQN MIPs 32", "IQN MIPs 64"])
+def test_routing_decision_only(
+    benchmark, sliding_window_testbed, fig3_params, method, figure_data
+):
+    """Time the pure routing decision over 50 candidates."""
+    label = "mips-32" if "32" in method or method == "CORI" else "mips-64"
+    engine = sliding_window_testbed.engines[label]
+    selector = CoriSelector() if method == "CORI" else IQNRouter()
+    query = sliding_window_testbed.queries[0]
+    context = engine.make_context(
+        query, initiator_id=sorted(engine.peers)[0], k=fig3_params["peer_k"]
+    )
+
+    ranked = benchmark.pedantic(
+        lambda: selector.rank(context, fig3_params["max_peers_right"]),
+        rounds=5,
+        iterations=1,
+    )
+    assert len(ranked) <= fig3_params["max_peers_right"]

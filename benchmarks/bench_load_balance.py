@@ -1,0 +1,116 @@
+"""LOAD — per-peer load concentration under a multi-initiator workload.
+
+Quantifies Section 8.2's throughput argument: with response times
+superlinear in utilization, routing that concentrates forwards on a few
+"best" peers hurts the whole network.  CORI, blind to what other
+initiators already get from the same peers, piles onto the highest-
+quality collections; IQN's novelty term (seeded by each initiator's own
+local result) diversifies the plans.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.iqn import IQNRouter
+from repro.experiments.load import measure_load
+from repro.experiments.report import format_table
+from repro.routing.cori import CoriSelector
+from repro.routing.random_select import RandomSelector
+
+from _util import save_result
+
+SPEC_LABEL = "mips-64"
+MAX_PEERS = 5
+
+
+@pytest.fixture(scope="module")
+def figure_data(sliding_window_testbed, fig3_params):
+    engine = sliding_window_testbed.engines[SPEC_LABEL]
+    reports = measure_load(
+        engine,
+        sliding_window_testbed.queries,
+        {
+            "CORI": CoriSelector(),
+            "IQN": IQNRouter(),
+            "Random": RandomSelector(seed=5),
+        },
+        max_peers=MAX_PEERS,
+        k=fig3_params["k"],
+        peer_k=fig3_params["peer_k"],
+    )
+    rows = [
+        [
+            report.method,
+            report.total_forwards,
+            report.peers_touched,
+            report.busiest_peer_share,
+            report.imbalance(),
+            report.hottest_response_time_ms(),
+        ]
+        for report in reports
+    ]
+    save_result(
+        "load_balance",
+        format_table(
+            [
+                "method",
+                "forwards",
+                "peers touched",
+                "busiest share",
+                "max/mean",
+                "hottest peer M/M/1 ms",
+            ],
+            rows,
+        ),
+    )
+    return {report.method: report for report in reports}
+
+
+def test_total_forwards_identical(figure_data):
+    """Same max_peers budget -> same message volume; only the
+    distribution differs."""
+    totals = {r.total_forwards for r in figure_data.values()}
+    assert len(totals) == 1
+
+
+def test_iqn_spreads_load_wider_than_cori(figure_data):
+    assert (
+        figure_data["IQN"].peers_touched >= figure_data["CORI"].peers_touched
+    )
+    assert (
+        figure_data["IQN"].busiest_peer_share
+        <= figure_data["CORI"].busiest_peer_share + 0.01
+    )
+
+
+def test_random_is_the_flatness_bound(figure_data):
+    """Random touches at least as many peers as either informed method."""
+    assert figure_data["Random"].peers_touched >= figure_data["IQN"].peers_touched - 2
+
+
+def test_hottest_peer_latency_ordering(figure_data):
+    """Concentration translates to M/M/1 latency on the hottest peer."""
+    assert figure_data["IQN"].hottest_response_time_ms() <= (
+        figure_data["CORI"].hottest_response_time_ms() + 1e-9
+    )
+
+
+def test_load_measurement_speed(benchmark, sliding_window_testbed, fig3_params, figure_data):
+    engine = sliding_window_testbed.engines[SPEC_LABEL]
+    query = sliding_window_testbed.queries[0]
+
+    reports = benchmark.pedantic(
+        lambda: measure_load(
+            engine,
+            [query],
+            {"IQN": IQNRouter()},
+            max_peers=MAX_PEERS,
+            k=fig3_params["k"],
+            peer_k=fig3_params["peer_k"],
+            initiators_per_query=3,
+        ),
+        rounds=3,
+        iterations=1,
+    )
+    assert reports[0].total_forwards == 3 * MAX_PEERS

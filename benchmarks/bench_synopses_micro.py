@@ -1,0 +1,51 @@
+"""MICRO — synopsis operation throughput across collection sizes.
+
+Times the three primitive operations every IQN iteration depends on —
+build, union, resemblance estimation — for each synopsis family at 1k,
+10k and 100k elements.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.fig2 import DEFAULT_SPECS
+
+SIZES = (1_000, 10_000, 100_000)
+
+
+def ids_for(size):
+    # Deterministic spread-out ids (multiplication by a large odd
+    # constant modulo 2^40 is a bijection, so ids are distinct).
+    return [(i * 2_654_435_761) % (1 << 40) for i in range(size)]
+
+
+@pytest.mark.parametrize("size", SIZES)
+@pytest.mark.parametrize("spec", DEFAULT_SPECS, ids=lambda s: s.label)
+def test_build(benchmark, spec, size):
+    ids = ids_for(size)
+    synopsis = benchmark(lambda: spec.build(ids))
+    assert not synopsis.is_empty
+
+
+@pytest.mark.parametrize("spec", DEFAULT_SPECS, ids=lambda s: s.label)
+def test_union(benchmark, spec):
+    a = spec.build(ids_for(10_000))
+    b = spec.build(ids_for(10_000)[5_000:] + ids_for(5_000))
+    merged = benchmark(lambda: a.union(b))
+    assert not merged.is_empty
+
+
+@pytest.mark.parametrize("spec", DEFAULT_SPECS, ids=lambda s: s.label)
+def test_estimate_resemblance(benchmark, spec):
+    a = spec.build(ids_for(10_000))
+    b = spec.build(ids_for(10_000)[::2] + ids_for(5_000))
+    estimate = benchmark(lambda: a.estimate_resemblance(b))
+    assert 0.0 <= estimate <= 1.0
+
+
+@pytest.mark.parametrize("spec", DEFAULT_SPECS, ids=lambda s: s.label)
+def test_estimate_cardinality(benchmark, spec):
+    synopsis = spec.build(ids_for(10_000))
+    estimate = benchmark(lambda: synopsis.estimate_cardinality())
+    assert estimate > 0.0

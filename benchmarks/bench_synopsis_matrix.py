@@ -1,0 +1,78 @@
+"""TBL-S3 — Section 3.4's qualitative synopsis comparison, made measurable.
+
+Produces the capability matrix (which operations each family supports)
+plus a measured table of the four criteria the paper discusses:
+estimation error, space, aggregability, heterogeneity tolerance.
+"""
+
+from __future__ import annotations
+
+import random
+from statistics import mean
+
+import pytest
+
+from repro.datasets.synthetic import pair_with_overlap_fraction
+from repro.experiments.fig2 import DEFAULT_SPECS
+from repro.experiments.report import format_capability_matrix, format_table
+from repro.synopses.base import UnsupportedOperationError
+from repro.synopses.measures import resemblance
+
+from _util import save_result
+
+
+@pytest.fixture(scope="module")
+def matrix_and_measurements():
+    matrix = format_capability_matrix()
+
+    rows = []
+    for spec in DEFAULT_SPECS:
+        errors = []
+        for run in range(15):
+            rng = random.Random(f"matrix:{spec.label}:{run}")
+            set_a, set_b = pair_with_overlap_fraction(5_000, 1 / 3, rng=rng)
+            truth = resemblance(set_a, set_b)
+            est = spec.build(set_a).estimate_resemblance(spec.build(set_b))
+            errors.append(abs(est - truth) / truth)
+        try:
+            spec.build(range(10)).intersect(spec.build(range(5, 15)))
+            intersect_ok = "yes"
+        except UnsupportedOperationError:
+            intersect_ok = "no"
+        rows.append(
+            [
+                spec.label,
+                spec.size_in_bits,
+                mean(errors),
+                intersect_ok,
+                "yes" if spec.supports_heterogeneous_sizes else "no",
+            ]
+        )
+    measured = format_table(
+        ["synopsis", "bits", "rel. error @5k/33%", "intersect", "hetero sizes"],
+        rows,
+    )
+    save_result("table_s3_synopsis_matrix", matrix + "\n\n" + measured)
+    return rows
+
+
+def test_matrix_orders_mips_best(matrix_and_measurements):
+    errors = {row[0]: row[2] for row in matrix_and_measurements}
+    assert errors["MIPs 64"] <= errors["HSs 32"]
+    assert errors["MIPs 64"] < errors["BF 2048"]
+
+
+def test_capability_flags(matrix_and_measurements):
+    flags = {row[0]: (row[3], row[4]) for row in matrix_and_measurements}
+    assert flags["MIPs 64"] == ("yes", "yes")
+    assert flags["HSs 32"] == ("no", "no")
+    assert flags["BF 2048"] == ("yes", "no")
+
+
+@pytest.mark.parametrize("spec", DEFAULT_SPECS, ids=lambda s: s.label)
+def test_union_aggregation(benchmark, spec, matrix_and_measurements):
+    """Aggregate-Synopses step cost: one pairwise union."""
+    a = spec.build(range(5_000))
+    b = spec.build(range(2_500, 7_500))
+    merged = benchmark(lambda: a.union(b))
+    assert not merged.is_empty

@@ -1,0 +1,64 @@
+"""Shared infrastructure for the benchmark harness.
+
+Each ``bench_*.py`` module regenerates one table or figure of the paper
+(see DESIGN.md's per-experiment index):
+
+- the *figure data* is computed once per session in a fixture and saved
+  under ``benchmarks/results/<name>.txt`` (and printed, visible with
+  ``pytest -s``);
+- ``benchmark``-fixture functions then time the representative unit of
+  work (one estimation, one routing decision, ...), so
+  ``pytest benchmarks/ --benchmark-only`` yields both the reproduction
+  artifacts and performance numbers.
+
+The corpus-scale experiments (Figure 3) take ~1 minute per testbed to
+build; testbeds are session-scoped and shared across bench modules.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import (
+    FIG3_CORPUS,
+    FIG3_NUM_QUERIES,
+    FIG3_PEER_K,
+    FIG3_QUERY_POOL,
+    FIG3_QUERY_POOL_OFFSET,
+    FIG3_REFERENCE_K,
+)
+from repro.experiments.fig3 import (
+    build_combination_testbed,
+    build_sliding_window_testbed,
+)
+
+@pytest.fixture(scope="session")
+def fig3_params():
+    return {
+        "max_peers_left": 7,
+        "max_peers_right": 10,
+        "k": FIG3_REFERENCE_K,
+        "peer_k": FIG3_PEER_K,
+    }
+
+
+@pytest.fixture(scope="session")
+def combination_testbed():
+    """Figure 3 left: C(6,3) = 20 peers over the GOV-like corpus."""
+    return build_combination_testbed(
+        FIG3_CORPUS,
+        num_queries=FIG3_NUM_QUERIES,
+        query_pool_size=FIG3_QUERY_POOL,
+        query_pool_offset=FIG3_QUERY_POOL_OFFSET,
+    )
+
+
+@pytest.fixture(scope="session")
+def sliding_window_testbed():
+    """Figure 3 right: 50 peers, window 10, offset 2, 100 fragments."""
+    return build_sliding_window_testbed(
+        FIG3_CORPUS,
+        num_queries=FIG3_NUM_QUERIES,
+        query_pool_size=FIG3_QUERY_POOL,
+        query_pool_offset=FIG3_QUERY_POOL_OFFSET,
+    )

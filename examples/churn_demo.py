@@ -1,0 +1,98 @@
+"""Churn: peers joining and leaving a live MINERVA network.
+
+The P2P setting's defining property (Section 1.1: "self-organizing way
+with resilience to failures and churn").  This example runs a query
+workload against a network while peers leave — gracefully and by crash —
+and a newcomer joins, showing:
+
+- directory keys migrating on joins/leaves (queries keep resolving);
+- replica survival when a PeerList's primary owner departs;
+- the stale-post failure mode: a crashed peer's Posts keep attracting
+  forwards that return nothing, until they are purged.
+
+Run:  python examples/churn_demo.py
+"""
+
+from repro import (
+    CoriSelector,
+    GovCorpusConfig,
+    IQNRouter,
+    MinervaEngine,
+    SynopsisSpec,
+    build_gov_corpus,
+    corpora_from_doc_id_sets,
+    fragment_corpus,
+    make_workload,
+    sliding_window_collections,
+)
+
+
+def main() -> None:
+    config = GovCorpusConfig(
+        num_docs=2400,
+        vocabulary_size=6000,
+        num_topics=6,
+        topic_assignment="blocked",
+        topic_smear=1.0,
+        seed=13,
+    )
+    corpus = build_gov_corpus(config)
+    fragments = fragment_corpus(corpus, 12)
+    collections = corpora_from_doc_id_sets(
+        corpus, sliding_window_collections(fragments, window=3, offset=1)
+    )
+    # Replication factor 2: every PeerList lives on two directory nodes.
+    engine = MinervaEngine(
+        collections, spec=SynopsisSpec.parse("mips-64"), replicas=2
+    )
+    queries = make_workload(config, num_queries=3, pool_size=16, seed=5)
+    engine.publish({t for q in queries for t in q.terms})
+    query = queries[0]
+
+    def recall(label):
+        outcome = engine.run_query(query, IQNRouter(), max_peers=4, k=50, peer_k=20)
+        print(
+            f"{label:42s} peers={len(engine.peers):2d} "
+            f"recall={outcome.final_recall:.2f} plan={list(outcome.selected)}"
+        )
+        return outcome
+
+    print(f"query: {query!s}\n")
+    baseline = recall("initial network")
+
+    # Graceful departure of the best-routed peer: keys migrate, Posts
+    # are purged, and the router must re-plan around the loss.
+    victim = baseline.selected[0]
+    engine.remove_peer(victim)
+    replanned = recall(f"after graceful departure of {victim}")
+
+    # Crash of the next best peer: it vanishes but its Posts linger.
+    crashed = replanned.selected[0]
+    engine.remove_peer(crashed, purge_posts=False)
+    outcome = recall(f"after CRASH of {crashed} (stale posts remain)")
+    if crashed in outcome.selected:
+        wasted = sum(
+            1 for r in outcome.per_peer_results.get(crashed, ()) if r
+        )
+        print(
+            f"  -> routing still selected the dead peer {crashed}; its "
+            f"forward returned {wasted} results (wasted message)"
+        )
+    purged = engine.purge_posts_of(crashed)
+    recall(f"after purging {purged} stale posts")
+
+    # A newcomer joins with a fresh slice of the corpus.
+    newcomer_docs = corpora_from_doc_id_sets(
+        corpus, [set(fragments[0]) | set(fragments[6])]
+    )[0]
+    engine.add_peer("pnew", newcomer_docs)
+    recall("after pnew joined and published")
+
+    print(
+        "\nThroughout, CORI for comparison:",
+        f"{engine.run_query(query, CoriSelector(), max_peers=4, k=50, peer_k=20).final_recall:.2f}",
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""End-to-end on real text: from raw documents to P2P routed search.
+
+Everything else in `examples/` uses the synthetic corpus; this one walks
+the full pipeline on actual prose — a small collection of government-
+flavoured snippets (the paper's GOV domain) ingested with the tokenizer,
+replicated unevenly across six peers, searched with CORI and IQN.
+
+Run:  python examples/real_text_search.py
+"""
+
+from repro import (
+    CoriSelector,
+    IQNRouter,
+    MinervaEngine,
+    Query,
+    SynopsisSpec,
+)
+from repro.datasets.ingest import corpus_from_texts
+from repro.ir.documents import Corpus
+
+# A miniature ".gov crawl": doc id -> page text.  Topics: wildfire
+# management, food safety, tax filing.
+PAGES = {
+    0: "National forest fire prevention guidelines for dry season camping.",
+    1: "Wildfire smoke advisories and air quality monitoring for residents.",
+    2: "Controlled burn schedules reduce wildfire fuel in national forests.",
+    3: "Forest service firefighting crews deploy to the northern district.",
+    4: "Emergency evacuation routes during a forest fire in canyon areas.",
+    5: "Fire danger ratings explained: moderate, high, very high, extreme.",
+    6: "Food safety inspection reports for school cafeteria kitchens.",
+    7: "Safe food handling temperatures for poultry, beef, and seafood.",
+    8: "Pest control and food safety in commercial grain storage.",
+    9: "Restaurant food safety certification and inspection frequency.",
+    10: "Recall notice: contaminated produce and food safety procedures.",
+    11: "Income tax filing deadlines and electronic submission options.",
+    12: "Small business tax deductions for home office expenses.",
+    13: "Property tax assessment appeals and filing requirements.",
+    14: "Estimated quarterly tax payments for self employed workers.",
+    15: "Tax credit eligibility for energy efficient home improvements.",
+}
+
+# Which peer crawled which pages: the wildfire pages are popular
+# (crawled by many peers), tax pages live on two peers only.
+CRAWLS = {
+    0: [0, 1, 2, 3, 6, 7],
+    1: [0, 1, 2, 4, 5, 8],
+    2: [0, 1, 3, 4, 9, 10],
+    3: [0, 2, 3, 5, 6, 10],
+    4: [11, 12, 13, 0, 1],
+    5: [13, 14, 15, 2, 3],
+}
+
+
+def main() -> None:
+    master = corpus_from_texts(PAGES)
+    collections = [
+        Corpus.from_documents(master.get(i) for i in pages)
+        for pages in CRAWLS.values()
+    ]
+    engine = MinervaEngine(collections, spec=SynopsisSpec.parse("mips-64"))
+
+    query = Query(0, ("forest", "fire"))
+    engine.publish(set(query.terms))
+
+    print(f"{len(engine.peers)} peers, {len(master)} pages network-wide")
+    print(f"query: {query!s}\n")
+    for selector in (CoriSelector(), IQNRouter()):
+        outcome = engine.run_query(query, selector, max_peers=2, k=10, peer_k=3)
+        name = "CORI" if isinstance(selector, CoriSelector) else "IQN"
+        print(f"{name}: queried {list(outcome.selected)}")
+        for result in outcome.merged[:5]:
+            print(f"   [{result.score:5.2f}] {PAGES[result.doc_id]}")
+        print(
+            f"   recall vs centralized top-10: {outcome.final_recall:.0%}  "
+            f"(local-only baseline: {outcome.recall_at[0]:.0%})\n"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The environment has no ``wheel`` package and no network, so PEP 517
+editable installs (``pip install -e .``) cannot build a wheel.  This shim
+lets ``python setup.py develop`` provide the equivalent editable install;
+all real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

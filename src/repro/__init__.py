@@ -1,0 +1,124 @@
+"""Reproduction of "IQN Routing: Integrating Quality and Novelty in P2P
+Querying and Ranking" (Michel, Bender, Triantafillou, Weikum - EDBT 2006).
+
+The package implements the paper's full stack:
+
+- :mod:`repro.synopses` -- Bloom filters, hash sketches, min-wise
+  permutations, score-histogram synopses, and the set-measure algebra;
+- :mod:`repro.ir` -- documents, inverted indexes, scoring, top-k, result
+  merging, relative recall;
+- :mod:`repro.dht` -- the simulated Chord ring under the directory;
+- :mod:`repro.net` -- message/byte cost accounting;
+- :mod:`repro.datasets` -- synthetic overlap sets, the GOV-like corpus,
+  the paper's two placement strategies, and the query workload;
+- :mod:`repro.minerva` -- peers, Posts/PeerLists, the distributed
+  directory, and the assembled engine;
+- :mod:`repro.routing` -- CORI, random, and the SIGIR'05 one-shot
+  overlap baselines;
+- :mod:`repro.core` -- the IQN routing method with its aggregation
+  strategies, stopping criteria, histogram extension, and the adaptive
+  synopsis-length allocator;
+- :mod:`repro.experiments` -- harnesses regenerating every figure.
+
+Quickstart::
+
+    from repro import (
+        GovCorpusConfig, build_gov_corpus, fragment_corpus,
+        combination_collections, corpora_from_doc_id_sets,
+        make_workload, MinervaEngine, SynopsisSpec, IQNRouter,
+    )
+
+    config = GovCorpusConfig(num_docs=2000)
+    corpus = build_gov_corpus(config)
+    fragments = fragment_corpus(corpus, 6)
+    collections = corpora_from_doc_id_sets(
+        corpus, combination_collections(fragments, 3))
+    engine = MinervaEngine(collections, spec=SynopsisSpec.parse("mips-64"))
+    queries = make_workload(config, num_queries=5)
+    engine.publish({t for q in queries for t in q.terms})
+    outcome = engine.run_query(queries[0], IQNRouter(), max_peers=5)
+    print(outcome.recall_at)
+"""
+
+from .core import (
+    IQNRouter,
+    IQNSelection,
+    PerPeerAggregation,
+    PerTermAggregation,
+    estimate_novelty,
+)
+from .datasets import (
+    GovCorpusConfig,
+    Query,
+    build_gov_corpus,
+    combination_collections,
+    corpora_from_doc_id_sets,
+    fragment_corpus,
+    make_workload,
+    sliding_window_collections,
+)
+from .ir import Corpus, Document, InvertedIndex, relative_recall
+from .minerva import Directory, MinervaEngine, Peer, PeerList, Post, QueryOutcome
+from .routing import (
+    CoriSelector,
+    LocalView,
+    OneShotOverlapSelector,
+    PeerSelector,
+    RandomSelector,
+    RoutingContext,
+)
+from .synopses import (
+    BloomFilter,
+    HashSketch,
+    MinWisePermutations,
+    ScoreHistogramSynopsis,
+    SetSynopsis,
+    SynopsisSpec,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # synopses
+    "SetSynopsis",
+    "BloomFilter",
+    "HashSketch",
+    "MinWisePermutations",
+    "ScoreHistogramSynopsis",
+    "SynopsisSpec",
+    # ir
+    "Document",
+    "Corpus",
+    "InvertedIndex",
+    "relative_recall",
+    # datasets
+    "GovCorpusConfig",
+    "build_gov_corpus",
+    "fragment_corpus",
+    "combination_collections",
+    "sliding_window_collections",
+    "corpora_from_doc_id_sets",
+    "Query",
+    "make_workload",
+    # minerva
+    "Peer",
+    "Post",
+    "PeerList",
+    "Directory",
+    "MinervaEngine",
+    "QueryOutcome",
+    # routing
+    "PeerSelector",
+    "RoutingContext",
+    "LocalView",
+    "CoriSelector",
+    "RandomSelector",
+    "OneShotOverlapSelector",
+    # core
+    "IQNRouter",
+    "IQNSelection",
+    "PerPeerAggregation",
+    "PerTermAggregation",
+    "estimate_novelty",
+]

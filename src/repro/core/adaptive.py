@@ -1,0 +1,143 @@
+"""Adaptive synopsis-type selection — the paper's future work #1.
+
+Section 9: "strategies for adaptively choosing the synopses types and
+lengths depending on the P2P usage scenario and with dynamic and
+automatic adaptation to evolving data and system characteristics."
+
+Two constraints shape the policy:
+
+1. Synopses for the *same term* must be pairwise comparable network-wide,
+   so the choice may only depend on **globally agreed statistics** — we
+   use the term's collection frequency band and the query model, both of
+   which all peers can learn from the directory, never on a peer's
+   private list length.
+2. Each family has a sweet spot measured in Section 3 / Figure 2:
+
+   - **Bloom filters** are the most accurate *below* their overload
+     point (roughly ``expected_items <= budget_bits / 8``, i.e. at least
+     8 bits per element) and support every aggregation;
+   - **MIPs** are budget-robust, unbiased, and the only family that
+     tolerates heterogeneous lengths — the safe default;
+   - for **disjunctive** workloads that only ever union (no conjunctive
+     intersection needed) a hash sketch stretches the budget further for
+     very large sets.
+
+The policy is deterministic: two peers configuring themselves with the
+same policy and the same global statistics choose identical specs, so
+their synopses stay comparable.
+
+Dynamic adaptation: :func:`needs_repost` implements the re-publication
+trigger — a peer re-posts a term when its list has drifted by more than
+a configurable factor since the last Post, the "evolving data" half of
+the future-work sentence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..synopses.factory import SynopsisSpec
+
+__all__ = ["AdaptiveSpecPolicy", "needs_repost"]
+
+
+@dataclass(frozen=True)
+class AdaptiveSpecPolicy:
+    """Chooses a synopsis configuration per term from global statistics.
+
+    Parameters
+    ----------
+    budget_bits:
+        Per-term synopsis budget (network-wide agreement).
+    bloom_bits_per_element:
+        Minimum bits/element below which a Bloom filter is considered
+        overloaded (Figure 2's collapse threshold; 8 gives a false
+        positive rate of ~2.5% at the optimal hash count).
+    conjunctive:
+        Whether the workload needs intersection aggregation — rules out
+        the counter families (Section 3.4).
+    seed:
+        Hash-family seed shared network-wide.
+    """
+
+    budget_bits: int = 2048
+    bloom_bits_per_element: int = 8
+    conjunctive: bool = False
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.budget_bits <= 0:
+            raise ValueError(f"budget_bits must be positive, got {self.budget_bits}")
+        if self.bloom_bits_per_element <= 0:
+            raise ValueError(
+                "bloom_bits_per_element must be positive, got "
+                f"{self.bloom_bits_per_element}"
+            )
+
+    @property
+    def bloom_capacity(self) -> int:
+        """Largest expected set a Bloom filter of this budget handles well."""
+        return self.budget_bits // self.bloom_bits_per_element
+
+    def choose(self, expected_list_length: int) -> SynopsisSpec:
+        """Pick the spec for a term expected to have this global df.
+
+        ``expected_list_length`` must come from *shared* statistics (the
+        term's directory-wide df, a published histogram, ...) — never
+        from one peer's private index — or peers diverge.
+        """
+        if expected_list_length < 0:
+            raise ValueError(
+                f"expected_list_length must be >= 0, got {expected_list_length}"
+            )
+        if expected_list_length <= self.bloom_capacity:
+            return SynopsisSpec.for_budget(
+                "bloom", self.budget_bits, seed=self.seed
+            )
+        if not self.conjunctive and expected_list_length > 16 * self.bloom_capacity:
+            # Very large, union-only: the cheapest cardinality counter.
+            return SynopsisSpec.for_budget(
+                "loglog", self.budget_bits, seed=self.seed
+            )
+        return SynopsisSpec.for_budget("mips", self.budget_bits, seed=self.seed)
+
+    def choose_for_band(self, collection_frequency_band: str) -> SynopsisSpec:
+        """Convenience mapping from a coarse df band name.
+
+        Bands (``"rare"``, ``"common"``, ``"ubiquitous"``) are the kind of
+        label a directory can gossip cheaply and consistently.
+        """
+        bands = {
+            "rare": self.bloom_capacity,                # fits a Bloom filter
+            "common": 4 * self.bloom_capacity,          # MIPs territory
+            "ubiquitous": 32 * self.bloom_capacity,     # counter territory
+        }
+        try:
+            return self.choose(bands[collection_frequency_band])
+        except KeyError:
+            raise ValueError(
+                f"unknown band {collection_frequency_band!r}; "
+                f"expected one of {sorted(bands)}"
+            ) from None
+
+
+def needs_repost(
+    posted_length: int, current_length: int, *, drift_factor: float = 1.5
+) -> bool:
+    """True when a term's index list drifted enough to re-publish.
+
+    Triggers when the list grew or shrank by ``drift_factor`` (or
+    appeared/disappeared entirely).  Keeping this threshold-based rather
+    than time-based matches Section 7.2's concern that "peers post
+    frequent updates" makes posting bandwidth the bottleneck.
+    """
+    if drift_factor <= 1.0:
+        raise ValueError(f"drift_factor must be > 1, got {drift_factor}")
+    if posted_length < 0 or current_length < 0:
+        raise ValueError("lengths must be >= 0")
+    if posted_length == 0:
+        return current_length > 0
+    if current_length == 0:
+        return True
+    ratio = current_length / posted_length
+    return ratio >= drift_factor or ratio <= 1.0 / drift_factor

@@ -1,0 +1,201 @@
+"""Adaptive per-term synopsis lengths under a bit budget (Section 7.2).
+
+"A peer with a total budget B has the freedom to choose a specific length
+len_j for the synopsis of term j, such that sum(len_j) = B ...  A
+heuristic approach that we have pursued is to choose len_j in proportion
+to a notion of *benefit* for term j at the given peer."
+
+The paper names three natural benefit notions, all implemented here:
+
+- the length of the term's index list;
+- the number of entries with a relevance score above a threshold;
+- the number of entries whose accumulated score mass reaches the 90%
+  quantile of the list's score distribution.
+
+Only MIPs synopses can actually *use* heterogeneous lengths at
+comparison time (Section 3.4), which is why the allocator works in
+multiples of one MIPs position (32 bits) by default.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Sequence
+
+from ..ir.index import InvertedIndex
+from ..minerva.peer import Peer
+from ..minerva.posts import Post
+from ..synopses.mips import BITS_PER_POSITION
+
+__all__ = [
+    "benefit_list_length",
+    "benefit_score_threshold",
+    "benefit_score_mass_quantile",
+    "allocate_budget",
+    "uniform_budget",
+    "build_adaptive_posts",
+]
+
+BenefitFunction = Callable[[InvertedIndex, str], float]
+
+
+def benefit_list_length(index: InvertedIndex, term: str) -> float:
+    """Benefit = index list length ("higher weight to lists with more
+    documents")."""
+    return float(index.document_frequency(term))
+
+
+def benefit_score_threshold(
+    threshold: float,
+) -> BenefitFunction:
+    """Benefit = number of entries scoring above ``threshold`` (normalized).
+
+    Scores are normalized per term (best entry = 1.0) before applying the
+    threshold, so one threshold is meaningful across terms.
+    """
+    if not 0.0 <= threshold <= 1.0:
+        raise ValueError(f"threshold must be in [0, 1], got {threshold}")
+
+    def benefit(index: InvertedIndex, term: str) -> float:
+        scored = index.scored_doc_ids(term, normalized=True)
+        return float(sum(1 for _, score in scored if score >= threshold))
+
+    return benefit
+
+
+def benefit_score_mass_quantile(quantile: float = 0.9) -> BenefitFunction:
+    """Benefit = entries needed to accumulate ``quantile`` of score mass.
+
+    The paper's third suggestion: "the number of list entries whose
+    accumulated score mass equals the 90% quantile of the score
+    distribution."  Skewed lists (few dominant entries) get small
+    benefits; flat lists need many entries and get larger ones.
+    """
+    if not 0.0 < quantile <= 1.0:
+        raise ValueError(f"quantile must be in (0, 1], got {quantile}")
+
+    def benefit(index: InvertedIndex, term: str) -> float:
+        postings = index.index_list(term)
+        total = sum(p.score for p in postings)
+        if total <= 0.0:
+            return 0.0
+        accumulated = 0.0
+        for count, posting in enumerate(postings, start=1):
+            accumulated += posting.score
+            if accumulated >= quantile * total:
+                return float(count)
+        return float(len(postings))
+
+    return benefit
+
+
+def allocate_budget(
+    index: InvertedIndex,
+    terms: Sequence[str],
+    total_bits: int,
+    *,
+    benefit: BenefitFunction = benefit_list_length,
+    granularity: int = BITS_PER_POSITION,
+    min_bits: int | None = None,
+) -> dict[str, int]:
+    """Split ``total_bits`` over ``terms`` proportionally to benefit.
+
+    Every term receives at least ``min_bits`` (default: one granule), the
+    remainder is distributed in ``granularity``-bit granules by largest
+    remaining fractional share, so the result sums to ``total_bits``
+    exactly (up to the final partial granule, which is never allocated).
+    """
+    if not terms:
+        raise ValueError("cannot allocate a budget over zero terms")
+    if len(set(terms)) != len(terms):
+        raise ValueError("terms must be unique")
+    if granularity <= 0:
+        raise ValueError(f"granularity must be positive, got {granularity}")
+    if min_bits is None:
+        min_bits = granularity
+    if min_bits % granularity != 0:
+        raise ValueError(
+            f"min_bits ({min_bits}) must be a multiple of granularity "
+            f"({granularity})"
+        )
+    floor_total = min_bits * len(terms)
+    if total_bits < floor_total:
+        raise ValueError(
+            f"budget {total_bits} cannot cover the {min_bits}-bit floor "
+            f"for {len(terms)} terms ({floor_total} bits)"
+        )
+    benefits = {term: max(0.0, benefit(index, term)) for term in terms}
+    spendable_granules = (total_bits - floor_total) // granularity
+    total_benefit = sum(benefits.values())
+    allocation = {term: min_bits for term in terms}
+    if spendable_granules == 0 or total_benefit <= 0.0:
+        return allocation
+    # Proportional shares in granules, floor first, remainder by largest
+    # fractional part (deterministic tie-break on term).
+    shares = {
+        term: spendable_granules * benefits[term] / total_benefit
+        for term in terms
+    }
+    granted = {term: int(shares[term]) for term in terms}
+    leftover = spendable_granules - sum(granted.values())
+    by_fraction = sorted(
+        terms, key=lambda term: (-(shares[term] - granted[term]), term)
+    )
+    for term in by_fraction[:leftover]:
+        granted[term] += 1
+    for term in terms:
+        allocation[term] += granted[term] * granularity
+    return allocation
+
+
+def uniform_budget(
+    terms: Sequence[str],
+    total_bits: int,
+    *,
+    granularity: int = BITS_PER_POSITION,
+) -> dict[str, int]:
+    """The baseline allocation: equal lengths for every term."""
+    if not terms:
+        raise ValueError("cannot allocate a budget over zero terms")
+    per_term = (total_bits // len(terms)) // granularity * granularity
+    if per_term <= 0:
+        raise ValueError(
+            f"budget {total_bits} too small for {len(terms)} terms at "
+            f"granularity {granularity}"
+        )
+    return {term: per_term for term in terms}
+
+
+def build_adaptive_posts(
+    peer: Peer,
+    allocation: Mapping[str, int],
+) -> list[Post]:
+    """Build the peer's Posts with per-term synopsis lengths.
+
+    Requires a spec kind that tolerates heterogeneous sizes (MIPs); other
+    kinds would produce incomparable synopses across peers, so they are
+    rejected here rather than failing at estimation time.
+    """
+    if not peer.spec.supports_heterogeneous_sizes:
+        raise ValueError(
+            f"synopsis kind {peer.spec.kind!r} cannot use heterogeneous "
+            "lengths; only MIPs supports them (Section 3.4)"
+        )
+    posts = []
+    for term, bits in allocation.items():
+        if bits <= 0:
+            raise ValueError(f"non-positive bit allocation for term {term!r}")
+        positions = max(1, bits // BITS_PER_POSITION)
+        spec = peer.spec.resized(positions)
+        synopsis = spec.build(peer.index.doc_ids(term))
+        posts.append(
+            Post(
+                peer_id=peer.peer_id,
+                term=term,
+                cdf=peer.index.document_frequency(term),
+                max_score=peer.index.max_score(term),
+                avg_score=peer.index.average_score(term),
+                term_space_size=peer.index.term_space_size,
+                synopsis=synopsis,
+            )
+        )
+    return posts

@@ -1,0 +1,94 @@
+"""Correlation-aware per-term aggregation — the paper's future work #2.
+
+Section 9 names "incorporating statistics about correlations between
+different index lists on the same peer ... into the synopses management"
+as future work, and Section 6.3 already anticipates it: "We believe that
+this aggregation technique can be further extended, e.g., for exploiting
+term correlation measures."
+
+The per-term strategy's weakness is double counting: a document matching
+*both* query terms contributes to both term-wise novelties, so peers
+with strongly correlated index lists look more novel than they are.  The
+fix needs no extra posted state — the correlation between two of a
+peer's index lists is estimable from the per-term synopses *already in
+its Posts*: ``R(L_t1, L_t2)`` via the standard resemblance estimator.
+
+From the pairwise resemblances we estimate the peer's distinct matching
+documents ``D ≈ |∪_t L_t|`` by truncated inclusion–exclusion (pairwise
+terms only, clamped to the feasible range), and scale the summed
+term-wise novelty by ``D / Σ_t |L_t|`` — the fraction of the peer's
+term-posting mass that is actually distinct.  Uncorrelated lists leave
+the ranking untouched; fully duplicated lists halve it.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from ..routing.base import CandidatePeer
+from ..synopses.base import IncompatibleSynopsesError
+from ..synopses.measures import overlap_from_resemblance
+from .aggregation import PerTermAggregation, PerTermState
+
+__all__ = ["estimate_distinct_mass", "CorrelationAwarePerTerm"]
+
+
+def estimate_distinct_mass(candidate: CandidatePeer, terms: tuple[str, ...]) -> float:
+    """Estimate ``|∪_t L_t|`` for a peer from its per-term synopses.
+
+    Pairwise (Bonferroni-truncated) inclusion–exclusion:
+    ``Σ|L_t| - Σ_{i<j} |L_i ∩ L_j|``, clamped below by the largest single
+    list (the union can never be smaller).  Terms without a post (or
+    with empty lists) contribute nothing.
+    """
+    posts = [
+        post
+        for term in terms
+        if (post := candidate.post(term)) is not None
+        and post.synopsis is not None
+        and post.cdf > 0
+    ]
+    if not posts:
+        return 0.0
+    total = float(sum(post.cdf for post in posts))
+    if len(posts) == 1:
+        return total
+    pairwise_overlap = 0.0
+    for a, b in combinations(posts, 2):
+        try:
+            res = a.synopsis.estimate_resemblance(b.synopsis)
+        except IncompatibleSynopsesError:
+            continue
+        pairwise_overlap += overlap_from_resemblance(
+            res, float(a.cdf), float(b.cdf)
+        )
+    largest = float(max(post.cdf for post in posts))
+    return min(total, max(largest, total - pairwise_overlap))
+
+
+class CorrelationAwarePerTerm(PerTermAggregation):
+    """Per-term aggregation with correlation-corrected novelty sums.
+
+    Drop-in replacement for
+    :class:`~repro.core.aggregation.PerTermAggregation`; only the
+    Select-Best-Peer estimate changes (the Aggregate-Synopses update is
+    still per term, which remains sound — reference synopses are exact
+    union aggregations regardless of correlations).
+    """
+
+    def novelty(self, state: PerTermState, candidate: CandidatePeer) -> float:
+        summed = super().novelty(state, candidate)
+        if summed <= 0.0:
+            return 0.0
+        terms = state.context.query.terms
+        total_mass = float(
+            sum(
+                post.cdf
+                for term in terms
+                if (post := candidate.post(term)) is not None
+            )
+        )
+        if total_mass <= 0.0:
+            return 0.0
+        distinct = estimate_distinct_mass(candidate, terms)
+        return summed * (distinct / total_mass)

@@ -1,0 +1,193 @@
+"""Score-conscious novelty with histogram-cell synopses (Section 7.1).
+
+Flat set synopses value every document equally, but "in ranked retrieval
+... we are more interested in the higher-scoring portions of an index
+list and the mutual overlap that different peers have in these portions."
+The paper's extension builds one synopsis per score-range cell and
+computes a *weighted* novelty: per-cell novelties combined with weights
+that grow with the cell's score range.
+
+Cell membership is peer-local (each peer normalizes scores against its
+own list), so a document may sit in different cells at different peers —
+hence the all-pairs estimation: a candidate cell's overlap is summed
+against *every* reference cell before its novelty is taken.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from ..routing.base import CandidatePeer, RoutingContext
+from ..synopses.histogram import ScoreHistogramSynopsis
+from ..synopses.measures import overlap_from_resemblance
+from .aggregation import AggregationStrategy
+
+__all__ = [
+    "cell_midpoint_weights",
+    "top_heavy_weights",
+    "weighted_histogram_novelty",
+    "per_cell_novelties",
+    "HistogramAggregation",
+    "HistogramState",
+]
+
+WeightFunction = Callable[[ScoreHistogramSynopsis], Sequence[float]]
+
+
+def cell_midpoint_weights(histogram: ScoreHistogramSynopsis) -> list[float]:
+    """Linear weights: each cell weighted by its score-range midpoint."""
+    return [histogram.cell_midpoint_score(i) for i in range(histogram.num_cells)]
+
+
+def top_heavy_weights(histogram: ScoreHistogramSynopsis) -> list[float]:
+    """Quadratic weights emphasizing high-score cells more aggressively."""
+    return [
+        histogram.cell_midpoint_score(i) ** 2 for i in range(histogram.num_cells)
+    ]
+
+
+def per_cell_novelties(
+    candidate: ScoreHistogramSynopsis, reference: ScoreHistogramSynopsis
+) -> list[float]:
+    """Novelty of each candidate cell against *all* reference cells.
+
+    For candidate cell ``i``: estimate its overlap with every reference
+    cell ``j`` (pairwise resemblance -> overlap, Section 7.1's "pairwise
+    novelty estimation over all pairs of histogram cells") and subtract
+    the summed overlap from the cell's cardinality, clamping at 0.
+    """
+    candidate.check_compatible(reference)
+    novelties = []
+    for i, cand_cell in enumerate(candidate.cells):
+        card_cand = candidate.cell_cardinalities[i]
+        if card_cand <= 0.0 or cand_cell.is_empty:
+            novelties.append(0.0)
+            continue
+        covered = 0.0
+        for j, ref_cell in enumerate(reference.cells):
+            card_ref = reference.cell_cardinalities[j]
+            if card_ref <= 0.0 or ref_cell.is_empty:
+                continue
+            res = ref_cell.estimate_resemblance(cand_cell)
+            covered += overlap_from_resemblance(res, card_ref, card_cand)
+        novelties.append(max(0.0, card_cand - covered))
+    return novelties
+
+
+def weighted_histogram_novelty(
+    candidate: ScoreHistogramSynopsis,
+    reference: ScoreHistogramSynopsis,
+    *,
+    weights: WeightFunction = cell_midpoint_weights,
+) -> float:
+    """The Section 7.1 weighted novelty of ``candidate`` given ``reference``."""
+    cell_weights = list(weights(candidate))
+    if len(cell_weights) != candidate.num_cells:
+        raise ValueError(
+            f"weight function produced {len(cell_weights)} weights for "
+            f"{candidate.num_cells} cells"
+        )
+    if any(w < 0 for w in cell_weights):
+        raise ValueError("cell weights must be >= 0")
+    novelties = per_cell_novelties(candidate, reference)
+    return sum(w * n for w, n in zip(cell_weights, novelties))
+
+
+@dataclass
+class HistogramState:
+    """Reference histogram for the score-conscious IQN variant."""
+
+    context: RoutingContext
+    reference: ScoreHistogramSynopsis
+    combined_cache: dict[str, ScoreHistogramSynopsis | None]
+
+
+class HistogramAggregation(AggregationStrategy):
+    """IQN aggregation over score-histogram synopses.
+
+    Drop-in replacement for
+    :class:`~repro.core.aggregation.PerPeerAggregation` when Posts carry
+    histogram synopses.  Multi-keyword combination is cell-wise union
+    over the peer's term histograms (disjunctive semantics; the paper's
+    histogram extension does not define a conjunctive variant, so
+    conjunctive contexts are rejected).
+    """
+
+    def __init__(self, *, weights: WeightFunction = cell_midpoint_weights):
+        self.weights = weights
+
+    def start(self, context: RoutingContext) -> HistogramState:
+        if context.conjunctive:
+            raise ValueError(
+                "histogram aggregation supports disjunctive queries only"
+            )
+        num_cells = self._num_cells(context)
+        return HistogramState(
+            context=context,
+            reference=ScoreHistogramSynopsis.empty(
+                spec=context.spec, num_cells=num_cells
+            ),
+            combined_cache={},
+        )
+
+    @staticmethod
+    def _num_cells(context: RoutingContext) -> int:
+        for term in context.query.terms:
+            for post in context.peer_lists[term]:
+                if post.histogram is not None:
+                    return post.histogram.num_cells
+        raise ValueError(
+            "no candidate posted a histogram synopsis; configure peers "
+            "with histogram_cells and publish with with_histogram=True"
+        )
+
+    def _combine(
+        self, state: HistogramState, candidate: CandidatePeer
+    ) -> ScoreHistogramSynopsis | None:
+        cached = state.combined_cache.get(candidate.peer_id, _MISSING)
+        if cached is not _MISSING:
+            return cached
+        histograms = [
+            post.histogram
+            for term in state.context.query.terms
+            if (post := candidate.post(term)) is not None
+            and post.histogram is not None
+        ]
+        combined: ScoreHistogramSynopsis | None
+        if not histograms:
+            combined = None
+        else:
+            combined = histograms[0]
+            for histogram in histograms[1:]:
+                combined = combined.union(histogram)
+        state.combined_cache[candidate.peer_id] = combined
+        return combined
+
+    def novelty(self, state: HistogramState, candidate: CandidatePeer) -> float:
+        combined = self._combine(state, candidate)
+        if combined is None:
+            return 0.0
+        return weighted_histogram_novelty(
+            combined, state.reference, weights=self.weights
+        )
+
+    def absorb(self, state: HistogramState, candidate: CandidatePeer) -> None:
+        combined = self._combine(state, candidate)
+        if combined is None:
+            return
+        gained = per_cell_novelties(combined, state.reference)
+        merged_cardinalities = [
+            ref_card + gain
+            for ref_card, gain in zip(state.reference.cell_cardinalities, gained)
+        ]
+        state.reference = state.reference.union(
+            combined, merged_cardinalities=merged_cardinalities
+        )
+
+    def estimated_coverage(self, state: HistogramState) -> float:
+        return state.reference.total_cardinality
+
+
+#: Cache sentinel distinguishing "not computed" from "computed as None".
+_MISSING = object()

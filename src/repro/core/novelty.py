@@ -1,0 +1,83 @@
+"""Pair-wise novelty estimation from synopses (Section 5.2).
+
+IQN only ever needs the novelty of one additionally considered peer
+against the *reference synopsis* of the result space covered so far.  How
+that estimate is derived depends on the synopsis family:
+
+- **MIPs**: estimate resemblance ``R`` by matching positions, recover the
+  overlap ``|A ∩ B| = R (|A| + |B|) / (R + 1)``, and subtract from
+  ``|B|``.  Requires (estimates of) both cardinalities — the reference
+  cardinality is tracked by the routing state, seeded from the
+  initiator's exact local result size.
+- **Hash sketches** (and LogLog counters, their cited successor):
+  estimate ``|A ∪ B|`` from the merged sketch; then
+  ``Novelty(B|A) = |A ∪ B| - |A|``.
+- **Bloom filters**: build the bitwise difference filter
+  ``bf_B AND NOT bf_A`` and invert its fill to a cardinality.
+
+All paths clamp to the feasible interval ``[0, |B|]``.
+"""
+
+from __future__ import annotations
+
+from ..synopses.base import SetSynopsis
+from ..synopses.bloom import BloomFilter
+from ..synopses.hashsketch import HashSketch
+from ..synopses.loglog import LogLogCounter
+from ..synopses.measures import novelty_from_resemblance, novelty_from_union
+
+__all__ = ["estimate_novelty"]
+
+
+def estimate_novelty(
+    candidate: SetSynopsis,
+    reference: SetSynopsis,
+    *,
+    candidate_cardinality: float | None = None,
+    reference_cardinality: float | None = None,
+) -> float:
+    """Estimate ``Novelty(candidate | reference)`` per Section 5.2.
+
+    ``candidate_cardinality`` should be the candidate's exact index-list
+    length from its Post when available; ``reference_cardinality`` the
+    routing state's running estimate of the covered result space.  Either
+    falls back to the synopsis's own cardinality estimator when omitted.
+    """
+    reference.check_compatible(candidate)
+    if candidate_cardinality is not None and candidate_cardinality < 0:
+        raise ValueError(
+            f"candidate_cardinality must be >= 0, got {candidate_cardinality}"
+        )
+    if reference_cardinality is not None and reference_cardinality < 0:
+        raise ValueError(
+            f"reference_cardinality must be >= 0, got {reference_cardinality}"
+        )
+    if candidate.is_empty:
+        return 0.0
+
+    card_cand = (
+        candidate.estimate_cardinality()
+        if candidate_cardinality is None
+        else candidate_cardinality
+    )
+
+    if isinstance(candidate, BloomFilter):
+        assert isinstance(reference, BloomFilter)
+        estimate = candidate.difference(reference).estimate_cardinality()
+        return min(max(0.0, estimate), card_cand)
+
+    card_ref = (
+        reference.estimate_cardinality()
+        if reference_cardinality is None
+        else reference_cardinality
+    )
+
+    if isinstance(candidate, (HashSketch, LogLogCounter)):
+        union_estimate = candidate.union(reference).estimate_cardinality()
+        return novelty_from_union(union_estimate, card_ref, card_cand)
+
+    # MIPs and any other resemblance-capable synopsis.
+    if reference.is_empty:
+        return card_cand
+    res = reference.estimate_resemblance(candidate)
+    return novelty_from_resemblance(res, card_ref, card_cand)

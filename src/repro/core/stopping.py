@@ -1,0 +1,108 @@
+"""Stopping criteria for the IQN iteration (Section 5.1).
+
+"The two steps, Select-Best-Peer and Aggregate-Synopses, are iterated
+until some specified stopping criterion is satisfied.  Good criteria
+would be reaching a certain number of maximum peers that should be
+involved in the query, or estimating that the combined query result has
+at least a certain number of (good) documents.  The latter can be
+inferred from the updated reference synopsis."
+"""
+
+from __future__ import annotations
+
+import abc
+
+__all__ = [
+    "StoppingCriterion",
+    "MaxPeers",
+    "CoverageTarget",
+    "MinimumNoveltyGain",
+    "AnyOf",
+]
+
+
+class StoppingCriterion(abc.ABC):
+    """Decides after each IQN iteration whether to stop selecting peers."""
+
+    @abc.abstractmethod
+    def should_stop(
+        self,
+        *,
+        selected_count: int,
+        estimated_coverage: float,
+        last_novelty: float,
+    ) -> bool:
+        """True when the routing loop should end.
+
+        Called *after* a peer has been selected and absorbed, with the
+        number of peers chosen so far, the reference state's coverage
+        estimate, and the novelty the last peer contributed.
+        """
+
+
+class MaxPeers(StoppingCriterion):
+    """Stop after a fixed number of peers — the paper's primary budget."""
+
+    def __init__(self, limit: int):
+        if limit <= 0:
+            raise ValueError(f"limit must be positive, got {limit}")
+        self.limit = limit
+
+    def should_stop(
+        self, *, selected_count: int, estimated_coverage: float, last_novelty: float
+    ) -> bool:
+        return selected_count >= self.limit
+
+
+class CoverageTarget(StoppingCriterion):
+    """Stop once the estimated combined result reaches ``target`` documents."""
+
+    def __init__(self, target: float):
+        if target <= 0:
+            raise ValueError(f"target must be positive, got {target}")
+        self.target = target
+
+    def should_stop(
+        self, *, selected_count: int, estimated_coverage: float, last_novelty: float
+    ) -> bool:
+        return estimated_coverage >= self.target
+
+
+class MinimumNoveltyGain(StoppingCriterion):
+    """Stop when the marginal peer stops adding enough new documents.
+
+    Not spelled out in the paper but the natural diminishing-returns
+    criterion its framework supports: once the best remaining peer's
+    novelty falls below ``threshold``, further peers mostly duplicate.
+    """
+
+    def __init__(self, threshold: float):
+        if threshold < 0:
+            raise ValueError(f"threshold must be >= 0, got {threshold}")
+        self.threshold = threshold
+
+    def should_stop(
+        self, *, selected_count: int, estimated_coverage: float, last_novelty: float
+    ) -> bool:
+        return last_novelty < self.threshold
+
+
+class AnyOf(StoppingCriterion):
+    """Stop as soon as any member criterion fires."""
+
+    def __init__(self, *criteria: StoppingCriterion):
+        if not criteria:
+            raise ValueError("AnyOf needs at least one criterion")
+        self.criteria = criteria
+
+    def should_stop(
+        self, *, selected_count: int, estimated_coverage: float, last_novelty: float
+    ) -> bool:
+        return any(
+            criterion.should_stop(
+                selected_count=selected_count,
+                estimated_coverage=estimated_coverage,
+                last_novelty=last_novelty,
+            )
+            for criterion in self.criteria
+        )

@@ -1,0 +1,39 @@
+"""Workload generation: synthetic sets, GOV-like corpus, placement, queries."""
+
+from .corpus import GovCorpusConfig, build_gov_corpus, topic_vocabulary
+from .ingest import corpus_from_texts, document_from_text
+from .partition import (
+    combination_collections,
+    corpora_from_doc_id_sets,
+    fragment_corpus,
+    sliding_window_collections,
+)
+from .queries import Query, make_workload
+from .synthetic import (
+    collections_with_pairwise_overlap,
+    distinct_ids,
+    overlapping_pair,
+    pair_with_overlap_fraction,
+    resemblance_of_overlap_fraction,
+    split_into_fragments,
+)
+
+__all__ = [
+    "GovCorpusConfig",
+    "build_gov_corpus",
+    "topic_vocabulary",
+    "corpus_from_texts",
+    "document_from_text",
+    "fragment_corpus",
+    "combination_collections",
+    "sliding_window_collections",
+    "corpora_from_doc_id_sets",
+    "Query",
+    "make_workload",
+    "distinct_ids",
+    "overlapping_pair",
+    "pair_with_overlap_fraction",
+    "resemblance_of_overlap_fraction",
+    "collections_with_pairwise_overlap",
+    "split_into_fragments",
+]

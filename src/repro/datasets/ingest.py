@@ -1,0 +1,68 @@
+"""Building collections from raw text.
+
+The experiments generate synthetic corpora, but the library is equally
+usable on real documents — a crawler's pages, mail archives, file
+metadata.  This module is the bridge: tokenize text into
+:class:`~repro.ir.documents.Document` objects with stable ids.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from ..ir.documents import Corpus, Document
+from ..ir.tokenize import tokenize
+
+__all__ = ["document_from_text", "corpus_from_texts"]
+
+
+def document_from_text(
+    doc_id: int,
+    text: str,
+    *,
+    drop_stopwords: bool = True,
+    min_length: int = 2,
+) -> Document:
+    """Tokenize ``text`` into a document.
+
+    Raises ``ValueError`` when tokenization leaves nothing (documents
+    must be non-empty to be indexable).
+    """
+    frequencies: dict[str, int] = {}
+    for token in tokenize(text, drop_stopwords=drop_stopwords, min_length=min_length):
+        frequencies[token] = frequencies.get(token, 0) + 1
+    if not frequencies:
+        raise ValueError(
+            f"document {doc_id} has no indexable tokens after tokenization"
+        )
+    return Document(doc_id=doc_id, term_frequencies=frequencies)
+
+
+def corpus_from_texts(
+    texts: Mapping[int, str] | Iterable[tuple[int, str]],
+    *,
+    drop_stopwords: bool = True,
+    min_length: int = 2,
+    skip_empty: bool = True,
+) -> Corpus:
+    """Build a corpus from ``{doc_id: text}`` (or id/text pairs).
+
+    ``skip_empty`` silently drops documents that tokenize to nothing
+    (boilerplate-only pages); set it False to surface them as errors.
+    """
+    items = texts.items() if isinstance(texts, Mapping) else texts
+    corpus = Corpus()
+    for doc_id, text in items:
+        try:
+            document = document_from_text(
+                doc_id,
+                text,
+                drop_stopwords=drop_stopwords,
+                min_length=min_length,
+            )
+        except ValueError:
+            if skip_empty:
+                continue
+            raise
+        corpus.add(document)
+    return corpus

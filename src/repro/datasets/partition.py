@@ -1,0 +1,118 @@
+"""Document placement onto peers — the paper's two overlap strategies.
+
+Section 8.1: "we partitioned the whole data into disjoint fragments, and
+then we form collections placed onto peers by using various strategies to
+combine fragments":
+
+1. **Combination strategy** — split into ``f`` fragments; every
+   ``s``-subset of fragments becomes one peer collection, yielding
+   ``C(f, s)`` peers.  With ``f=6, s=3`` that is the paper's 20-peer
+   setup.  Any two peers share ``s - |subset difference|`` fragments, so
+   overlap is high and structured.
+2. **Sliding-window strategy** — split into many (100) fragments; peer
+   ``i`` receives ``r`` consecutive fragments starting at ``i * offset``
+   (with wraparound so every peer has exactly ``r`` fragments).  With
+   ``r=10, offset=2`` over 100 fragments that is the 50-peer setup, where
+   adjacent peers overlap in ``r - offset`` fragments and distant peers
+   are disjoint — "This way, we can systematically control the overlap of
+   peers."
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Sequence
+
+from ..ir.documents import Corpus
+
+__all__ = [
+    "fragment_corpus",
+    "combination_collections",
+    "sliding_window_collections",
+    "corpora_from_doc_id_sets",
+]
+
+
+def fragment_corpus(corpus: Corpus, num_fragments: int) -> list[list[int]]:
+    """Split a corpus's doc ids into ``num_fragments`` disjoint fragments.
+
+    Fragmentation is by sorted doc id (deterministic); because the
+    generator assigns topics round-robin over ids, every fragment covers
+    all topics — like splitting a crawl by URL hash.
+    """
+    if num_fragments <= 0:
+        raise ValueError(f"num_fragments must be positive, got {num_fragments}")
+    doc_ids = sorted(corpus.doc_ids)
+    if len(doc_ids) < num_fragments:
+        raise ValueError(
+            f"cannot split {len(doc_ids)} docs into {num_fragments} fragments"
+        )
+    base, extra = divmod(len(doc_ids), num_fragments)
+    fragments = []
+    start = 0
+    for i in range(num_fragments):
+        size = base + (1 if i < extra else 0)
+        fragments.append(doc_ids[start : start + size])
+        start += size
+    return fragments
+
+
+def combination_collections(
+    fragments: Sequence[Sequence[int]], subset_size: int
+) -> list[set[int]]:
+    """All ``C(f, s)`` unions of ``subset_size`` fragments (strategy 1)."""
+    if not 1 <= subset_size <= len(fragments):
+        raise ValueError(
+            f"subset_size must be in [1, {len(fragments)}], got {subset_size}"
+        )
+    collections = []
+    for subset in combinations(range(len(fragments)), subset_size):
+        doc_ids: set[int] = set()
+        for index in subset:
+            doc_ids.update(fragments[index])
+        collections.append(doc_ids)
+    return collections
+
+
+def sliding_window_collections(
+    fragments: Sequence[Sequence[int]],
+    window: int,
+    offset: int,
+) -> list[set[int]]:
+    """Wraparound sliding-window fragment unions (strategy 2).
+
+    Peer ``i`` gets fragments ``(i*offset) mod f .. (i*offset + window - 1)
+    mod f``; there are ``f / offset`` peers (``offset`` must divide ``f``
+    so the wraparound tiling is uniform — 100/2 = 50 peers in the paper).
+    """
+    num_fragments = len(fragments)
+    if not 1 <= window <= num_fragments:
+        raise ValueError(
+            f"window must be in [1, {num_fragments}], got {window}"
+        )
+    if offset <= 0:
+        raise ValueError(f"offset must be positive, got {offset}")
+    if num_fragments % offset != 0:
+        raise ValueError(
+            f"offset {offset} must divide the fragment count {num_fragments}"
+        )
+    num_peers = num_fragments // offset
+    collections = []
+    for peer in range(num_peers):
+        doc_ids: set[int] = set()
+        for j in range(window):
+            doc_ids.update(fragments[(peer * offset + j) % num_fragments])
+        collections.append(doc_ids)
+    return collections
+
+
+def corpora_from_doc_id_sets(
+    corpus: Corpus, doc_id_sets: Sequence[set[int]]
+) -> list[Corpus]:
+    """Materialize per-peer corpora from doc-id sets over a master corpus."""
+    corpora = []
+    for doc_ids in doc_id_sets:
+        corpora.append(
+            Corpus.from_documents(corpus.get(doc_id) for doc_id in sorted(doc_ids))
+        )
+    return corpora

@@ -1,0 +1,149 @@
+"""Synthetic docID sets with controlled overlap (Section 3.3 workload).
+
+The paper's stand-alone synopsis evaluation "randomly created pairs of
+synthetic collections of varying sizes with an expected overlap of 33%"
+and later "created synthetic collections of a fixed size ... and varied
+the expected mutual overlap" over 50%, 33%, 25%, ..., 11%.
+
+We interpret *mutual overlap* ``q`` of two equal-size collections as the
+fraction of each collection's documents that are shared:
+``|A ∩ B| = q * n`` for ``|A| = |B| = n`` — the reading under which the
+figure's 50%…11% series is the harmonic sequence 1/2 … 1/9.  For that
+interpretation resemblance is ``q / (2 - q)``.
+
+IDs are drawn uniformly from a large universe (40-bit by default), like
+URLs hashed to global ids.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+__all__ = [
+    "distinct_ids",
+    "overlapping_pair",
+    "pair_with_overlap_fraction",
+    "resemblance_of_overlap_fraction",
+    "collections_with_pairwise_overlap",
+    "split_into_fragments",
+]
+
+_DEFAULT_ID_BITS = 40
+
+
+def distinct_ids(
+    count: int, *, rng: random.Random, id_bits: int = _DEFAULT_ID_BITS
+) -> list[int]:
+    """Draw ``count`` distinct ids uniformly from ``[0, 2**id_bits)``."""
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    if count > (1 << id_bits):
+        raise ValueError(f"cannot draw {count} distinct ids from {id_bits} bits")
+    return rng.sample(range(1 << id_bits), count)
+
+
+def overlapping_pair(
+    card_a: int,
+    card_b: int,
+    shared: int,
+    *,
+    rng: random.Random,
+    id_bits: int = _DEFAULT_ID_BITS,
+) -> tuple[set[int], set[int]]:
+    """Two random sets with exactly ``shared`` common elements.
+
+    ``|A| = card_a``, ``|B| = card_b``, ``|A ∩ B| = shared``.
+    """
+    if shared < 0:
+        raise ValueError(f"shared must be >= 0, got {shared}")
+    if shared > min(card_a, card_b):
+        raise ValueError(
+            f"shared={shared} exceeds min(|A|, |B|)={min(card_a, card_b)}"
+        )
+    total = card_a + card_b - shared
+    ids = distinct_ids(total, rng=rng, id_bits=id_bits)
+    common = set(ids[:shared])
+    only_a = set(ids[shared : card_a])
+    only_b = set(ids[card_a : total])
+    return common | only_a, common | only_b
+
+
+def pair_with_overlap_fraction(
+    size: int,
+    overlap_fraction: float,
+    *,
+    rng: random.Random,
+    id_bits: int = _DEFAULT_ID_BITS,
+) -> tuple[set[int], set[int]]:
+    """Two equal-size sets sharing ``overlap_fraction`` of their elements."""
+    if not 0.0 <= overlap_fraction <= 1.0:
+        raise ValueError(
+            f"overlap_fraction must be in [0, 1], got {overlap_fraction}"
+        )
+    shared = round(size * overlap_fraction)
+    return overlapping_pair(size, size, shared, rng=rng, id_bits=id_bits)
+
+
+def resemblance_of_overlap_fraction(overlap_fraction: float) -> float:
+    """Exact resemblance of an equal-size pair with the given overlap.
+
+    For ``|A| = |B| = n`` and ``|A ∩ B| = q n``:
+    ``R = q n / (2 n - q n) = q / (2 - q)``.
+    """
+    if not 0.0 <= overlap_fraction <= 1.0:
+        raise ValueError(
+            f"overlap_fraction must be in [0, 1], got {overlap_fraction}"
+        )
+    return overlap_fraction / (2.0 - overlap_fraction)
+
+
+def collections_with_pairwise_overlap(
+    num_collections: int,
+    size: int,
+    overlap_fraction: float,
+    *,
+    rng: random.Random,
+    id_bits: int = _DEFAULT_ID_BITS,
+) -> list[set[int]]:
+    """Several equal-size sets sharing one common core.
+
+    Every collection holds the same ``overlap_fraction * size`` "popular"
+    core (documents crawled by everyone) plus its own random remainder —
+    the replication structure the paper's motivation describes.
+    """
+    if num_collections < 1:
+        raise ValueError(f"need at least 1 collection, got {num_collections}")
+    if not 0.0 <= overlap_fraction <= 1.0:
+        raise ValueError(
+            f"overlap_fraction must be in [0, 1], got {overlap_fraction}"
+        )
+    shared = round(size * overlap_fraction)
+    remainder = size - shared
+    ids = distinct_ids(
+        shared + remainder * num_collections, rng=rng, id_bits=id_bits
+    )
+    core = set(ids[:shared])
+    collections = []
+    for i in range(num_collections):
+        start = shared + i * remainder
+        collections.append(core | set(ids[start : start + remainder]))
+    return collections
+
+
+def split_into_fragments(items: Sequence[int], num_fragments: int) -> list[list[int]]:
+    """Split ``items`` into ``num_fragments`` near-equal contiguous parts."""
+    if num_fragments <= 0:
+        raise ValueError(f"num_fragments must be positive, got {num_fragments}")
+    if len(items) < num_fragments:
+        raise ValueError(
+            f"cannot split {len(items)} items into {num_fragments} fragments"
+        )
+    base, extra = divmod(len(items), num_fragments)
+    fragments = []
+    start = 0
+    for i in range(num_fragments):
+        size = base + (1 if i < extra else 0)
+        fragments.append(list(items[start : start + size]))
+        start += size
+    return fragments

@@ -1,0 +1,15 @@
+"""Simulated Chord DHT (Stoica et al. 2001) — the directory substrate."""
+
+from .hashing import DEFAULT_ID_BITS, chord_id, in_interval, ring_distance
+from .node import ChordNode
+from .ring import ChordRing, LookupResult
+
+__all__ = [
+    "ChordRing",
+    "ChordNode",
+    "LookupResult",
+    "chord_id",
+    "ring_distance",
+    "in_interval",
+    "DEFAULT_ID_BITS",
+]

@@ -1,0 +1,58 @@
+"""Consistent hashing for the Chord identifier space.
+
+Chord (Stoica et al., SIGCOMM 2001) places nodes and keys on a ring of
+``2^m`` identifiers via a base hash (SHA-1 in the original paper).  We
+keep SHA-1 and truncate to the configured identifier width.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+__all__ = ["DEFAULT_ID_BITS", "chord_id", "ring_distance", "in_interval"]
+
+#: Default identifier width of the simulated ring.  32 bits is plenty for
+#: simulations of up to thousands of nodes while keeping ids readable.
+DEFAULT_ID_BITS = 32
+
+
+def chord_id(key: str | int, *, bits: int = DEFAULT_ID_BITS, salt: str = "") -> int:
+    """Hash ``key`` onto the ``2**bits`` identifier ring.
+
+    ``salt`` separates namespaces (e.g. node ids vs term keys) so a peer
+    name never collides with a term by construction of the simulation.
+    """
+    if bits <= 0 or bits > 160:
+        raise ValueError(f"bits must be in [1, 160], got {bits}")
+    digest = hashlib.sha1(f"{salt}:{key}".encode()).digest()
+    return int.from_bytes(digest, "big") >> (160 - bits)
+
+
+def ring_distance(start: int, end: int, *, bits: int = DEFAULT_ID_BITS) -> int:
+    """Clockwise distance from ``start`` to ``end`` on the ring."""
+    size = 1 << bits
+    return (end - start) % size
+
+
+def in_interval(
+    value: int,
+    start: int,
+    end: int,
+    *,
+    bits: int = DEFAULT_ID_BITS,
+    inclusive_end: bool = True,
+) -> bool:
+    """True when ``value`` lies in the clockwise interval ``(start, end]``.
+
+    The half-open clockwise interval is Chord's successor test; with
+    ``inclusive_end=False`` the interval is fully open, as the finger
+    search step requires.
+    """
+    if start == end:
+        # The interval spans the whole ring (Chord's single-node case).
+        return inclusive_end or value != start
+    distance_value = ring_distance(start, value, bits=bits)
+    distance_end = ring_distance(start, end, bits=bits)
+    if inclusive_end:
+        return 0 < distance_value <= distance_end
+    return 0 < distance_value < distance_end

@@ -1,0 +1,62 @@
+"""A Chord node: identifier, finger table, and a local key-value store.
+
+MINERVA layers its directory on Chord (Section 4): every node is
+responsible for the term keys that fall between its predecessor's id and
+its own.  Nodes here are simulation objects — the "network" between them
+is the :class:`~repro.dht.ring.ChordRing`, which resolves lookups by
+walking finger tables and counting hops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from .hashing import DEFAULT_ID_BITS
+
+__all__ = ["ChordNode"]
+
+
+@dataclass
+class ChordNode:
+    """One node of the simulated Chord ring.
+
+    Attributes
+    ----------
+    node_id:
+        Position on the identifier ring.
+    bits:
+        Identifier width; the finger table has one entry per bit.
+    fingers:
+        ``fingers[i]`` is the id of the first node succeeding
+        ``node_id + 2**i``; filled in by the ring on (re)build.
+    store:
+        The key-value partition this node is responsible for.  Keys are
+        ring ids; values are arbitrary directory payloads (PeerLists).
+    """
+
+    node_id: int
+    bits: int = DEFAULT_ID_BITS
+    fingers: list[int] = field(default_factory=list)
+    successor: int | None = None
+    predecessor: int | None = None
+    store: dict[int, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.node_id < (1 << self.bits):
+            raise ValueError(
+                f"node_id {self.node_id} outside the {self.bits}-bit ring"
+            )
+
+    def finger_start(self, index: int) -> int:
+        """Ring position ``node_id + 2**index`` that finger ``index`` covers."""
+        if not 0 <= index < self.bits:
+            raise IndexError(f"finger index must be in [0, {self.bits}), got {index}")
+        return (self.node_id + (1 << index)) % (1 << self.bits)
+
+    @property
+    def num_stored_keys(self) -> int:
+        return len(self.store)
+
+    def __repr__(self) -> str:
+        return f"ChordNode(id={self.node_id}, keys={len(self.store)})"

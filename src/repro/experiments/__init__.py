@@ -1,0 +1,70 @@
+"""Experiment harnesses regenerating every table and figure of the paper."""
+
+from .ablations import (
+    BudgetTrial,
+    PeerListFetchTrial,
+    aggregation_ablation,
+    peerlist_fetch_ablation,
+    budget_ablation,
+    histogram_ablation,
+    quality_novelty_ablation,
+)
+from .load import LoadReport, measure_load
+from .reposting import DEFAULT_POLICIES, RepostingRound, reposting_experiment
+from .fig2 import (
+    DEFAULT_SPECS,
+    FIG2_LEFT_SIZES,
+    FIG2_RIGHT_OVERLAPS,
+    ErrorPoint,
+    error_vs_collection_size,
+    error_vs_overlap,
+    resemblance_error,
+)
+from .fig3 import (
+    FIG3_SPEC_LABELS,
+    RecallCurve,
+    Testbed,
+    build_combination_testbed,
+    build_sliding_window_testbed,
+    default_selectors,
+    run_recall_experiment,
+)
+from .report import (
+    format_capability_matrix,
+    format_error_points,
+    format_recall_curves,
+    format_table,
+)
+
+__all__ = [
+    "ErrorPoint",
+    "error_vs_collection_size",
+    "error_vs_overlap",
+    "resemblance_error",
+    "DEFAULT_SPECS",
+    "FIG2_LEFT_SIZES",
+    "FIG2_RIGHT_OVERLAPS",
+    "RecallCurve",
+    "Testbed",
+    "build_combination_testbed",
+    "build_sliding_window_testbed",
+    "default_selectors",
+    "run_recall_experiment",
+    "FIG3_SPEC_LABELS",
+    "aggregation_ablation",
+    "quality_novelty_ablation",
+    "histogram_ablation",
+    "budget_ablation",
+    "BudgetTrial",
+    "peerlist_fetch_ablation",
+    "PeerListFetchTrial",
+    "LoadReport",
+    "measure_load",
+    "RepostingRound",
+    "reposting_experiment",
+    "DEFAULT_POLICIES",
+    "format_table",
+    "format_error_points",
+    "format_recall_curves",
+    "format_capability_matrix",
+]

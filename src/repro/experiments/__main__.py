@@ -1,0 +1,179 @@
+"""Command-line entry point to regenerate the paper's figures.
+
+Usage::
+
+    python -m repro.experiments fig2-left
+    python -m repro.experiments fig2-right
+    python -m repro.experiments fig3-left   [--quick]
+    python -m repro.experiments fig3-right  [--quick]
+    python -m repro.experiments matrix
+    python -m repro.experiments load        [--quick]
+    python -m repro.experiments reposting   [--quick]
+
+``--quick`` shrinks the corpus/workload so a figure renders in seconds
+(for smoke-testing; the bench harness runs the calibrated full scale).
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import sys
+
+from .config import (
+    FIG3_CORPUS,
+    FIG3_NUM_QUERIES,
+    FIG3_PEER_K,
+    FIG3_QUERY_POOL,
+    FIG3_QUERY_POOL_OFFSET,
+    FIG3_REFERENCE_K,
+    SMALL_CORPUS,
+)
+from .fig2 import error_vs_collection_size, error_vs_overlap
+from .fig3 import (
+    build_combination_testbed,
+    build_sliding_window_testbed,
+    run_recall_experiment,
+)
+from .report import (
+    format_capability_matrix,
+    format_error_points,
+    format_recall_curves,
+)
+
+TARGETS = (
+    "fig2-left",
+    "fig2-right",
+    "fig3-left",
+    "fig3-right",
+    "matrix",
+    "load",
+    "reposting",
+)
+
+
+def _fig3_setup(quick: bool):
+    if quick:
+        config = dataclasses.replace(SMALL_CORPUS, topic_smear=1.0)
+        return config, 4, 12, 0, 30, 10
+    return (
+        FIG3_CORPUS,
+        FIG3_NUM_QUERIES,
+        FIG3_QUERY_POOL,
+        FIG3_QUERY_POOL_OFFSET,
+        FIG3_REFERENCE_K,
+        FIG3_PEER_K,
+    )
+
+
+def run_target(target: str, *, quick: bool = False, runs: int = 30) -> str:
+    """Regenerate one figure and return its text rendering."""
+    if target == "fig2-left":
+        points = error_vs_collection_size(runs=4 if quick else runs)
+        return format_error_points(points, x_name="docs/collection")
+    if target == "fig2-right":
+        points = error_vs_overlap(runs=4 if quick else runs)
+        return format_error_points(points, x_name="mutual overlap")
+    if target == "matrix":
+        return format_capability_matrix()
+    config, num_queries, pool, offset, k, peer_k = _fig3_setup(quick)
+    if target == "reposting":
+        from .report import format_table
+        from .reposting import reposting_experiment
+
+        rows = reposting_experiment(
+            config,
+            rounds=2 if quick else 4,
+            num_peers=6 if quick else 12,
+            num_queries=min(num_queries, 4),
+            query_pool_size=pool if pool > 12 else 16,
+            max_peers=3,
+            k=k,
+            peer_k=peer_k,
+        )
+        return format_table(
+            ["policy", "round", "cumulative post bits", "mean recall"],
+            [
+                [r.policy, r.round_index, r.cumulative_post_bits, r.mean_recall]
+                for r in rows
+            ],
+        )
+    if target == "load":
+        from ..core.iqn import IQNRouter
+        from ..routing.cori import CoriSelector
+        from .load import measure_load
+        from .report import format_table
+
+        testbed = build_sliding_window_testbed(
+            config,
+            num_queries=num_queries,
+            query_pool_size=pool,
+            query_pool_offset=offset,
+            spec_labels=("mips-64",),
+        )
+        reports = measure_load(
+            testbed.engines["mips-64"],
+            testbed.queries,
+            {"CORI": CoriSelector(), "IQN": IQNRouter()},
+            max_peers=5,
+            k=k,
+            peer_k=peer_k,
+        )
+        return format_table(
+            ["method", "forwards", "peers touched", "busiest share", "max/mean"],
+            [
+                [
+                    r.method,
+                    r.total_forwards,
+                    r.peers_touched,
+                    r.busiest_peer_share,
+                    r.imbalance(),
+                ]
+                for r in reports
+            ],
+        )
+    if target == "fig3-left":
+        testbed = build_combination_testbed(
+            config,
+            num_queries=num_queries,
+            query_pool_size=pool,
+            query_pool_offset=offset,
+        )
+        curves = run_recall_experiment(testbed, max_peers=7, k=k, peer_k=peer_k)
+        return format_recall_curves(curves)
+    if target == "fig3-right":
+        testbed = build_sliding_window_testbed(
+            config,
+            num_queries=num_queries,
+            query_pool_size=pool,
+            query_pool_offset=offset,
+        )
+        curves = run_recall_experiment(testbed, max_peers=10, k=k, peer_k=peer_k)
+        return format_recall_curves(curves)
+    raise ValueError(f"unknown target {target!r}; choose from {TARGETS}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate figures of the IQN routing paper.",
+    )
+    parser.add_argument("target", choices=TARGETS)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small corpus / few runs (seconds instead of minutes)",
+    )
+    parser.add_argument(
+        "--runs",
+        type=int,
+        default=30,
+        help="runs per Figure 2 data point (default 30)",
+    )
+    args = parser.parse_args(argv)
+    print(run_target(args.target, quick=args.quick, runs=args.runs))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,251 @@
+"""Ablation harnesses for the paper's design choices and extensions.
+
+- **aggregation** (Section 6): per-peer vs per-term strategies, under
+  disjunctive and conjunctive query semantics;
+- **histograms** (Section 7.1): flat set novelty vs score-conscious
+  weighted novelty on score-skewed collections;
+- **budget** (Section 7.2): uniform vs benefit-proportional per-term
+  synopsis lengths at a fixed total bit budget;
+- **quality/novelty decomposition**: CORI-only vs novelty-only vs the
+  full quality*novelty product (why IQN multiplies the two).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.aggregation import PerPeerAggregation, PerTermAggregation
+from ..core.correlations import CorrelationAwarePerTerm
+from ..core.budget import (
+    allocate_budget,
+    benefit_list_length,
+    build_adaptive_posts,
+    uniform_budget,
+)
+from ..core.histogram_routing import HistogramAggregation
+from ..core.iqn import IQNRouter
+from ..core.novelty import estimate_novelty
+from ..datasets.queries import Query
+from ..ir.metrics import micro_average
+from ..minerva.engine import MinervaEngine
+from ..routing.base import PeerSelector
+from ..routing.cori import CoriSelector
+from ..synopses.measures import novelty as exact_novelty
+from .fig3 import RecallCurve, Testbed, run_recall_experiment
+
+__all__ = [
+    "aggregation_ablation",
+    "PeerListFetchTrial",
+    "peerlist_fetch_ablation",
+    "quality_novelty_ablation",
+    "histogram_ablation",
+    "BudgetTrial",
+    "budget_ablation",
+]
+
+
+def aggregation_ablation(
+    testbed: Testbed,
+    *,
+    spec_label: str,
+    max_peers: int,
+    k: int = 50,
+    conjunctive: bool = False,
+) -> list[RecallCurve]:
+    """Per-peer vs per-term vs correlation-corrected per-term (Section 6
+    plus the paper's future-work correlation extension)."""
+    methods: dict[str, tuple[str, PeerSelector]] = {
+        "IQN per-peer": (spec_label, IQNRouter(PerPeerAggregation())),
+        "IQN per-term": (spec_label, IQNRouter(PerTermAggregation())),
+        "IQN per-term+corr": (
+            spec_label,
+            IQNRouter(CorrelationAwarePerTerm()),
+        ),
+    }
+    return run_recall_experiment(
+        testbed, max_peers=max_peers, k=k, conjunctive=conjunctive, methods=methods
+    )
+
+
+@dataclass(frozen=True)
+class PeerListFetchTrial:
+    """Recall and directory payload for one PeerList fetch mode."""
+
+    mode: str
+    mean_final_recall: float
+    mean_peerlist_bits: float
+    mean_dht_hops: float
+
+
+def peerlist_fetch_ablation(
+    testbed: Testbed,
+    *,
+    spec_label: str,
+    max_peers: int,
+    k: int = 100,
+    peer_k: int | None = 30,
+    peer_list_limits: Sequence[int | None] = (None, 10, 20),
+) -> list[PeerListFetchTrial]:
+    """Full PeerList fetch vs distributed top-k retrieval (Section 4).
+
+    ``None`` means fetching the complete PeerLists; an integer runs the
+    NRA threshold algorithm for that many top peers and routes over the
+    fetched shortlist.  Reports recall and the PeerList payload actually
+    shipped, so the efficiency/effectiveness trade is explicit.
+    """
+    engine = testbed.engine_for(spec_label)
+    trials = []
+    for limit in peer_list_limits:
+        recalls = []
+        bits = []
+        hops = []
+        for query in testbed.queries:
+            outcome = engine.run_query(
+                query,
+                IQNRouter(),
+                max_peers=max_peers,
+                k=k,
+                peer_k=peer_k,
+                peer_list_limit=limit,
+            )
+            recalls.append(outcome.final_recall)
+            bits.append(outcome.cost.bits("peerlist_fetch"))
+            hops.append(outcome.cost.messages("dht_hop"))
+        trials.append(
+            PeerListFetchTrial(
+                mode="full" if limit is None else f"top-{limit}",
+                mean_final_recall=micro_average(recalls),
+                mean_peerlist_bits=micro_average(bits),
+                mean_dht_hops=micro_average(hops),
+            )
+        )
+    return trials
+
+
+def quality_novelty_ablation(
+    testbed: Testbed,
+    *,
+    spec_label: str,
+    max_peers: int,
+    k: int = 50,
+) -> list[RecallCurve]:
+    """Decompose IQN's product: quality-only, novelty-only, both."""
+    methods: dict[str, tuple[str, PeerSelector]] = {
+        "quality only (CORI)": (spec_label, CoriSelector()),
+        "novelty only": (spec_label, IQNRouter(quality_weighted=False)),
+        "quality * novelty (IQN)": (spec_label, IQNRouter()),
+    }
+    return run_recall_experiment(testbed, max_peers=max_peers, k=k, methods=methods)
+
+
+def histogram_ablation(
+    engine_flat: MinervaEngine,
+    engine_hist: MinervaEngine,
+    queries: Sequence[Query],
+    *,
+    max_peers: int,
+    k: int = 50,
+) -> list[RecallCurve]:
+    """Flat vs score-conscious (histogram) novelty (Section 7.1).
+
+    ``engine_hist`` must have been built with ``histogram_cells`` and
+    published with ``with_histogram=True``; both engines must cover the
+    same collections so the curves are comparable.
+    """
+    variants: list[tuple[str, MinervaEngine, PeerSelector]] = [
+        ("IQN flat", engine_flat, IQNRouter(PerPeerAggregation())),
+        ("IQN histogram", engine_hist, IQNRouter(HistogramAggregation())),
+    ]
+    curves = []
+    for name, engine, selector in variants:
+        per_query = [
+            engine.run_query(query, selector, max_peers=max_peers, k=k).recall_at
+            for query in queries
+        ]
+        depth = min(len(r) for r in per_query)
+        curves.append(
+            RecallCurve(
+                method=name,
+                recall_at=tuple(
+                    micro_average([r[j] for r in per_query]) for j in range(depth)
+                ),
+            )
+        )
+    return curves
+
+
+@dataclass(frozen=True)
+class BudgetTrial:
+    """Novelty-estimation quality for one allocation policy."""
+
+    policy: str
+    total_bits: int
+    mean_absolute_error: float
+
+
+def budget_ablation(
+    engine: MinervaEngine,
+    queries: Sequence[Query],
+    *,
+    total_bits: int,
+    reference_peer_id: str | None = None,
+) -> list[BudgetTrial]:
+    """Uniform vs benefit-proportional length allocation (Section 7.2).
+
+    For every peer we allocate ``total_bits`` over the workload's terms
+    with each policy, rebuild the per-term MIPs synopses at the allocated
+    lengths, and measure the absolute error of the resulting pairwise
+    novelty estimates against exact set novelty (candidate peer vs a
+    fixed reference peer).  Lower error at equal budget means the policy
+    spends bits where they matter.
+    """
+    peer_ids = sorted(engine.peers)
+    if reference_peer_id is None:
+        reference_peer_id = peer_ids[0]
+    reference_peer = engine.peers[reference_peer_id]
+    terms = sorted({term for query in queries for term in query.terms})
+
+    policies = {
+        "uniform": lambda index: uniform_budget(terms, total_bits),
+        "benefit-proportional": lambda index: allocate_budget(
+            index, terms, total_bits, benefit=benefit_list_length
+        ),
+    }
+    trials = []
+    for policy_name, allocate in policies.items():
+        errors = []
+        reference_posts = {
+            post.term: post
+            for post in build_adaptive_posts(
+                reference_peer, allocate(reference_peer.index)
+            )
+        }
+        for peer_id in peer_ids:
+            if peer_id == reference_peer_id:
+                continue
+            peer = engine.peers[peer_id]
+            posts = build_adaptive_posts(peer, allocate(peer.index))
+            for post in posts:
+                ref_post = reference_posts[post.term]
+                truth = exact_novelty(
+                    peer.local_doc_ids(post.term),
+                    reference_peer.local_doc_ids(post.term),
+                )
+                assert post.synopsis is not None
+                assert ref_post.synopsis is not None
+                estimate = estimate_novelty(
+                    post.synopsis,
+                    ref_post.synopsis,
+                    candidate_cardinality=float(post.cdf),
+                    reference_cardinality=float(ref_post.cdf),
+                )
+                errors.append(abs(estimate - truth))
+        trials.append(
+            BudgetTrial(
+                policy=policy_name,
+                total_bits=total_bits,
+                mean_absolute_error=micro_average(errors),
+            )
+        )
+    return trials

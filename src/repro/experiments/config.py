@@ -1,0 +1,71 @@
+"""Canonical experiment configurations.
+
+These are the defaults the benchmark harness runs with.  They are scaled
+so that a full figure regenerates in minutes on a laptop while keeping
+the paper's operative regimes:
+
+- per-peer index lists of several hundred to ~1000 documents for the
+  combination placement, which *overloads* a 1024-bit Bloom filter —
+  the effect behind Figure 3's "MIPs beats BF at equal budget";
+- queried peers contribute their local top-50 against a centralized
+  top-100 reference, so high recall requires complementary peers.
+"""
+
+from __future__ import annotations
+
+from ..datasets.corpus import GovCorpusConfig
+
+__all__ = [
+    "FIG3_CORPUS",
+    "FIG3_QUERY_POOL",
+    "FIG3_QUERY_POOL_OFFSET",
+    "FIG3_NUM_QUERIES",
+    "FIG3_REFERENCE_K",
+    "FIG3_PEER_K",
+    "SMALL_CORPUS",
+]
+
+#: Corpus for both Figure 3 testbeds.  8 broad topics of 2000 documents,
+#: topically blocked with a smear of 1.2 block-widths, give peers graded
+#: topical strengths; query-term document frequencies of ~600-1300 put a
+#: combination-placement peer's index lists (several hundred to ~1100
+#: entries) into 1024-bit Bloom overload, the regime behind Figure 3's
+#: "MIPs beats BF at equal budget".
+FIG3_CORPUS = GovCorpusConfig(
+    num_docs=16_000,
+    vocabulary_size=20_000,
+    num_topics=8,
+    topic_vocabulary_size=400,
+    doc_length_mean=150,
+    topic_mix=0.6,
+    topic_assignment="blocked",
+    topic_smear=1.2,
+    seed=2006,
+)
+
+#: Query terms come from ranks [8, 40) of a topic's vocabulary — salient
+#: but not ubiquitous keywords like the TREC topic-distillation queries
+#: ("forest fire"), with document frequencies of several hundred to a
+#: thousand.
+FIG3_QUERY_POOL = 32
+FIG3_QUERY_POOL_OFFSET = 8
+
+#: The paper used 10 queries from the TREC 2003 Web Track.
+FIG3_NUM_QUERIES = 10
+
+#: Recall is measured against the centralized top-100 ...
+FIG3_REFERENCE_K = 100
+
+#: ... while every queried peer (and the initiator) contributes its
+#: local top-30.
+FIG3_PEER_K = 30
+
+#: A small corpus for tests and quick demos (seconds, not minutes).
+SMALL_CORPUS = GovCorpusConfig(
+    num_docs=1_500,
+    vocabulary_size=4_000,
+    num_topics=6,
+    topic_vocabulary_size=120,
+    doc_length_mean=80,
+    seed=2006,
+)

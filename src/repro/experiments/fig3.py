@@ -1,0 +1,253 @@
+"""Figure 3 — recall as a function of the number of queried peers.
+
+Builds the paper's two testbeds over the synthetic GOV-like corpus
+(Section 8.1) and micro-averages relative recall over the query workload
+for each routing method (Section 8.2):
+
+- **left chart**: ``C(6, 3) = 20`` peers from all 3-subsets of 6
+  fragments;
+- **right chart**: 50 peers from a sliding window of 10 fragments,
+  offset 2, over 100 fragments.
+
+Methods compared (the paper's legend): CORI, and IQN with MIPs-32,
+BF-1024, MIPs-64, BF-2048 synopses — "The shorter synopsis length was
+1024 bits or equivalently 32 min-wise permutations; the longer one was
+2048 bits or 64 min-wise permutations."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from ..core.iqn import IQNRouter
+from ..datasets.corpus import GovCorpusConfig, build_gov_corpus
+from ..datasets.partition import (
+    combination_collections,
+    corpora_from_doc_id_sets,
+    fragment_corpus,
+    sliding_window_collections,
+)
+from ..datasets.queries import Query, make_workload
+from ..ir.index import InvertedIndex
+from ..ir.metrics import micro_average
+from ..minerva.engine import MinervaEngine
+from ..routing.base import PeerSelector
+from ..routing.cori import CoriSelector
+from ..synopses.factory import SynopsisSpec
+
+__all__ = [
+    "FIG3_SPEC_LABELS",
+    "RecallCurve",
+    "Testbed",
+    "build_combination_testbed",
+    "build_sliding_window_testbed",
+    "default_selectors",
+    "run_recall_experiment",
+]
+
+#: The synopsis configurations of Figure 3's legend.
+FIG3_SPEC_LABELS = ("mips-32", "bf-1024", "mips-64", "bf-2048")
+
+
+@dataclass(frozen=True)
+class RecallCurve:
+    """Micro-averaged recall per number of queried peers for one method.
+
+    ``recall_at[j]`` is the recall with the initiator's local result plus
+    ``j`` remote peers; index 0 is the local-only baseline.
+    """
+
+    method: str
+    recall_at: tuple[float, ...]
+
+    def at(self, num_peers: int) -> float:
+        return self.recall_at[num_peers]
+
+
+@dataclass
+class Testbed:
+    """One prepared experimental setup: engines keyed by synopsis label.
+
+    Every synopsis configuration gets its *own* engine over the same
+    collections, because Posts carry configuration-specific synopses;
+    CORI runs on the first engine (its decisions ignore synopses).
+    """
+
+    config: GovCorpusConfig
+    engines: dict[str, MinervaEngine]
+    queries: list[Query]
+    num_peers: int
+    description: str = ""
+
+    def engine_for(self, label: str) -> MinervaEngine:
+        try:
+            return self.engines[label]
+        except KeyError:
+            raise KeyError(
+                f"testbed has no engine for spec {label!r}; "
+                f"available: {sorted(self.engines)}"
+            ) from None
+
+
+def _build_testbed(
+    config: GovCorpusConfig,
+    collection_builder: Callable,
+    *,
+    spec_labels: Sequence[str],
+    num_queries: int,
+    query_seed: int,
+    query_pool_size: int,
+    query_pool_offset: int,
+    description: str,
+) -> Testbed:
+    corpus = build_gov_corpus(config)
+    doc_id_sets = collection_builder(corpus)
+    collections = corpora_from_doc_id_sets(corpus, doc_id_sets)
+    queries = make_workload(
+        config,
+        num_queries=num_queries,
+        seed=query_seed,
+        pool_size=query_pool_size,
+        pool_offset=query_pool_offset,
+    )
+    needed_terms = {term for query in queries for term in query.terms}
+    # Index construction dominates setup cost and is identical for every
+    # synopsis configuration, so build the indexes once and share them.
+    shared_indexes = [InvertedIndex(collection) for collection in collections]
+    shared_reference: InvertedIndex | None = None
+    engines = {}
+    for label in spec_labels:
+        engine = MinervaEngine(
+            collections,
+            spec=SynopsisSpec.parse(label),
+            indexes=shared_indexes,
+            reference_index=shared_reference,
+        )
+        engine.publish(needed_terms)
+        shared_reference = engine.reference_index
+        engines[label] = engine
+    return Testbed(
+        config=config,
+        engines=engines,
+        queries=queries,
+        num_peers=len(collections),
+        description=description,
+    )
+
+
+def build_combination_testbed(
+    config: GovCorpusConfig | None = None,
+    *,
+    num_fragments: int = 6,
+    subset_size: int = 3,
+    spec_labels: Sequence[str] = FIG3_SPEC_LABELS,
+    num_queries: int = 10,
+    query_seed: int = 7,
+    query_pool_size: int = 32,
+    query_pool_offset: int = 8,
+) -> Testbed:
+    """The Figure 3 (left) setup: ``C(f, s)`` fragment-subset peers."""
+    config = config or GovCorpusConfig()
+
+    def build(corpus):
+        fragments = fragment_corpus(corpus, num_fragments)
+        return combination_collections(fragments, subset_size)
+
+    return _build_testbed(
+        config,
+        build,
+        spec_labels=spec_labels,
+        num_queries=num_queries,
+        query_seed=query_seed,
+        query_pool_size=query_pool_size,
+        query_pool_offset=query_pool_offset,
+        description=f"C({num_fragments},{subset_size}) combination placement",
+    )
+
+
+def build_sliding_window_testbed(
+    config: GovCorpusConfig | None = None,
+    *,
+    num_fragments: int = 100,
+    window: int = 10,
+    offset: int = 2,
+    spec_labels: Sequence[str] = FIG3_SPEC_LABELS,
+    num_queries: int = 10,
+    query_seed: int = 7,
+    query_pool_size: int = 32,
+    query_pool_offset: int = 8,
+) -> Testbed:
+    """The Figure 3 (right) setup: sliding-window placement (50 peers)."""
+    config = config or GovCorpusConfig()
+
+    def build(corpus):
+        fragments = fragment_corpus(corpus, num_fragments)
+        return sliding_window_collections(fragments, window, offset)
+
+    return _build_testbed(
+        config,
+        build,
+        spec_labels=spec_labels,
+        num_queries=num_queries,
+        query_seed=query_seed,
+        query_pool_size=query_pool_size,
+        query_pool_offset=query_pool_offset,
+        description=f"sliding window r={window} offset={offset} placement",
+    )
+
+
+def default_selectors(
+    spec_labels: Sequence[str] = FIG3_SPEC_LABELS,
+) -> dict[str, tuple[str, PeerSelector]]:
+    """The paper's Figure 3 method set.
+
+    Returns ``{method_name: (spec_label, selector)}`` — each IQN variant
+    must run on the engine whose Posts carry its synopsis type.
+    """
+    methods: dict[str, tuple[str, PeerSelector]] = {
+        "CORI": (spec_labels[0], CoriSelector()),
+    }
+    for label in spec_labels:
+        display = SynopsisSpec.parse(label).label
+        methods[f"IQN {display}"] = (label, IQNRouter())
+    return methods
+
+
+def run_recall_experiment(
+    testbed: Testbed,
+    *,
+    max_peers: int,
+    k: int = 100,
+    peer_k: int | None = 30,
+    conjunctive: bool = False,
+    methods: dict[str, tuple[str, PeerSelector]] | None = None,
+) -> list[RecallCurve]:
+    """Micro-averaged recall curves for every method over the workload.
+
+    Defaults model the paper's regime: each queried peer ships its local
+    top-30 while recall is measured against the centralized top-100, so
+    reaching high recall *requires* complementary peers.
+    """
+    if methods is None:
+        methods = default_selectors(tuple(testbed.engines))
+    curves = []
+    for method_name, (spec_label, selector) in methods.items():
+        engine = testbed.engine_for(spec_label)
+        per_query = [
+            engine.run_query(
+                query,
+                selector,
+                max_peers=max_peers,
+                k=k,
+                peer_k=peer_k,
+                conjunctive=conjunctive,
+            ).recall_at
+            for query in testbed.queries
+        ]
+        depth = min(len(r) for r in per_query)
+        averaged = tuple(
+            micro_average([r[j] for r in per_query]) for j in range(depth)
+        )
+        curves.append(RecallCurve(method=method_name, recall_at=averaged))
+    return curves

@@ -1,0 +1,128 @@
+"""Per-peer load distribution under a query workload.
+
+Section 8.2's closing argument: IQN "is a highly effective means of
+gaining efficiency, reducing the network and per-peer load, and thus
+improving throughput and response times" — because response times are
+superlinear in utilization, the *distribution* of query forwards across
+peers matters, not just their count.
+
+This harness drives a workload from many initiators through an engine
+and reports, per routing method:
+
+- forwards per peer (mean / max / Gini-style imbalance);
+- total forwards (identical across methods when max_peers is fixed —
+  the interesting signal is concentration);
+- the estimated response time of the *hottest* peer under the M/M/1
+  curve, which turns concentration into the latency penalty the paper
+  alludes to.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..datasets.queries import Query
+from ..minerva.engine import MinervaEngine
+from ..net.latency import mm1_response_time
+from ..routing.base import PeerSelector
+
+__all__ = ["LoadReport", "measure_load"]
+
+
+@dataclass(frozen=True)
+class LoadReport:
+    """Load distribution for one routing method over a workload."""
+
+    method: str
+    forwards_per_peer: dict[str, int]
+    total_forwards: int
+
+    @property
+    def busiest_peer_share(self) -> float:
+        """Fraction of all forwards absorbed by the hottest peer."""
+        if self.total_forwards == 0:
+            return 0.0
+        return max(self.forwards_per_peer.values()) / self.total_forwards
+
+    @property
+    def peers_touched(self) -> int:
+        return len(self.forwards_per_peer)
+
+    def imbalance(self) -> float:
+        """Max-over-mean load ratio (1.0 = perfectly even).
+
+        Computed over the peers that received any forward; idle peers
+        are a separate signal (``peers_touched``).
+        """
+        if not self.forwards_per_peer:
+            return 1.0
+        loads = list(self.forwards_per_peer.values())
+        mean = sum(loads) / len(loads)
+        return max(loads) / mean if mean else 1.0
+
+    def hottest_response_time_ms(
+        self, *, service_time_ms: float = 50.0, capacity_per_peer: int = 100
+    ) -> float:
+        """M/M/1 response time at the hottest peer.
+
+        ``capacity_per_peer`` is how many forwards a peer could serve in
+        the workload window at full utilization; the hottest peer's
+        utilization is its forward count over that capacity (clamped
+        below 1 to keep the queue stable).
+        """
+        if not self.forwards_per_peer:
+            return service_time_ms
+        utilization = min(
+            0.99, max(self.forwards_per_peer.values()) / capacity_per_peer
+        )
+        return mm1_response_time(service_time_ms, utilization)
+
+
+def measure_load(
+    engine: MinervaEngine,
+    queries: Sequence[Query],
+    methods: dict[str, PeerSelector],
+    *,
+    max_peers: int,
+    k: int = 100,
+    peer_k: int | None = 30,
+    initiators_per_query: int = 5,
+) -> list[LoadReport]:
+    """Run every query from several initiators and tally the forwards.
+
+    Different initiators have different local seeds, so even a
+    deterministic router spreads load across the network the way a real
+    multi-user deployment would.
+    """
+    if initiators_per_query <= 0:
+        raise ValueError(
+            f"initiators_per_query must be positive, got {initiators_per_query}"
+        )
+    peer_ids = sorted(engine.peers)
+    reports = []
+    for method_name, selector in methods.items():
+        forwards: Counter[str] = Counter()
+        for query in queries:
+            for offset in range(initiators_per_query):
+                initiator = peer_ids[
+                    (query.query_id + offset * 7) % len(peer_ids)
+                ]
+                outcome = engine.run_query(
+                    query,
+                    selector,
+                    initiator_id=initiator,
+                    max_peers=max_peers,
+                    k=k,
+                    peer_k=peer_k,
+                )
+                forwards.update(outcome.selected)
+        reports.append(
+            LoadReport(
+                method=method_name,
+                forwards_per_peer=dict(forwards),
+                total_forwards=sum(forwards.values()),
+            )
+        )
+    return reports

@@ -1,0 +1,92 @@
+"""Plain-text rendering of experiment results, paper-table style.
+
+Every harness in this package produces small dataclasses; these helpers
+turn them into aligned text tables so benchmark runs print the same rows
+and series the paper's figures plot.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .fig2 import ErrorPoint
+from .fig3 import RecallCurve
+
+__all__ = [
+    "format_table",
+    "format_error_points",
+    "format_recall_curves",
+    "format_capability_matrix",
+]
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Align ``rows`` under ``headers`` with two-space gutters."""
+    if any(len(row) != len(headers) for row in rows):
+        raise ValueError("every row must have one cell per header")
+    cells = [[str(h) for h in headers]] + [
+        [_format_cell(value) for value in row] for row in rows
+    ]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    for index, row in enumerate(cells):
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+        if index == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    return str(value)
+
+
+def format_error_points(points: Sequence[ErrorPoint], *, x_name: str) -> str:
+    """One row per (synopsis, x) pair — a Figure 2 chart as a table."""
+    labels = sorted({p.spec_label for p in points})
+    x_values = sorted({p.x_value for p in points})
+    lookup = {(p.spec_label, p.x_value): p for p in points}
+    rows = []
+    for x_value in x_values:
+        row: list[object] = [
+            int(x_value) if float(x_value).is_integer() else f"{x_value:.3f}"
+        ]
+        for label in labels:
+            point = lookup.get((label, x_value))
+            row.append("-" if point is None else point.mean_relative_error)
+        rows.append(row)
+    return format_table([x_name, *labels], rows)
+
+
+def format_recall_curves(curves: Sequence[RecallCurve]) -> str:
+    """One column per queried-peer count, one row per method (Figure 3)."""
+    if not curves:
+        raise ValueError("no curves to format")
+    depth = min(len(c.recall_at) for c in curves)
+    headers = ["method", *[f"@{j}" for j in range(depth)]]
+    rows = [
+        [curve.method, *[f"{curve.recall_at[j]:.3f}" for j in range(depth)]]
+        for curve in curves
+    ]
+    return format_table(headers, rows)
+
+
+def format_capability_matrix() -> str:
+    """Section 3.4's qualitative synopsis comparison as a table."""
+    headers = [
+        "synopsis",
+        "resemblance",
+        "union",
+        "intersection",
+        "difference",
+        "heterogeneous sizes",
+    ]
+    rows = [
+        ["Bloom filter", "yes (incl-excl)", "OR", "AND", "AND-NOT", "no"],
+        ["Hash sketch", "yes (incl-excl)", "OR", "no", "no", "no"],
+        ["MIPs", "yes (unbiased)", "pos-min", "pos-max (heuristic)", "no", "yes"],
+    ]
+    return format_table(headers, rows)

@@ -1,0 +1,191 @@
+"""Re-posting economics under an evolving crawl (Section 7.2 dynamics).
+
+"Especially when directory entries are replicated for higher availability
+and when peers post frequent updates, the network efficiency of posting
+synopses is a critical issue."  A peer whose crawl grows must decide how
+eagerly to refresh its directory Posts:
+
+- **always** — re-post a term after any change: freshest directory,
+  maximum posting bandwidth;
+- **threshold(f)** — re-post only terms whose list length drifted by a
+  factor ``f`` (:func:`repro.core.adaptive.needs_repost`): the paper's
+  "dynamic and automatic adaptation" knob;
+- **never** — post once, serve stale statistics forever: zero update
+  bandwidth, decaying routing quality.
+
+The experiment grows every peer's collection over several rounds (each
+round injects fresh documents from a held-back reserve) and records, per
+policy and round, the cumulative posting bits and the workload's recall
+— the bandwidth/quality trade as a curve.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..core.iqn import IQNRouter
+from ..datasets.corpus import GovCorpusConfig, build_gov_corpus
+from ..datasets.partition import corpora_from_doc_id_sets, fragment_corpus
+from ..datasets.queries import make_workload
+from ..ir.metrics import micro_average
+from ..minerva.engine import MinervaEngine
+from ..net.cost import MessageKinds
+from ..synopses.factory import SynopsisSpec
+
+__all__ = ["RepostingRound", "reposting_experiment", "DEFAULT_POLICIES"]
+
+#: Policy name -> drift factor (None = never re-post, 1.0 = always).
+DEFAULT_POLICIES: dict[str, float | None] = {
+    "always": 1.0,
+    "threshold-1.5": 1.5,
+    "threshold-2.5": 2.5,
+    "never": None,
+}
+
+
+@dataclass(frozen=True)
+class RepostingRound:
+    """One (policy, round) measurement."""
+
+    policy: str
+    round_index: int
+    cumulative_post_bits: int
+    posts_this_round: int
+    mean_recall: float
+
+
+def reposting_experiment(
+    config: GovCorpusConfig,
+    *,
+    policies: dict[str, float | None] | None = None,
+    rounds: int = 4,
+    initial_fraction: float = 0.5,
+    num_peers: int = 12,
+    num_queries: int = 5,
+    query_pool_size: int = 24,
+    max_peers: int = 4,
+    k: int = 50,
+    peer_k: int | None = 20,
+    spec_label: str = "mips-64",
+    growing_fraction: float = 1.0,
+    seed: int = 31,
+) -> list[RepostingRound]:
+    """Run the growth simulation for every policy; see module docstring.
+
+    Peers start with ``initial_fraction`` of their final collection; the
+    remainder arrives in equal slices over ``rounds``.  Every policy
+    sees the identical growth schedule, so bits and recall are directly
+    comparable.
+
+    ``growing_fraction`` selects how many peers actually grow.  Uniform
+    growth (1.0) preserves the network's relative overlap structure, so
+    stale synopses keep ranking peers correctly; *skewed* growth (say
+    0.3) concentrates new content on a few peers whose rising novelty a
+    stale directory cannot see — the regime where lazy re-posting
+    costs recall.
+    """
+    if not 0.0 < initial_fraction < 1.0:
+        raise ValueError(
+            f"initial_fraction must be in (0, 1), got {initial_fraction}"
+        )
+    if not 0.0 < growing_fraction <= 1.0:
+        raise ValueError(
+            f"growing_fraction must be in (0, 1], got {growing_fraction}"
+        )
+    if rounds <= 0:
+        raise ValueError(f"rounds must be positive, got {rounds}")
+    policies = policies or DEFAULT_POLICIES
+    bad = {n: f for n, f in policies.items() if f is not None and f < 1.0}
+    if bad:
+        raise ValueError(f"drift factors must be >= 1 (or None): {bad}")
+
+    corpus = build_gov_corpus(config)
+    queries = make_workload(
+        config, num_queries=num_queries, pool_size=query_pool_size, seed=seed
+    )
+    query_terms = {t for q in queries for t in q.terms}
+
+    # Final per-peer doc sets (sliding window over all fragments), split
+    # into an initial part and per-round growth slices — identical for
+    # every policy.
+    fragments = fragment_corpus(corpus, num_peers)
+    rng = random.Random(seed)
+    schedules: list[tuple[list[int], list[list[int]]]] = []
+    for index in range(num_peers):
+        # window of 3 consecutive fragments, like the sliding placement
+        docs = sorted(
+            set(fragments[index])
+            | set(fragments[(index + 1) % num_peers])
+            | set(fragments[(index + 2) % num_peers])
+        )
+        rng.shuffle(docs)
+        initial_count = int(len(docs) * initial_fraction)
+        initial = docs[:initial_count]
+        remainder = docs[initial_count:]
+        slice_size = max(1, len(remainder) // rounds)
+        growth = [
+            remainder[r * slice_size : (r + 1) * slice_size]
+            for r in range(rounds)
+        ]
+        schedules.append((initial, growth))
+
+    results: list[RepostingRound] = []
+    for policy_name, drift in policies.items():
+        collections = [
+            corpora_from_doc_id_sets(corpus, [set(initial)])[0]
+            for initial, _ in schedules
+        ]
+        engine = MinervaEngine(collections, spec=SynopsisSpec.parse(spec_label))
+        engine.publish(query_terms)
+        for round_index in range(rounds):
+            before = engine.cost.snapshot()
+            posts_before = before.messages(MessageKinds.POST)
+            growing_count = max(1, round(growing_fraction * num_peers))
+            for peer_index, peer_id in enumerate(sorted(engine.peers)):
+                if peer_index >= growing_count:
+                    continue
+                _, growth = schedules[peer_index]
+                new_docs = [corpus.get(d) for d in growth[round_index]]
+                if not new_docs:
+                    continue
+                peer = engine.peers[peer_id]
+                # Grow without publishing, then apply the policy over the
+                # *query terms only*, so every policy pays for the same
+                # universe of potential posts.
+                drifted = engine.grow_peer(
+                    peer_id,
+                    new_docs,
+                    republish_terms=set(),
+                    drift_factor=drift if drift and drift > 1.0 else 1.5,
+                )
+                if drift is None:
+                    republish: set[str] = set()
+                elif drift == 1.0:
+                    republish = {t for t in query_terms if t in peer.index}
+                else:
+                    republish = set(drifted) & query_terms
+                for term in sorted(republish):
+                    engine.directory.publish(peer.build_post(term))
+            snap = engine.cost.snapshot()
+            recalls = [
+                engine.run_query(
+                    query,
+                    IQNRouter(),
+                    max_peers=max_peers,
+                    k=k,
+                    peer_k=peer_k,
+                ).final_recall
+                for query in queries
+            ]
+            results.append(
+                RepostingRound(
+                    policy=policy_name,
+                    round_index=round_index,
+                    cumulative_post_bits=snap.bits(MessageKinds.POST),
+                    posts_this_round=snap.messages(MessageKinds.POST)
+                    - posts_before,
+                    mean_recall=micro_average(recalls),
+                )
+            )
+    return results

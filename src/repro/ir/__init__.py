@@ -1,0 +1,37 @@
+"""IR substrate: documents, indexing, scoring, local top-k, merging, metrics."""
+
+from .documents import Corpus, Document
+from .index import InvertedIndex, Posting, build_index
+from .merge import merge_results, weighted_merge
+from .metrics import (
+    duplicate_fraction,
+    micro_average,
+    precision_against_reference,
+    relative_recall,
+    result_ids,
+)
+from .scoring import BM25Scorer, Scorer, TfIdfScorer
+from .tokenize import STOPWORDS, tokenize
+from .topk import ScoredDocument, execute_query
+
+__all__ = [
+    "Document",
+    "Corpus",
+    "InvertedIndex",
+    "Posting",
+    "build_index",
+    "Scorer",
+    "TfIdfScorer",
+    "BM25Scorer",
+    "ScoredDocument",
+    "execute_query",
+    "merge_results",
+    "weighted_merge",
+    "relative_recall",
+    "precision_against_reference",
+    "result_ids",
+    "micro_average",
+    "duplicate_fraction",
+    "tokenize",
+    "STOPWORDS",
+]

@@ -1,0 +1,158 @@
+"""Document and corpus model for the IR substrate.
+
+MINERVA peers each hold a *local collection* of Web documents identified
+by **global ids** (the paper: "global ids of documents (e.g., URLs or
+unique names of MP3 files)").  Because peer collections overlap, the same
+document (same global id, same content) can appear in many collections —
+which is exactly the redundancy IQN exploits.
+
+A :class:`Document` is an immutable bag of terms; a :class:`Corpus` is an
+id-keyed collection with the aggregate statistics scoring needs (document
+frequencies, lengths).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping
+
+__all__ = ["Document", "Corpus"]
+
+
+@dataclass(frozen=True)
+class Document:
+    """An immutable document: a global id plus term frequencies."""
+
+    doc_id: int
+    term_frequencies: Mapping[str, int]
+
+    def __post_init__(self) -> None:
+        if self.doc_id < 0:
+            raise ValueError(f"doc_id must be >= 0, got {self.doc_id}")
+        bad = {t: f for t, f in self.term_frequencies.items() if f <= 0}
+        if bad:
+            raise ValueError(f"term frequencies must be positive: {bad}")
+        # Freeze the mapping so hashing/equality stay consistent, and
+        # precompute the length — it is read once per posting at scoring
+        # time.
+        object.__setattr__(
+            self, "term_frequencies", dict(self.term_frequencies)
+        )
+        object.__setattr__(
+            self, "_length", sum(self.term_frequencies.values())
+        )
+
+    @classmethod
+    def from_terms(cls, doc_id: int, terms: Iterable[str]) -> "Document":
+        """Build a document by counting a term sequence."""
+        return cls(doc_id=doc_id, term_frequencies=Counter(terms))
+
+    @property
+    def length(self) -> int:
+        """Total number of term occurrences (document length)."""
+        return self._length  # type: ignore[attr-defined]
+
+    @property
+    def vocabulary(self) -> frozenset[str]:
+        return frozenset(self.term_frequencies)
+
+    def frequency(self, term: str) -> int:
+        return self.term_frequencies.get(term, 0)
+
+    def __contains__(self, term: str) -> bool:
+        return term in self.term_frequencies
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Document):
+            return NotImplemented
+        return (
+            self.doc_id == other.doc_id
+            and self.term_frequencies == other.term_frequencies
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.doc_id, frozenset(self.term_frequencies.items())))
+
+
+@dataclass
+class Corpus:
+    """A collection of documents keyed by global id.
+
+    Maintains the incremental statistics scorers need: per-term document
+    frequency, total token count, and the vocabulary.  Adding the same
+    ``doc_id`` twice is an error — a collection is a *set* of documents.
+    """
+
+    _documents: dict[int, Document] = field(default_factory=dict)
+    _document_frequency: Counter = field(default_factory=Counter)
+    _total_length: int = 0
+
+    @classmethod
+    def from_documents(cls, documents: Iterable[Document]) -> "Corpus":
+        corpus = cls()
+        for document in documents:
+            corpus.add(document)
+        return corpus
+
+    def add(self, document: Document) -> None:
+        if document.doc_id in self._documents:
+            raise ValueError(f"duplicate doc_id {document.doc_id} in corpus")
+        self._documents[document.doc_id] = document
+        self._document_frequency.update(document.vocabulary)
+        self._total_length += document.length
+
+    # -- lookups -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._documents)
+
+    def __iter__(self) -> Iterator[Document]:
+        return iter(self._documents.values())
+
+    def __contains__(self, doc_id: int) -> bool:
+        return doc_id in self._documents
+
+    def get(self, doc_id: int) -> Document:
+        try:
+            return self._documents[doc_id]
+        except KeyError:
+            raise KeyError(f"no document with id {doc_id} in corpus") from None
+
+    @property
+    def doc_ids(self) -> frozenset[int]:
+        return frozenset(self._documents)
+
+    # -- statistics ----------------------------------------------------------
+
+    def document_frequency(self, term: str) -> int:
+        """Number of documents containing ``term`` (the paper's ``cdf``)."""
+        return self._document_frequency.get(term, 0)
+
+    @property
+    def max_document_frequency(self) -> int:
+        """Largest per-term document frequency (the paper's ``cdf_max``)."""
+        if not self._document_frequency:
+            return 0
+        return max(self._document_frequency.values())
+
+    @property
+    def vocabulary(self) -> frozenset[str]:
+        return frozenset(self._document_frequency)
+
+    @property
+    def term_space_size(self) -> int:
+        """Number of distinct terms — CORI's ``|V_i|`` (Section 5.1)."""
+        return len(self._document_frequency)
+
+    @property
+    def average_document_length(self) -> float:
+        if not self._documents:
+            return 0.0
+        return self._total_length / len(self._documents)
+
+    def __repr__(self) -> str:
+        return (
+            f"Corpus(docs={len(self._documents)}, "
+            f"terms={self.term_space_size})"
+        )

@@ -1,0 +1,159 @@
+"""Per-peer inverted index with ``<term, docId, score>`` entries.
+
+This is the local data structure every MINERVA peer maintains
+(Section 1.2: "each peer locally maintains inverted index lists with
+entries of the form <term, docId, score>").  From it a peer derives
+everything it publishes to the directory: index list lengths, maximum and
+average scores, term-space size, and the per-term docID synopses.
+
+Index lists are kept sorted by descending score so local top-k execution
+is a prefix scan.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, NamedTuple
+
+from .documents import Corpus
+from .scoring import Scorer, TfIdfScorer
+
+__all__ = ["Posting", "InvertedIndex"]
+
+
+class Posting(NamedTuple):
+    """One ``<docId, score>`` entry of an index list.
+
+    A NamedTuple so tuple ordering by ``(score, doc_id)`` makes
+    ``sorted(..., reverse=True)`` a deterministic descending-score
+    ranking with doc_id as the tie breaker, and construction stays cheap
+    on the index-build hot path (millions of postings).
+    """
+
+    score: float
+    doc_id: int
+
+
+class InvertedIndex:
+    """Immutable-after-build inverted index over one local collection."""
+
+    def __init__(self, corpus: Corpus, scorer: Scorer | None = None):
+        self._scorer = scorer or TfIdfScorer()
+        self._corpus = corpus
+        self._lists: dict[str, tuple[Posting, ...]] = {}
+        self._build()
+
+    def _build(self) -> None:
+        corpus = self._corpus
+        scorer = self._scorer
+        # Term weights (idf-like) are constant per term; compute each once
+        # instead of once per posting.
+        weights: dict[str, float] = {}
+        accumulating: dict[str, list[tuple[float, int]]] = {}
+        for document in corpus:
+            doc_id = document.doc_id
+            for term, tf in document.term_frequencies.items():
+                weight = weights.get(term)
+                if weight is None:
+                    weight = scorer.term_weight(corpus, term)
+                    weights[term] = weight
+                if weight <= 0.0:
+                    continue
+                score = weight * scorer.within_document(tf, document, corpus)
+                if score <= 0.0:
+                    continue
+                accumulating.setdefault(term, []).append((score, doc_id))
+        # Sort plain tuples (C-speed), then wrap as Postings via map
+        # (Posting is a NamedTuple, so this is a cheap C-level call).
+        self._lists = {
+            term: tuple(map(Posting._make, sorted(pairs, reverse=True)))
+            for term, pairs in accumulating.items()
+        }
+
+    # -- per-term access ---------------------------------------------------
+
+    def index_list(self, term: str) -> tuple[Posting, ...]:
+        """Postings for ``term``, best score first (empty if unknown)."""
+        return self._lists.get(term, ())
+
+    def doc_ids(self, term: str) -> frozenset[int]:
+        """Global ids of the documents in ``term``'s index list."""
+        return frozenset(p.doc_id for p in self.index_list(term))
+
+    def scored_doc_ids(
+        self, term: str, *, normalized: bool = True
+    ) -> list[tuple[int, float]]:
+        """``(doc_id, score)`` pairs for ``term``.
+
+        With ``normalized=True`` scores are divided by the term's maximum
+        so they land in ``[0, 1]`` — the form the score-histogram synopses
+        of Section 7.1 consume.
+        """
+        postings = self.index_list(term)
+        if not postings:
+            return []
+        if not normalized:
+            return [(p.doc_id, p.score) for p in postings]
+        top = postings[0].score or 1.0
+        return [(p.doc_id, p.score / top) for p in postings]
+
+    def document_frequency(self, term: str) -> int:
+        """Index list length — the paper's ``cdf`` statistic."""
+        return len(self.index_list(term))
+
+    def max_score(self, term: str) -> float:
+        postings = self.index_list(term)
+        return postings[0].score if postings else 0.0
+
+    def average_score(self, term: str) -> float:
+        postings = self.index_list(term)
+        if not postings:
+            return 0.0
+        return sum(p.score for p in postings) / len(postings)
+
+    # -- collection-wide statistics -----------------------------------------
+
+    @property
+    def corpus(self) -> Corpus:
+        return self._corpus
+
+    @property
+    def scorer(self) -> Scorer:
+        return self._scorer
+
+    @property
+    def vocabulary(self) -> frozenset[str]:
+        return frozenset(self._lists)
+
+    @property
+    def term_space_size(self) -> int:
+        """CORI's ``|V_i|``: distinct terms in this peer's index."""
+        return len(self._lists)
+
+    @property
+    def max_document_frequency(self) -> int:
+        """The paper's ``cdf_max``: the longest index list's length."""
+        if not self._lists:
+            return 0
+        return max(len(postings) for postings in self._lists.values())
+
+    def terms(self) -> Iterator[str]:
+        return iter(self._lists)
+
+    def __contains__(self, term: str) -> bool:
+        return term in self._lists
+
+    def __len__(self) -> int:
+        return len(self._lists)
+
+    def __repr__(self) -> str:
+        return (
+            f"InvertedIndex(terms={len(self._lists)}, "
+            f"docs={len(self._corpus)}, scorer={self._scorer.name})"
+        )
+
+
+def build_index(
+    corpus: Corpus, scorer: Scorer | None = None
+) -> InvertedIndex:
+    """Convenience constructor mirroring ``InvertedIndex(corpus, scorer)``."""
+    return InvertedIndex(corpus, scorer)

@@ -1,0 +1,77 @@
+"""Merging per-peer result lists at the query initiator.
+
+Because peer collections overlap, the same global docID arrives from
+several peers, usually with *different* scores (each peer scores against
+its own local statistics).  The merge deduplicates by docID, keeps the
+best observed score per document, and re-ranks.  This mirrors the result
+merging of distributed IR ("collection fusion") in its simplest robust
+form; the paper's recall metric only depends on *which* documents are
+retrieved, not on the fused scores.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from .topk import ScoredDocument
+
+__all__ = ["merge_results", "weighted_merge"]
+
+
+def merge_results(
+    per_peer_results: Iterable[Sequence[ScoredDocument]],
+    *,
+    k: int | None = None,
+) -> list[ScoredDocument]:
+    """Fuse ranked lists from several peers into one ranking.
+
+    Duplicates (same doc_id from multiple peers) collapse to their
+    maximum score.  ``k=None`` returns the full fused ranking.
+    """
+    if k is not None and k <= 0:
+        raise ValueError(f"k must be positive or None, got {k}")
+    best: dict[int, float] = {}
+    for results in per_peer_results:
+        for entry in results:
+            current = best.get(entry.doc_id)
+            if current is None or entry.score > current:
+                best[entry.doc_id] = entry.score
+    fused = sorted(
+        (ScoredDocument(score=score, doc_id=doc_id) for doc_id, score in best.items()),
+        reverse=True,
+    )
+    return fused if k is None else fused[:k]
+
+
+def weighted_merge(
+    per_peer_results: Mapping[str, Sequence[ScoredDocument]],
+    peer_weights: Mapping[str, float],
+    *,
+    k: int | None = None,
+) -> list[ScoredDocument]:
+    """CORI-style weighted collection fusion.
+
+    The classic distributed-IR merge (Callan 2000): each peer's local
+    scores are scaled by its collection-selection score before fusing,
+    so documents vouched for by *better* collections rank higher.  Peers
+    without a weight default to 1.0 (plain merge); duplicates keep their
+    best weighted score.
+    """
+    if k is not None and k <= 0:
+        raise ValueError(f"k must be positive or None, got {k}")
+    bad = {p: w for p, w in peer_weights.items() if w < 0}
+    if bad:
+        raise ValueError(f"peer weights must be >= 0: {bad}")
+    best: dict[int, float] = {}
+    for peer_id, results in per_peer_results.items():
+        weight = peer_weights.get(peer_id, 1.0)
+        for entry in results:
+            scaled = entry.score * weight
+            current = best.get(entry.doc_id)
+            if current is None or scaled > current:
+                best[entry.doc_id] = scaled
+    fused = sorted(
+        (ScoredDocument(score=score, doc_id=doc_id) for doc_id, score in best.items()),
+        reverse=True,
+    )
+    return fused if k is None else fused[:k]

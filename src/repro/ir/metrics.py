@@ -1,0 +1,76 @@
+"""Evaluation metrics — above all the paper's *relative recall*.
+
+Section 8.1: "a recall of x percent means that the P2P Web search system
+... found in its result list x percent of the results that a centralized
+search engine with the same scoring/ranking scheme found in the entire
+reference collection."  Relative recall is therefore computed against the
+top-k of a *centralized reference engine* over the union of all data, not
+against human relevance judgements.
+"""
+
+from __future__ import annotations
+
+from typing import Collection, Iterable, Sequence
+
+from .topk import ScoredDocument
+
+__all__ = [
+    "relative_recall",
+    "precision_against_reference",
+    "result_ids",
+    "micro_average",
+    "duplicate_fraction",
+]
+
+
+def result_ids(results: Iterable[ScoredDocument]) -> frozenset[int]:
+    """The set of docIDs in a result list."""
+    return frozenset(r.doc_id for r in results)
+
+
+def relative_recall(
+    retrieved: Collection[int], reference: Collection[int]
+) -> float:
+    """``|retrieved ∩ reference| / |reference|`` — 1.0 for empty reference.
+
+    An empty reference means the centralized engine found nothing, so any
+    P2P answer trivially retrieves everything there was to retrieve.
+    """
+    reference_set = frozenset(reference)
+    if not reference_set:
+        return 1.0
+    return len(frozenset(retrieved) & reference_set) / len(reference_set)
+
+
+def precision_against_reference(
+    retrieved: Collection[int], reference: Collection[int]
+) -> float:
+    """Fraction of retrieved docs that the reference engine also returned."""
+    retrieved_set = frozenset(retrieved)
+    if not retrieved_set:
+        return 0.0
+    return len(retrieved_set & frozenset(reference)) / len(retrieved_set)
+
+
+def micro_average(values: Sequence[float]) -> float:
+    """Plain mean, named for how the paper averages over queries."""
+    if not values:
+        raise ValueError("cannot average an empty sequence")
+    return sum(values) / len(values)
+
+
+def duplicate_fraction(per_peer_results: Sequence[Collection[int]]) -> float:
+    """Fraction of contributed result slots wasted on duplicates.
+
+    Motivation metric for the whole paper (Section 1.1: "the query result
+    will most likely contain many duplicates"): if peers contribute
+    ``total`` result entries of which only ``distinct`` are unique
+    documents, ``1 - distinct / total`` is wasted effort.
+    """
+    total = sum(len(results) for results in per_peer_results)
+    if total == 0:
+        return 0.0
+    distinct: set[int] = set()
+    for results in per_peer_results:
+        distinct.update(results)
+    return 1.0 - len(distinct) / total

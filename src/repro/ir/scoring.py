@@ -1,0 +1,107 @@
+"""Relevance scoring for local index lists.
+
+Peers post ``<term, docId, score>`` entries (Section 1.2); the score is a
+*local* IR relevance measure — "tf*idf-based scores, scores derived from
+statistical language models, or PageRank-like authority scores"
+(Section 5.1).  We provide the two classic lexical scorers:
+
+- :class:`TfIdfScorer` — ``(1 + ln tf) * ln(1 + N / df)``;
+- :class:`BM25Scorer` — Okapi BM25 with the standard k1/b parameters.
+
+Both are computed against the *local* collection's statistics, exactly as
+an autonomous crawling peer would.
+
+The scoring interface is split into a per-term **term weight** (the
+idf-like factor, constant across a term's index list and therefore
+cached by the index builder) and a **within-document** factor (the
+tf-dependent part).  ``score = term_weight * within_document``; the
+convenience :meth:`Scorer.score` combines the two for one-off use.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+
+from .documents import Corpus, Document
+
+__all__ = ["Scorer", "TfIdfScorer", "BM25Scorer"]
+
+
+class Scorer(abc.ABC):
+    """Scores a document for a single term within a given corpus."""
+
+    @abc.abstractmethod
+    def term_weight(self, corpus: Corpus, term: str) -> float:
+        """The per-term factor (idf-like); 0 when the term is unknown."""
+
+    @abc.abstractmethod
+    def within_document(
+        self, tf: int, document: Document, corpus: Corpus
+    ) -> float:
+        """The per-posting factor from the term frequency ``tf`` (> 0)."""
+
+    def score(self, corpus: Corpus, document: Document, term: str) -> float:
+        """Relevance of ``document`` for ``term`` in ``corpus`` (>= 0)."""
+        tf = document.frequency(term)
+        if tf == 0:
+            return 0.0
+        weight = self.term_weight(corpus, term)
+        if weight <= 0.0:
+            return 0.0
+        return weight * self.within_document(tf, document, corpus)
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+
+class TfIdfScorer(Scorer):
+    """Log-scaled tf * idf.
+
+    ``score = (1 + ln tf) * ln(1 + N / df)`` — zero when the term does
+    not occur.  The smoothed idf keeps scores positive even for terms
+    present in every local document (common in small crawls).
+    """
+
+    def term_weight(self, corpus: Corpus, term: str) -> float:
+        df = corpus.document_frequency(term)
+        if df == 0:
+            return 0.0
+        return math.log(1.0 + len(corpus) / df)
+
+    def within_document(
+        self, tf: int, document: Document, corpus: Corpus
+    ) -> float:
+        return 1.0 + math.log(tf)
+
+
+class BM25Scorer(Scorer):
+    """Okapi BM25 with non-negative idf.
+
+    Uses the standard formulation with the idf floored at zero so that
+    very common local terms never produce negative relevance (negative
+    scores would break the per-term max normalization downstream).
+    """
+
+    def __init__(self, k1: float = 1.2, b: float = 0.75):
+        if k1 < 0:
+            raise ValueError(f"k1 must be >= 0, got {k1}")
+        if not 0.0 <= b <= 1.0:
+            raise ValueError(f"b must be in [0, 1], got {b}")
+        self.k1 = k1
+        self.b = b
+
+    def term_weight(self, corpus: Corpus, term: str) -> float:
+        df = corpus.document_frequency(term)
+        if df == 0:
+            return 0.0
+        n = len(corpus)
+        return max(0.0, math.log((n - df + 0.5) / (df + 0.5) + 1.0))
+
+    def within_document(
+        self, tf: int, document: Document, corpus: Corpus
+    ) -> float:
+        avg_len = corpus.average_document_length or 1.0
+        norm = self.k1 * (1.0 - self.b + self.b * document.length / avg_len)
+        return tf * (self.k1 + 1.0) / (tf + norm)

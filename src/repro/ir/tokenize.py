@@ -1,0 +1,48 @@
+"""Minimal text tokenization for building collections from raw text.
+
+The reproduction's experiments use synthetic term streams, but the
+library is also usable on real text (the examples index small snippets).
+This tokenizer is deliberately simple — lowercase word extraction with a
+small English stopword list and optional length filtering — matching what
+Web-scale P2P prototypes of the era shipped.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator
+
+__all__ = ["STOPWORDS", "tokenize"]
+
+#: A compact English stopword list (function words only, no stemming).
+STOPWORDS = frozenset(
+    """
+    a an and are as at be but by for from has have in is it its of on or
+    that the this to was were will with not no he she they we you i his
+    her their our your my me him them us been being do does did
+    """.split()
+)
+
+_WORD = re.compile(r"[a-z0-9]+")
+
+
+def tokenize(
+    text: str,
+    *,
+    drop_stopwords: bool = True,
+    min_length: int = 2,
+) -> Iterator[str]:
+    """Yield normalized tokens from ``text``.
+
+    Tokens are lowercased alphanumeric runs; stopwords and tokens shorter
+    than ``min_length`` are dropped by default.
+    """
+    if min_length < 1:
+        raise ValueError(f"min_length must be >= 1, got {min_length}")
+    for match in _WORD.finditer(text.lower()):
+        token = match.group()
+        if len(token) < min_length:
+            continue
+        if drop_stopwords and token in STOPWORDS:
+            continue
+        yield token

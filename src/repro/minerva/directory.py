@@ -1,0 +1,175 @@
+"""The distributed directory: PeerLists on a Chord ring (Section 4).
+
+"A conceptually global but physically distributed directory, which is
+layered on top of Chord, holds compact, aggregated information about the
+peers' local indexes ... we use the Chord DHT to partition the term
+space, such that every peer is responsible for the statistics and
+metadata of a randomized subset of terms within the directory.  For
+failure resilience and availability, the responsibility for a term can be
+replicated across multiple peers."
+
+Every publish and every PeerList fetch routes through the simulated ring
+from the acting peer's own node and is charged to the cost model — hops
+as ``dht_hop`` messages, payloads as ``post`` / ``peerlist_fetch``.
+"""
+
+from __future__ import annotations
+
+from ..dht.ring import ChordRing
+from ..net.cost import CostModel, MessageKinds
+from .posts import PeerList, Post
+
+__all__ = ["Directory"]
+
+
+class Directory:
+    """Term-partitioned Post storage over a Chord ring."""
+
+    def __init__(
+        self,
+        ring: ChordRing,
+        *,
+        cost: CostModel | None = None,
+        replicas: int = 1,
+        node_of_peer: dict[str, int] | None = None,
+    ):
+        if replicas <= 0:
+            raise ValueError(f"replicas must be positive, got {replicas}")
+        self.ring = ring
+        self.cost = cost or CostModel()
+        self.replicas = replicas
+        #: Maps peer ids to their ring node ids so lookups start at the
+        #: acting peer's own position (realistic hop counts).
+        self._node_of_peer = node_of_peer or {}
+
+    def _start_node(self, peer_id: str | None) -> int | None:
+        if peer_id is None:
+            return None
+        return self._node_of_peer.get(peer_id)
+
+    # -- publishing ----------------------------------------------------------
+
+    def publish(self, post: Post) -> None:
+        """Route the Post to the term's responsible node(s) and store it."""
+        lookup = self.ring.lookup(post.term, start_node=self._start_node(post.peer_id))
+        self.cost.record(MessageKinds.DHT_HOP, count=lookup.hops)
+        # One message (carrying the full payload) per replica.
+        self.cost.record(
+            MessageKinds.POST,
+            bits=post.size_in_bits * self.replicas,
+            count=self.replicas,
+        )
+        key = self.ring.key_id(post.term)
+        for node in self.ring.replica_nodes(post.term, self.replicas):
+            peer_list = node.store.get(key)
+            if peer_list is None:
+                peer_list = PeerList(term=post.term)
+                node.store[key] = peer_list
+            peer_list.add(post)
+
+    def publish_batch(self, posts: list[Post]) -> int:
+        """Publish several Posts, batching per destination node.
+
+        Section 7.2: "peers should batch multiple posts that are directed
+        to the same recipient so that message sizes do indeed matter."
+        Posts whose terms hash to the same directory node share one
+        message (one routing trip, one per-message overhead); the payload
+        bits are unchanged.  Returns the number of messages sent.
+        """
+        by_owner: dict[int, list[Post]] = {}
+        hops_charged: set[int] = set()
+        for post in posts:
+            lookup = self.ring.lookup(
+                post.term, start_node=self._start_node(post.peer_id)
+            )
+            # Route once per destination node, not once per post: after
+            # the first lookup the peer knows the owner's address.
+            if lookup.owner not in hops_charged:
+                self.cost.record(MessageKinds.DHT_HOP, count=lookup.hops)
+                hops_charged.add(lookup.owner)
+            by_owner.setdefault(lookup.owner, []).append(post)
+        messages = 0
+        for owner, owner_posts in by_owner.items():
+            total_bits = sum(post.size_in_bits for post in owner_posts)
+            self.cost.record(
+                MessageKinds.POST,
+                bits=total_bits * self.replicas,
+                count=self.replicas,
+            )
+            messages += self.replicas
+            for post in owner_posts:
+                key = self.ring.key_id(post.term)
+                for node in self.ring.replica_nodes(post.term, self.replicas):
+                    peer_list = node.store.get(key)
+                    if peer_list is None:
+                        peer_list = PeerList(term=post.term)
+                        node.store[key] = peer_list
+                    peer_list.add(post)
+        return messages
+
+    # -- lookups --------------------------------------------------------------
+
+    def peer_list(self, term: str, *, requester: str | None = None) -> PeerList:
+        """Fetch the PeerList for ``term``, charging routing and payload.
+
+        Returns an empty PeerList when no peer posted the term — the
+        initiator learns the term is unknown network-wide.
+        """
+        lookup = self.ring.lookup(term, start_node=self._start_node(requester))
+        self.cost.record(MessageKinds.DHT_HOP, count=lookup.hops)
+        stored = self.ring.node(lookup.owner).store.get(self.ring.key_id(term))
+        if stored is None:
+            stored = PeerList(term=term)
+        self.cost.record(MessageKinds.PEERLIST_FETCH, bits=stored.size_in_bits)
+        return stored
+
+    def peer_lists(
+        self, terms: tuple[str, ...], *, requester: str | None = None
+    ) -> dict[str, PeerList]:
+        """Fetch PeerLists for all query terms (one DHT lookup each)."""
+        return {
+            term: self.peer_list(term, requester=requester) for term in set(terms)
+        }
+
+    def peer_list_batch(
+        self,
+        term: str,
+        *,
+        offset: int,
+        limit: int,
+        requester: str | None = None,
+    ) -> list[Post]:
+        """Fetch one quality-ordered slice of a term's PeerList.
+
+        Section 4: "the query initiator can decide to not retrieve the
+        complete PeerLists, but only a subset, say the top-k peers from
+        each list based on IR relevance measures".  The directory node
+        serves posts ordered by descending ``max_score`` (ties broken by
+        ``cdf`` then peer id); the initiator pays routing hops per batch
+        request plus the payload of the returned slice only.
+        """
+        if offset < 0:
+            raise ValueError(f"offset must be >= 0, got {offset}")
+        if limit <= 0:
+            raise ValueError(f"limit must be positive, got {limit}")
+        lookup = self.ring.lookup(term, start_node=self._start_node(requester))
+        self.cost.record(MessageKinds.DHT_HOP, count=lookup.hops)
+        stored = self.ring.node(lookup.owner).store.get(self.ring.key_id(term))
+        if stored is None:
+            self.cost.record(MessageKinds.PEERLIST_FETCH, bits=0)
+            return []
+        batch = stored.top_by_quality(offset + limit)[offset:]
+        self.cost.record(
+            MessageKinds.PEERLIST_FETCH,
+            bits=sum(post.size_in_bits for post in batch),
+        )
+        return batch
+
+    def stored_terms(self) -> set[str]:
+        """All terms any node currently stores (diagnostic helper)."""
+        terms: set[str] = set()
+        for node_id in self.ring.node_ids:
+            for value in self.ring.node(node_id).store.values():
+                if isinstance(value, PeerList):
+                    terms.add(value.term)
+        return terms

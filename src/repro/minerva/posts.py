@@ -1,0 +1,116 @@
+"""Directory payloads: per-term Posts and PeerLists (Section 4).
+
+"Every peer publishes statistics, denoted as Posts, about every term in
+its local index to the directory.  The peer onto which the term is hashed
+maintains a PeerList of all postings for this term from all peers across
+the network.  Posts contain contact information about the peer who posted
+the summary together with statistics to calculate IR-style relevance
+measures for a term, e.g., the length of the inverted index list for the
+term, the maximum or average score among the term's inverted list
+entries, etc."
+
+In this reproduction a Post additionally carries the per-term docID
+synopsis (Section 1.2) and, optionally, the score-histogram synopsis of
+Section 7.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..synopses.base import SetSynopsis
+from ..synopses.histogram import ScoreHistogramSynopsis
+
+__all__ = ["Post", "PeerList", "POST_STATS_BITS"]
+
+#: Wire size of a Post's fixed statistics block: peer contact info plus
+#: (cdf, max_score, avg_score, |V|) — 5 fields at 32 bits each.
+POST_STATS_BITS = 160
+
+
+@dataclass(frozen=True)
+class Post:
+    """One peer's published summary for one term."""
+
+    peer_id: str
+    term: str
+    cdf: int
+    max_score: float
+    avg_score: float
+    term_space_size: int
+    synopsis: SetSynopsis | None = None
+    histogram: ScoreHistogramSynopsis | None = None
+
+    def __post_init__(self) -> None:
+        if self.cdf < 0:
+            raise ValueError(f"cdf must be >= 0, got {self.cdf}")
+        if self.max_score < 0.0 or self.avg_score < 0.0:
+            raise ValueError("scores must be >= 0")
+        if self.term_space_size < 0:
+            raise ValueError(
+                f"term_space_size must be >= 0, got {self.term_space_size}"
+            )
+
+    @property
+    def size_in_bits(self) -> int:
+        """Wire size: fixed stats plus any attached synopses."""
+        bits = POST_STATS_BITS
+        if self.synopsis is not None:
+            bits += self.synopsis.size_in_bits
+        if self.histogram is not None:
+            bits += self.histogram.size_in_bits
+        return bits
+
+
+@dataclass
+class PeerList:
+    """All Posts the directory holds for one term."""
+
+    term: str
+    posts: dict[str, Post] = field(default_factory=dict)
+
+    def add(self, post: Post) -> None:
+        """Insert or refresh a peer's Post (re-posting overwrites)."""
+        if post.term != self.term:
+            raise ValueError(
+                f"post for term {post.term!r} added to PeerList of {self.term!r}"
+            )
+        self.posts[post.peer_id] = post
+
+    def get(self, peer_id: str) -> Post | None:
+        return self.posts.get(peer_id)
+
+    @property
+    def peer_ids(self) -> frozenset[str]:
+        return frozenset(self.posts)
+
+    @property
+    def collection_frequency(self) -> int:
+        """Number of peers holding the term — CORI's ``cf_t``."""
+        return len(self.posts)
+
+    @property
+    def size_in_bits(self) -> int:
+        return sum(post.size_in_bits for post in self.posts.values())
+
+    def top_by_quality(self, count: int) -> list[Post]:
+        """The ``count`` posts with highest max-score (a cheap quality cut).
+
+        Section 4: "the query initiator can decide to not retrieve the
+        complete PeerLists, but only a subset, say the top-k peers from
+        each list based on IR relevance measures".
+        """
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        ranked = sorted(
+            self.posts.values(),
+            key=lambda post: (post.max_score, post.cdf, post.peer_id),
+            reverse=True,
+        )
+        return ranked[:count]
+
+    def __len__(self) -> int:
+        return len(self.posts)
+
+    def __iter__(self):
+        return iter(self.posts.values())

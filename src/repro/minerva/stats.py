@@ -1,0 +1,100 @@
+"""Network-wide term statistics derived from PeerLists.
+
+A term's PeerList reveals more than routing candidates.  Summing the
+posted list lengths gives the total posting mass, but because peer
+collections overlap, that sum badly overcounts the number of *distinct*
+documents network-wide.  The same synopses that power IQN fix this: the
+union of all posts' synopses estimates the distinct document count, and
+the ratio of the two is the term's average replication factor — a
+direct, cheap measurement of the redundancy phenomenon that motivates
+the whole paper.
+
+These statistics also feed the adaptive synopsis-type policy
+(:class:`repro.core.adaptive.AdaptiveSpecPolicy`), which must base its
+choices on globally consistent numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..synopses.base import IncompatibleSynopsesError, SetSynopsis
+from .posts import PeerList
+
+__all__ = ["GlobalTermStats", "global_term_statistics"]
+
+
+@dataclass(frozen=True)
+class GlobalTermStats:
+    """Directory-derived statistics for one term."""
+
+    term: str
+    #: Number of peers holding the term (CORI's cf_t).
+    collection_frequency: int
+    #: Sum of posted index-list lengths (with replication overcounting).
+    total_postings: int
+    #: Estimated number of *distinct* documents network-wide.
+    distinct_documents: float
+    #: ``total_postings / distinct_documents`` — how many peers hold the
+    #: average matching document.  1.0 means disjoint collections.
+    replication_factor: float
+
+    def __post_init__(self) -> None:
+        if self.collection_frequency < 0 or self.total_postings < 0:
+            raise ValueError("counts must be >= 0")
+
+
+def global_term_statistics(peer_list: PeerList) -> GlobalTermStats:
+    """Compute :class:`GlobalTermStats` from a fetched PeerList.
+
+    The distinct-document estimate is the cardinality of the union of
+    all posts' synopses, clamped to the feasible range
+    ``[max cdf, sum cdf]`` using the exact per-post list lengths.  Posts
+    without synopses (or with incompatible ones) fall back to
+    contributing their cdf as if disjoint — a conservative upper bound.
+    """
+    posts = list(peer_list)
+    total = sum(post.cdf for post in posts)
+    if total == 0:
+        return GlobalTermStats(
+            term=peer_list.term,
+            collection_frequency=len(posts),
+            total_postings=0,
+            distinct_documents=0.0,
+            replication_factor=1.0,
+        )
+    union: SetSynopsis | None = None
+    covered_cdf = 0
+    uncovered_cdf = 0
+    max_cdf = 0
+    for post in posts:
+        max_cdf = max(max_cdf, post.cdf)
+        if post.synopsis is None or post.cdf == 0:
+            uncovered_cdf += post.cdf
+            continue
+        if union is None:
+            union = post.synopsis
+            covered_cdf += post.cdf
+            continue
+        try:
+            union = union.union(post.synopsis)
+            covered_cdf += post.cdf
+        except IncompatibleSynopsesError:
+            uncovered_cdf += post.cdf
+    if union is None or union.is_empty:
+        distinct = float(total)
+    else:
+        estimate = union.estimate_cardinality()
+        # Clamp the synopsis estimate to what the exact lengths allow,
+        # then add the uncovered posts as if disjoint.
+        distinct = min(max(estimate, float(max_cdf)), float(covered_cdf))
+        distinct += uncovered_cdf
+        distinct = min(distinct, float(total))
+    replication = total / distinct if distinct > 0 else 1.0
+    return GlobalTermStats(
+        term=peer_list.term,
+        collection_frequency=len(posts),
+        total_postings=total,
+        distinct_documents=distinct,
+        replication_factor=max(1.0, replication),
+    )

@@ -1,0 +1,181 @@
+"""Distributed top-k peer retrieval over PeerLists (Section 4).
+
+For popular terms a PeerList can contain thousands of Posts; shipping it
+whole to the query initiator defeats the purpose of compact routing
+state.  The paper points to distributed top-k algorithms (KLEE, [25]) to
+fetch "the top-k peers over all lists" instead.
+
+This module implements an **NRA-style (no-random-access) threshold
+algorithm** over quality-sorted PeerList batches:
+
+1. round-robin over the query terms, fetching the next batch of each
+   term's PeerList in descending ``max_score`` order;
+2. maintain, per seen peer, a *lower bound* (sum of its seen per-term
+   scores) and an *upper bound* (lower bound plus, for each term not yet
+   seen for this peer, the score of the last entry fetched from that
+   term's list — nothing deeper can score higher);
+3. stop when the k-th best lower bound is at least the best upper bound
+   any other peer (seen or unseen) could still reach.
+
+The result is the exact top-k by summed quality score, fetched with a
+fraction of the PeerList payload.  The fetched Posts double as the
+routing context for IQN, which then re-ranks the shortlist by
+quality*novelty — matching MINERVA's two-stage design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .directory import Directory
+from .posts import Post
+
+__all__ = ["TopKPeerResult", "fetch_top_k_peers"]
+
+#: Quality proxy used for PeerList ordering and the threshold bounds.
+#: The directory orders by max_score (see ``PeerList.top_by_quality``),
+#: so the per-term score contribution of a post is its max_score.
+def _post_score(post: Post) -> float:
+    return post.max_score
+
+
+@dataclass
+class TopKPeerResult:
+    """Outcome of a distributed top-k PeerList fetch."""
+
+    #: Peer ids of the exact top-k by summed per-term quality, best first.
+    top_peers: list[str]
+    #: Every fetched Post, grouped per term — the partial PeerLists a
+    #: routing context can be built from.
+    posts_by_term: dict[str, dict[str, Post]]
+    #: Batches requested per term (round trips to directory nodes).
+    batches_fetched: int
+    #: Total posts shipped (payload volume; compare to full list sizes).
+    posts_fetched: int
+    #: True when every list was exhausted before the threshold fired
+    #: (the result is still exact; there was just nothing left to skip).
+    exhausted: bool = False
+
+    @property
+    def shortlist(self) -> set[str]:
+        """All peers seen during the fetch (a superset of top_peers)."""
+        seen: set[str] = set()
+        for posts in self.posts_by_term.values():
+            seen.update(posts)
+        return seen
+
+
+@dataclass
+class _PeerState:
+    lower_bound: float = 0.0
+    seen_terms: set[str] = field(default_factory=set)
+
+
+def fetch_top_k_peers(
+    directory: Directory,
+    terms: tuple[str, ...],
+    k: int,
+    *,
+    batch_size: int = 8,
+    requester: str | None = None,
+    max_batches: int = 1000,
+) -> TopKPeerResult:
+    """Run the NRA threshold algorithm; see the module docstring."""
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    if batch_size <= 0:
+        raise ValueError(f"batch_size must be positive, got {batch_size}")
+    unique_terms = list(dict.fromkeys(terms))
+    if not unique_terms:
+        raise ValueError("at least one term is required")
+
+    offsets = {term: 0 for term in unique_terms}
+    # Score of the deepest entry fetched so far per term; an unseen peer
+    # cannot beat it.  Starts at +inf (nothing fetched -> no bound yet).
+    frontier = {term: float("inf") for term in unique_terms}
+    exhausted_terms: set[str] = set()
+    peers: dict[str, _PeerState] = {}
+    posts_by_term: dict[str, dict[str, Post]] = {t: {} for t in unique_terms}
+    batches = 0
+    posts_fetched = 0
+
+    def upper_bound(state: _PeerState) -> float:
+        bound = state.lower_bound
+        for term in unique_terms:
+            if term not in state.seen_terms and term not in exhausted_terms:
+                bound += frontier[term]
+        return bound
+
+    def unseen_peer_bound() -> float:
+        live = [
+            frontier[t] for t in unique_terms if t not in exhausted_terms
+        ]
+        return sum(live) if live else float("-inf")
+
+    while batches < max_batches:
+        progressed = False
+        for term in unique_terms:
+            if term in exhausted_terms:
+                continue
+            batch = directory.peer_list_batch(
+                term,
+                offset=offsets[term],
+                limit=batch_size,
+                requester=requester,
+            )
+            batches += 1
+            progressed = True
+            offsets[term] += len(batch)
+            posts_fetched += len(batch)
+            if len(batch) < batch_size:
+                exhausted_terms.add(term)
+            for post in batch:
+                posts_by_term[term][post.peer_id] = post
+                state = peers.setdefault(post.peer_id, _PeerState())
+                state.lower_bound += _post_score(post)
+                state.seen_terms.add(term)
+                frontier[term] = _post_score(post)
+            if not batch:
+                frontier[term] = 0.0
+
+        if not progressed:
+            break
+
+        # Threshold test: can anything outside the current top-k still
+        # overtake the k-th lower bound?
+        if len(peers) >= k and all(t in frontier for t in unique_terms):
+            if any(frontier[t] == float("inf") for t in unique_terms):
+                continue
+            ranked = sorted(
+                peers.items(),
+                key=lambda item: (-item[1].lower_bound, item[0]),
+            )
+            kth_lower = ranked[min(k, len(ranked)) - 1][1].lower_bound
+            challenger = max(
+                (
+                    upper_bound(state)
+                    for peer_id, state in ranked[k:]
+                ),
+                default=float("-inf"),
+            )
+            challenger = max(challenger, unseen_peer_bound())
+            if kth_lower >= challenger:
+                return TopKPeerResult(
+                    top_peers=[peer_id for peer_id, _ in ranked[:k]],
+                    posts_by_term=posts_by_term,
+                    batches_fetched=batches,
+                    posts_fetched=posts_fetched,
+                )
+        if len(exhausted_terms) == len(unique_terms):
+            break
+
+    ranked = sorted(
+        peers.items(), key=lambda item: (-item[1].lower_bound, item[0])
+    )
+    return TopKPeerResult(
+        top_peers=[peer_id for peer_id, _ in ranked[:k]],
+        posts_by_term=posts_by_term,
+        batches_fetched=batches,
+        posts_fetched=posts_fetched,
+        exhausted=True,
+    )

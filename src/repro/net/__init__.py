@@ -1,0 +1,12 @@
+"""Network cost accounting and latency estimation."""
+
+from .cost import CostModel, CostSnapshot, MessageKinds
+from .latency import LatencyProfile, mm1_response_time
+
+__all__ = [
+    "CostModel",
+    "CostSnapshot",
+    "MessageKinds",
+    "LatencyProfile",
+    "mm1_response_time",
+]

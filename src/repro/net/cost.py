@@ -1,0 +1,116 @@
+"""Network cost accounting.
+
+The paper's efficiency argument is that IQN's routing decisions touch
+only the DHT directory ("does not yet contact any remote peers at all
+other than for the, very fast DHT-based, directory lookups") and that
+synopsis size drives the dominant posting/update bandwidth (Section 7.2).
+To make those claims measurable, every simulated network interaction is
+recorded here as a message with a kind and a payload size in bits.
+
+Message kinds used by the stack:
+
+- ``post``            — a peer publishing one per-term Post
+- ``peerlist_fetch``  — the initiator retrieving a term's PeerList
+- ``dht_hop``         — one Chord routing hop
+- ``query_forward``   — forwarding the query to a selected peer
+- ``result_return``   — a queried peer shipping its local top-k back
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+__all__ = ["MessageKinds", "CostModel", "CostSnapshot"]
+
+
+class MessageKinds:
+    """Canonical message-kind names (plain constants, not an enum, so the
+    cost model stays open to user-defined kinds)."""
+
+    POST = "post"
+    PEERLIST_FETCH = "peerlist_fetch"
+    DHT_HOP = "dht_hop"
+    QUERY_FORWARD = "query_forward"
+    RESULT_RETURN = "result_return"
+
+
+@dataclass(frozen=True)
+class CostSnapshot:
+    """Immutable view of accumulated costs."""
+
+    messages_by_kind: dict[str, int]
+    bits_by_kind: dict[str, int]
+
+    @property
+    def total_messages(self) -> int:
+        return sum(self.messages_by_kind.values())
+
+    @property
+    def total_bits(self) -> int:
+        return sum(self.bits_by_kind.values())
+
+    @property
+    def total_bytes(self) -> float:
+        return self.total_bits / 8
+
+    def messages(self, kind: str) -> int:
+        return self.messages_by_kind.get(kind, 0)
+
+    def bits(self, kind: str) -> int:
+        return self.bits_by_kind.get(kind, 0)
+
+    def __sub__(self, other: "CostSnapshot") -> "CostSnapshot":
+        """Delta between two snapshots (self - earlier)."""
+        kinds = set(self.messages_by_kind) | set(other.messages_by_kind)
+        return CostSnapshot(
+            messages_by_kind={
+                k: self.messages_by_kind.get(k, 0) - other.messages_by_kind.get(k, 0)
+                for k in kinds
+            },
+            bits_by_kind={
+                k: self.bits_by_kind.get(k, 0) - other.bits_by_kind.get(k, 0)
+                for k in kinds
+            },
+        )
+
+
+class CostModel:
+    """Mutable accumulator of message counts and payload bits."""
+
+    def __init__(self) -> None:
+        self._messages: Counter[str] = Counter()
+        self._bits: Counter[str] = Counter()
+
+    def record(self, kind: str, *, bits: int = 0, count: int = 1) -> None:
+        """Charge ``count`` messages of ``kind`` carrying ``bits`` total."""
+        if bits < 0:
+            raise ValueError(f"bits must be >= 0, got {bits}")
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        self._messages[kind] += count
+        self._bits[kind] += bits
+
+    def snapshot(self) -> CostSnapshot:
+        return CostSnapshot(
+            messages_by_kind=dict(self._messages),
+            bits_by_kind=dict(self._bits),
+        )
+
+    def reset(self) -> None:
+        self._messages.clear()
+        self._bits.clear()
+
+    @property
+    def total_messages(self) -> int:
+        return sum(self._messages.values())
+
+    @property
+    def total_bits(self) -> int:
+        return sum(self._bits.values())
+
+    def __repr__(self) -> str:
+        return (
+            f"CostModel(messages={self.total_messages}, "
+            f"bits={self.total_bits})"
+        )

@@ -1,0 +1,19 @@
+"""Query-routing methods: interfaces and the paper's baselines."""
+
+from .base import CandidatePeer, LocalView, PeerSelector, RoutingContext
+from .cori import CORI_ALPHA, CoriSelector, cori_score, cori_scores
+from .random_select import RandomSelector
+from .sigir05 import OneShotOverlapSelector
+
+__all__ = [
+    "PeerSelector",
+    "RoutingContext",
+    "CandidatePeer",
+    "LocalView",
+    "CoriSelector",
+    "cori_score",
+    "cori_scores",
+    "CORI_ALPHA",
+    "RandomSelector",
+    "OneShotOverlapSelector",
+]

@@ -1,0 +1,124 @@
+"""Query-routing interfaces shared by all selection methods.
+
+A *peer selector* ranks candidate peers for a query given only what the
+directory knows — the PeerLists with their statistics and synopses — plus
+the initiator's local knowledge.  Selectors never touch remote peers'
+collections; that is the whole point of directory-based routing.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from ..datasets.queries import Query
+from ..synopses.factory import SynopsisSpec
+
+if TYPE_CHECKING:  # imported for annotations only — avoids a package cycle
+    from ..minerva.posts import PeerList, Post
+
+__all__ = ["LocalView", "CandidatePeer", "RoutingContext", "PeerSelector"]
+
+
+@dataclass(frozen=True)
+class LocalView:
+    """What the query initiator knows locally (exactly, not via synopses).
+
+    ``result_doc_ids`` is the initiator's own local query result — the
+    seed of IQN's reference synopsis ("the query initiator can compute by
+    executing the query against its own local collection", Section 5.1).
+    ``doc_ids_by_term`` are the initiator's local index lists for the
+    query terms, used by the per-term aggregation strategy.
+    """
+
+    peer_id: str
+    result_doc_ids: frozenset[int] = frozenset()
+    doc_ids_by_term: dict[str, frozenset[int]] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class CandidatePeer:
+    """A remote peer as seen through the fetched PeerLists."""
+
+    peer_id: str
+    posts: dict[str, Post]
+
+    def post(self, term: str) -> Post | None:
+        return self.posts.get(term)
+
+    def cdf(self, term: str) -> int:
+        post = self.posts.get(term)
+        return post.cdf if post else 0
+
+    @property
+    def covered_terms(self) -> frozenset[str]:
+        return frozenset(self.posts)
+
+
+@dataclass
+class RoutingContext:
+    """Everything a selector may use to rank peers for one query."""
+
+    query: Query
+    peer_lists: dict[str, PeerList]
+    num_peers: int
+    spec: SynopsisSpec
+    initiator: LocalView | None = None
+    conjunctive: bool = False
+
+    def __post_init__(self) -> None:
+        if self.num_peers <= 0:
+            raise ValueError(f"num_peers must be positive, got {self.num_peers}")
+        missing = set(self.query.terms) - set(self.peer_lists)
+        if missing:
+            raise ValueError(f"peer_lists missing query terms: {sorted(missing)}")
+
+    def candidates(self) -> list[CandidatePeer]:
+        """All peers appearing in any query term's PeerList, minus the
+        initiator (a peer never forwards a query to itself)."""
+        posts_by_peer: dict[str, dict[str, Post]] = {}
+        for term in self.query.terms:
+            for post in self.peer_lists[term]:
+                posts_by_peer.setdefault(post.peer_id, {})[term] = post
+        if self.initiator is not None:
+            posts_by_peer.pop(self.initiator.peer_id, None)
+        return [
+            CandidatePeer(peer_id=peer_id, posts=posts)
+            for peer_id, posts in sorted(posts_by_peer.items())
+        ]
+
+    def collection_frequency(self, term: str) -> int:
+        """CORI's ``cf_t``: number of peers that posted the term."""
+        return self.peer_lists[term].collection_frequency
+
+    @property
+    def average_term_space_size(self) -> float:
+        """CORI's ``|V_avg|`` approximated over the fetched PeerLists.
+
+        Section 5.1: "We approximate this value by the average over all
+        collections found in the PeerLists."
+        """
+        sizes: dict[str, int] = {}
+        for peer_list in self.peer_lists.values():
+            for post in peer_list:
+                sizes[post.peer_id] = post.term_space_size
+        if not sizes:
+            return 1.0
+        return sum(sizes.values()) / len(sizes)
+
+
+class PeerSelector(abc.ABC):
+    """Ranks candidate peers; the first ``max_peers`` get the query."""
+
+    @abc.abstractmethod
+    def rank(self, context: RoutingContext, max_peers: int) -> list[str]:
+        """Return up to ``max_peers`` peer ids, best first."""
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+    def _check_max_peers(self, max_peers: int) -> None:
+        if max_peers <= 0:
+            raise ValueError(f"max_peers must be positive, got {max_peers}")

@@ -1,0 +1,90 @@
+"""CORI collection selection (Callan et al., SIGIR 1995) — Section 5.1.
+
+CORI is the quality-only baseline the paper compares against ("among the
+very best database selection methods for distributed IR") *and* the
+quality component inside IQN's quality*novelty product.  The collection
+score of peer ``i`` for query ``Q = {t1 .. tn}`` is::
+
+    s_i   = sum_t s_{i,t} / |Q|
+    s_i,t = alpha + (1 - alpha) * T_{i,t} * I_{i,t}
+
+    T_i,t = cdf_{i,t} / (cdf_{i,t} + 50 + 150 * |V_i| / |V_avg|)
+    I_t   = log((np + 0.5) / cf_t) / log(np + 1)
+
+with ``alpha = 0.4``, ``np`` the number of peers, ``cdf`` the peer's
+document frequency for the term, ``cf_t`` the number of peers holding the
+term, ``|V_i|`` the peer's term-space size, and ``|V_avg|`` approximated
+over the peers found in the PeerLists.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .base import CandidatePeer, PeerSelector, RoutingContext
+
+__all__ = ["CORI_ALPHA", "cori_score", "cori_scores", "CoriSelector"]
+
+#: The alpha parameter, "chosen as alpha = 0.4 [13]".
+CORI_ALPHA = 0.4
+
+
+def cori_score(
+    candidate: CandidatePeer,
+    context: RoutingContext,
+    *,
+    alpha: float = CORI_ALPHA,
+) -> float:
+    """CORI collection score of one candidate for the context's query."""
+    if not 0.0 <= alpha <= 1.0:
+        raise ValueError(f"alpha must be in [0, 1], got {alpha}")
+    np_peers = context.num_peers
+    v_avg = context.average_term_space_size or 1.0
+    total = 0.0
+    for term in context.query.terms:
+        post = candidate.post(term)
+        if post is None or post.cdf == 0:
+            # A peer without the term contributes only the default belief.
+            total += alpha
+            continue
+        t_component = post.cdf / (
+            post.cdf + 50.0 + 150.0 * post.term_space_size / v_avg
+        )
+        cf = max(1, context.collection_frequency(term))
+        i_component = math.log((np_peers + 0.5) / cf) / math.log(np_peers + 1.0)
+        total += alpha + (1.0 - alpha) * t_component * i_component
+    return total / len(context.query.terms)
+
+
+def cori_scores(
+    context: RoutingContext, *, alpha: float = CORI_ALPHA
+) -> dict[str, float]:
+    """CORI scores for every candidate in the context."""
+    return {
+        candidate.peer_id: cori_score(candidate, context, alpha=alpha)
+        for candidate in context.candidates()
+    }
+
+
+class CoriSelector(PeerSelector):
+    """Pure quality-driven routing: rank peers by CORI score.
+
+    This is the baseline of Figure 3 — it ignores overlap entirely, so it
+    happily selects several peers that all hold the same popular
+    documents.
+    """
+
+    def __init__(self, alpha: float = CORI_ALPHA):
+        if not 0.0 <= alpha <= 1.0:
+            raise ValueError(f"alpha must be in [0, 1], got {alpha}")
+        self.alpha = alpha
+
+    def rank(self, context: RoutingContext, max_peers: int) -> list[str]:
+        self._check_max_peers(max_peers)
+        scores = cori_scores(context, alpha=self.alpha)
+        ranked = sorted(scores.items(), key=lambda item: (-item[1], item[0]))
+        return [peer_id for peer_id, _ in ranked[:max_peers]]
+
+    @property
+    def name(self) -> str:
+        return "CORI"

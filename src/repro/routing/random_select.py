@@ -1,0 +1,31 @@
+"""Random peer selection — the sanity-check floor for every experiment."""
+
+from __future__ import annotations
+
+import random
+
+from .base import PeerSelector, RoutingContext
+
+__all__ = ["RandomSelector"]
+
+
+class RandomSelector(PeerSelector):
+    """Select a uniformly random subset of the candidates.
+
+    Seeded so experiment runs are reproducible; reseeding per query is
+    the caller's choice (pass a fresh selector or the same one for a
+    stream of queries).
+    """
+
+    def __init__(self, seed: int = 0):
+        self._rng = random.Random(seed)
+
+    def rank(self, context: RoutingContext, max_peers: int) -> list[str]:
+        self._check_max_peers(max_peers)
+        peer_ids = [candidate.peer_id for candidate in context.candidates()]
+        self._rng.shuffle(peer_ids)
+        return peer_ids[:max_peers]
+
+    @property
+    def name(self) -> str:
+        return "Random"

@@ -1,0 +1,87 @@
+"""The paper's prior overlap-aware method (Bender et al., SIGIR 2005).
+
+Reference [5] — "Improving collection selection with overlap awareness in
+p2p search engines" — is the second baseline of Section 8.  Per the
+paper's own characterization it "used only Bloom filters and a fairly
+simple algorithm for aggregating synopses and making the actual routing
+decisions": overlap is estimated *once per candidate against the query
+initiator's local collection*, without IQN's iterative reference-synopsis
+aggregation.  Consequently two selected peers that duplicate *each other*
+(but not the initiator) are both ranked highly — the failure mode IQN
+fixes.
+
+The implementation is synopsis-agnostic (any :class:`SetSynopsis` works)
+so experiments can isolate "one-shot vs iterative" from "Bloom vs MIPs";
+configured with Bloom posts it reproduces the historical method exactly.
+"""
+
+from __future__ import annotations
+
+from ..core.novelty import estimate_novelty
+from ..synopses.base import SetSynopsis
+from .base import CandidatePeer, PeerSelector, RoutingContext
+from .cori import CORI_ALPHA, cori_scores
+
+__all__ = ["OneShotOverlapSelector"]
+
+
+class OneShotOverlapSelector(PeerSelector):
+    """Quality * one-shot novelty-vs-initiator ranking (the [5] baseline)."""
+
+    def __init__(self, *, alpha: float = CORI_ALPHA):
+        self.alpha = alpha
+
+    def rank(self, context: RoutingContext, max_peers: int) -> list[str]:
+        self._check_max_peers(max_peers)
+        qualities = cori_scores(context, alpha=self.alpha)
+        reference = self._initiator_reference(context)
+        reference_cardinality = (
+            float(len(context.initiator.result_doc_ids))
+            if context.initiator is not None
+            else 0.0
+        )
+        scored: list[tuple[float, float, str]] = []
+        for candidate in context.candidates():
+            novelty = self._one_shot_novelty(
+                context, candidate, reference, reference_cardinality
+            )
+            quality = qualities[candidate.peer_id]
+            scored.append((quality * novelty, quality, candidate.peer_id))
+        scored.sort(key=lambda item: (-item[0], -item[1], item[2]))
+        return [peer_id for _, _, peer_id in scored[:max_peers]]
+
+    @staticmethod
+    def _initiator_reference(context: RoutingContext) -> SetSynopsis:
+        seed: frozenset[int] = frozenset()
+        if context.initiator is not None:
+            seed = context.initiator.result_doc_ids
+        return context.spec.build(seed)
+
+    @staticmethod
+    def _one_shot_novelty(
+        context: RoutingContext,
+        candidate: CandidatePeer,
+        reference: SetSynopsis,
+        reference_cardinality: float,
+    ) -> float:
+        """Summed per-term novelty against the initiator only.
+
+        The simple decision model of [5]: no cross-candidate aggregation,
+        term contributions added up.
+        """
+        total = 0.0
+        for term in context.query.terms:
+            post = candidate.post(term)
+            if post is None or post.synopsis is None or post.cdf == 0:
+                continue
+            total += estimate_novelty(
+                post.synopsis,
+                reference,
+                candidate_cardinality=float(post.cdf),
+                reference_cardinality=reference_cardinality,
+            )
+        return total
+
+    @property
+    def name(self) -> str:
+        return "SIGIR05-OneShot"

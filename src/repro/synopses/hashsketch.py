@@ -1,0 +1,249 @@
+"""Hash sketches (Flajolet–Martin probabilistic counting / PCSA).
+
+A hash sketch estimates the number of distinct elements in a (multi)set.
+Each element is hashed pseudo-uniformly; the position ``ρ`` of the least
+significant 1-bit of the hash follows ``P(ρ = k) = 2^{-k-1}``, so an
+``n``-element set tends to set bits ``0 .. log2(n)`` of a bitmap.  The
+PCSA variant ("probabilistic counting with stochastic averaging",
+Flajolet & Martin 1985) splits elements across ``m`` bitmaps by another
+hash and averages the per-bitmap statistic ``R_j`` (index of the lowest
+*unset* bit), estimating::
+
+    n  ≈  (m / φ) * 2^{ mean_j R_j }        φ ≈ 0.77351
+
+The paper's "HSs 32" configuration under a 2048-bit budget corresponds to
+32 bitmaps of 64 bits each.
+
+Aggregation properties (Sections 5.2, 5.3, 6.1):
+
+- **Union** is exact: bitwise OR of corresponding bitmaps — a bit is set
+  in the union sketch iff some element of either set would set it.
+- **Intersection** has *no* known low-error construction; we raise
+  :class:`~repro.synopses.base.UnsupportedOperationError`, which is
+  precisely the limitation that rules hash sketches out for conjunctive
+  multi-keyword routing in the paper.
+- Resemblance is derived by inclusion–exclusion from ``|A|``, ``|B|`` and
+  ``|A ∪ B|`` estimates.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from .base import (
+    IncompatibleSynopsesError,
+    SetSynopsis,
+    UnsupportedOperationError,
+)
+from .hashing import uniform_hash_array
+
+__all__ = ["HashSketch", "PCSA_PHI"]
+
+#: Flajolet–Martin bias correction constant.
+PCSA_PHI = 0.77351
+
+
+def _rho(value: int, limit: int) -> int:
+    """Position of the least significant 1-bit of ``value``, capped at limit.
+
+    ``ρ(0)`` is defined as ``limit`` (the paper's ``ρ(0) = L``).
+    """
+    if value == 0:
+        return limit
+    return min((value & -value).bit_length() - 1, limit)
+
+
+class HashSketch(SetSynopsis):
+    """Immutable PCSA hash sketch.
+
+    Parameters
+    ----------
+    num_bitmaps:
+        Number of stochastic-averaging buckets ``m`` (a power of two is
+        conventional but not required).
+    bitmap_length:
+        Bits per bitmap ``L``; caps the representable ``ρ`` values.
+    seed:
+        Hash seed shared network-wide.
+    """
+
+    __slots__ = ("_num_bitmaps", "_bitmap_length", "_seed", "_bitmaps")
+
+    def __init__(
+        self,
+        num_bitmaps: int,
+        bitmap_length: int,
+        seed: int = 0,
+        bitmaps: Sequence[int] | None = None,
+    ):
+        if num_bitmaps <= 0:
+            raise ValueError(f"num_bitmaps must be positive, got {num_bitmaps}")
+        if bitmap_length <= 0:
+            raise ValueError(f"bitmap_length must be positive, got {bitmap_length}")
+        if bitmaps is None:
+            bitmaps = (0,) * num_bitmaps
+        if len(bitmaps) != num_bitmaps:
+            raise ValueError(
+                f"expected {num_bitmaps} bitmaps, got {len(bitmaps)}"
+            )
+        mask_limit = 1 << bitmap_length
+        bad = [b for b in bitmaps if not 0 <= b < mask_limit]
+        if bad:
+            raise ValueError("bitmap payload exceeds bitmap_length")
+        self._num_bitmaps = num_bitmaps
+        self._bitmap_length = bitmap_length
+        self._seed = seed
+        self._bitmaps = tuple(int(b) for b in bitmaps)
+
+    # -- construction ----------------------------------------------------
+
+    @classmethod
+    def from_ids(
+        cls,
+        ids: Iterable[int],
+        *,
+        num_bitmaps: int = 32,
+        bitmap_length: int = 64,
+        seed: int = 0,
+    ) -> "HashSketch":
+        """Build a sketch of ``ids``.
+
+        Vectorized: hashes, bucket assignment, and the ρ (least
+        significant 1-bit) computation all run as array operations; the
+        result is bit-identical to scalar insertion via
+        ``uniform_hash``/:func:`_rho`.
+        """
+        id_array = np.fromiter(
+            (i & ((1 << 64) - 1) for i in ids), dtype=np.uint64
+        )
+        bitmaps = [0] * num_bitmaps
+        if id_array.size:
+            hashed = uniform_hash_array(id_array, seed)
+            buckets = hashed % np.uint64(num_bitmaps)
+            rest = hashed // np.uint64(num_bitmaps)
+            # Least significant set bit: rest & (-rest) in wrapping uint64;
+            # powers of two are exact in float64, so log2 recovers ρ.
+            lsb = rest & (np.uint64(0) - rest)
+            positions = np.full(rest.shape, bitmap_length - 1, dtype=np.int64)
+            nonzero = rest != 0
+            positions[nonzero] = np.log2(lsb[nonzero].astype(np.float64)).astype(
+                np.int64
+            )
+            np.minimum(positions, bitmap_length - 1, out=positions)
+            slots = np.unique(
+                buckets.astype(np.int64) * bitmap_length + positions
+            )
+            for slot in slots.tolist():
+                bitmaps[slot // bitmap_length] |= 1 << (slot % bitmap_length)
+        return cls(num_bitmaps, bitmap_length, seed, bitmaps)
+
+    def empty_like(self) -> "HashSketch":
+        return HashSketch(self._num_bitmaps, self._bitmap_length, self._seed)
+
+    # -- estimation ------------------------------------------------------
+
+    def _first_zero(self, bitmap: int) -> int:
+        """Index of the lowest unset bit (the PCSA ``R`` statistic)."""
+        r = 0
+        while (bitmap >> r) & 1 and r < self._bitmap_length:
+            r += 1
+        return r
+
+    def estimate_cardinality(self) -> float:
+        if self.is_empty:
+            return 0.0
+        mean_r = sum(self._first_zero(b) for b in self._bitmaps) / self._num_bitmaps
+        return (self._num_bitmaps / PCSA_PHI) * (2.0**mean_r)
+
+    def estimate_resemblance(self, other: SetSynopsis) -> float:
+        """Inclusion–exclusion resemblance from cardinality estimates."""
+        self.check_compatible(other)
+        assert isinstance(other, HashSketch)
+        union_est = self.union(other).estimate_cardinality()
+        if union_est <= 0.0:
+            return 0.0
+        card_a = self.estimate_cardinality()
+        card_b = other.estimate_cardinality()
+        intersection_est = max(0.0, card_a + card_b - union_est)
+        return min(1.0, intersection_est / union_est)
+
+    # -- aggregation -----------------------------------------------------
+
+    def union(self, other: SetSynopsis) -> "HashSketch":
+        """Exact union sketch: bitwise OR per bucket (Section 5.2)."""
+        self.check_compatible(other)
+        assert isinstance(other, HashSketch)
+        merged = [a | b for a, b in zip(self._bitmaps, other._bitmaps)]
+        return HashSketch(self._num_bitmaps, self._bitmap_length, self._seed, merged)
+
+    def intersect(self, other: SetSynopsis) -> "HashSketch":
+        """Unsupported — the paper knows no low-error HS intersection."""
+        self.check_compatible(other)
+        raise UnsupportedOperationError(
+            "hash sketches do not support intersection aggregation "
+            "(Section 3.4); use union as a crude superset, or switch to "
+            "MIPs/Bloom synopses for conjunctive queries"
+        )
+
+    # -- bookkeeping -----------------------------------------------------
+
+    @property
+    def num_bitmaps(self) -> int:
+        return self._num_bitmaps
+
+    @property
+    def bitmap_length(self) -> int:
+        return self._bitmap_length
+
+    @property
+    def seed(self) -> int:
+        return self._seed
+
+    @property
+    def bitmaps(self) -> tuple[int, ...]:
+        return self._bitmaps
+
+    @property
+    def size_in_bits(self) -> int:
+        return self._num_bitmaps * self._bitmap_length
+
+    @property
+    def is_empty(self) -> bool:
+        return all(b == 0 for b in self._bitmaps)
+
+    def check_compatible(self, other: SetSynopsis) -> None:
+        super().check_compatible(other)
+        assert isinstance(other, HashSketch)
+        if (self._num_bitmaps, self._bitmap_length, self._seed) != (
+            other._num_bitmaps,
+            other._bitmap_length,
+            other._seed,
+        ):
+            raise IncompatibleSynopsesError(
+                "hash sketches require identical (num_bitmaps, bitmap_length, "
+                f"seed): {(self._num_bitmaps, self._bitmap_length, self._seed)}"
+                f" vs {(other._num_bitmaps, other._bitmap_length, other._seed)}"
+            )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, HashSketch):
+            return NotImplemented
+        return (
+            self._num_bitmaps == other._num_bitmaps
+            and self._bitmap_length == other._bitmap_length
+            and self._seed == other._seed
+            and self._bitmaps == other._bitmaps
+        )
+
+    def __hash__(self) -> int:
+        return hash(
+            (self._num_bitmaps, self._bitmap_length, self._seed, self._bitmaps)
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"HashSketch(m={self._num_bitmaps}, L={self._bitmap_length}, "
+            f"est={self.estimate_cardinality():.0f})"
+        )

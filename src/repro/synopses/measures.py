@@ -1,0 +1,152 @@
+"""Set-correlation measures of Section 3.1 and their algebra.
+
+Exact, set-based definitions used as ground truth in tests and
+experiments, plus the closed-form conversions between resemblance,
+containment, overlap, and the paper's proposed *novelty*::
+
+    Containment(A, B) = |A ∩ B| / |B|
+    Resemblance(A, B) = |A ∩ B| / |A ∪ B|
+    Novelty(B | A)    = |B - (A ∩ B)| = |B| - |A ∩ B|
+
+Given ``|A|``, ``|B|`` and either resemblance or containment, the others
+follow (Section 3.1 cites [11] for this) — the conversions implemented
+here are exactly the ones IQN uses to turn a synopsis's resemblance
+estimate into a novelty estimate (Section 5.2)::
+
+    |A ∩ B| = R * (|A| + |B|) / (R + 1)
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet
+
+__all__ = [
+    "overlap",
+    "containment",
+    "resemblance",
+    "novelty",
+    "overlap_from_resemblance",
+    "overlap_from_containment",
+    "resemblance_from_containment",
+    "containment_from_resemblance",
+    "novelty_from_resemblance",
+    "novelty_from_union",
+]
+
+
+# -- exact, set-based ground truth ----------------------------------------
+
+
+def overlap(set_a: AbstractSet[int], set_b: AbstractSet[int]) -> int:
+    """Exact overlap ``|A ∩ B|``."""
+    if len(set_b) < len(set_a):
+        set_a, set_b = set_b, set_a
+    return len(set_a & set_b)
+
+
+def containment(set_a: AbstractSet[int], set_b: AbstractSet[int]) -> float:
+    """Exact containment ``|A ∩ B| / |B|`` — the fraction of B known to A.
+
+    Defined as 0 for empty ``B`` (nothing to contain).
+    """
+    if not set_b:
+        return 0.0
+    return overlap(set_a, set_b) / len(set_b)
+
+
+def resemblance(set_a: AbstractSet[int], set_b: AbstractSet[int]) -> float:
+    """Exact Broder resemblance ``|A ∩ B| / |A ∪ B|`` (0 for two empties)."""
+    union_size = len(set_a | set_b)
+    if union_size == 0:
+        return 0.0
+    return overlap(set_a, set_b) / union_size
+
+
+def novelty(set_b: AbstractSet[int], set_a: AbstractSet[int]) -> int:
+    """Exact ``Novelty(B | A) = |B - (A ∩ B)|`` — what B adds beyond A.
+
+    Note the argument order mirrors the paper's conditional notation:
+    the *first* argument is the candidate ``B``, the second the already
+    covered reference ``A``.
+    """
+    return len(set_b - set_a)
+
+
+# -- conversions between measures (Section 3.1 / 5.2) ----------------------
+
+
+def overlap_from_resemblance(res: float, card_a: float, card_b: float) -> float:
+    """Recover ``|A ∩ B|`` from resemblance and both cardinalities.
+
+    From ``R = i / (|A| + |B| - i)`` solve ``i = R (|A| + |B|) / (R + 1)``.
+    The result is clamped to the feasible range ``[0, min(|A|, |B|)]`` to
+    absorb estimator noise.
+    """
+    _check_probability("resemblance", res)
+    _check_cardinality(card_a)
+    _check_cardinality(card_b)
+    estimate = res * (card_a + card_b) / (res + 1.0)
+    return min(max(estimate, 0.0), min(card_a, card_b))
+
+
+def overlap_from_containment(cont: float, card_b: float) -> float:
+    """Recover ``|A ∩ B|`` from ``Containment(A, B)`` and ``|B|``."""
+    _check_probability("containment", cont)
+    _check_cardinality(card_b)
+    return cont * card_b
+
+
+def resemblance_from_containment(
+    cont: float, card_a: float, card_b: float
+) -> float:
+    """Convert containment to resemblance given both cardinalities."""
+    inter = overlap_from_containment(cont, card_b)
+    union_size = card_a + card_b - inter
+    if union_size <= 0.0:
+        return 0.0
+    return min(1.0, inter / union_size)
+
+
+def containment_from_resemblance(
+    res: float, card_a: float, card_b: float
+) -> float:
+    """Convert resemblance to containment given both cardinalities."""
+    if card_b <= 0.0:
+        return 0.0
+    return min(1.0, overlap_from_resemblance(res, card_a, card_b) / card_b)
+
+
+def novelty_from_resemblance(res: float, card_ref: float, card_cand: float) -> float:
+    """Novelty of the candidate from a resemblance estimate (Section 5.2).
+
+    ``Novelty(B | A) = |B| - |A ∩ B|`` with the overlap recovered via
+    :func:`overlap_from_resemblance`.  ``card_ref`` is ``|A|`` (reference,
+    already covered) and ``card_cand`` is ``|B|`` (candidate).
+    """
+    inter = overlap_from_resemblance(res, card_ref, card_cand)
+    return max(0.0, card_cand - inter)
+
+
+def novelty_from_union(
+    union_cardinality: float, card_ref: float, card_cand: float
+) -> float:
+    """Novelty from a union-cardinality estimate (hash-sketch path).
+
+    Using ``|A ∩ B| = |A| + |B| - |A ∪ B|``, novelty simplifies to
+    ``|A ∪ B| - |A|``, clamped to ``[0, |B|]``.
+    """
+    _check_cardinality(card_ref)
+    _check_cardinality(card_cand)
+    if union_cardinality < 0.0:
+        raise ValueError(f"union cardinality must be >= 0, got {union_cardinality}")
+    return min(max(0.0, union_cardinality - card_ref), card_cand)
+
+
+def _check_probability(name: str, value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value}")
+
+
+def _check_cardinality(value: float) -> None:
+    if value < 0.0:
+        raise ValueError(f"cardinality must be >= 0, got {value}")

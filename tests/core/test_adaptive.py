@@ -1,0 +1,99 @@
+"""Tests for adaptive synopsis-type selection (future work #1)."""
+
+import pytest
+
+from repro.core.adaptive import AdaptiveSpecPolicy, needs_repost
+
+
+class TestPolicyValidation:
+    def test_defaults(self):
+        policy = AdaptiveSpecPolicy()
+        assert policy.bloom_capacity == 256
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            AdaptiveSpecPolicy(budget_bits=0)
+        with pytest.raises(ValueError):
+            AdaptiveSpecPolicy(bloom_bits_per_element=0)
+
+
+class TestChoice:
+    def test_small_lists_get_bloom(self):
+        policy = AdaptiveSpecPolicy(budget_bits=2048)
+        spec = policy.choose(100)
+        assert spec.kind == "bloom"
+        assert spec.size_in_bits <= 2048
+
+    def test_medium_lists_get_mips(self):
+        policy = AdaptiveSpecPolicy(budget_bits=2048)
+        assert policy.choose(1000).kind == "mips"
+
+    def test_huge_disjunctive_lists_get_loglog(self):
+        policy = AdaptiveSpecPolicy(budget_bits=2048, conjunctive=False)
+        assert policy.choose(100_000).kind == "loglog"
+
+    def test_conjunctive_never_chooses_counters(self):
+        policy = AdaptiveSpecPolicy(budget_bits=2048, conjunctive=True)
+        for length in (10, 1000, 100_000, 10_000_000):
+            assert policy.choose(length).supports_intersection
+
+    def test_deterministic_across_peers(self):
+        """Two peers with the same policy and global df choose the same
+        spec — the comparability requirement."""
+        a = AdaptiveSpecPolicy(budget_bits=2048, seed=7)
+        b = AdaptiveSpecPolicy(budget_bits=2048, seed=7)
+        for length in (10, 500, 5_000, 500_000):
+            assert a.choose(length) == b.choose(length)
+
+    def test_budget_respected(self):
+        policy = AdaptiveSpecPolicy(budget_bits=1024)
+        for length in (10, 1000, 1_000_000):
+            assert policy.choose(length).size_in_bits <= 1024
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            AdaptiveSpecPolicy().choose(-1)
+
+    def test_chosen_specs_are_comparable(self):
+        policy = AdaptiveSpecPolicy(budget_bits=1024, seed=3)
+        spec = policy.choose(5000)
+        a = spec.build(range(100))
+        b = spec.build(range(50, 150))
+        assert 0.0 <= a.estimate_resemblance(b) <= 1.0
+
+
+class TestBands:
+    def test_band_mapping(self):
+        policy = AdaptiveSpecPolicy(budget_bits=2048)
+        assert policy.choose_for_band("rare").kind == "bloom"
+        assert policy.choose_for_band("common").kind == "mips"
+        assert policy.choose_for_band("ubiquitous").kind == "loglog"
+
+    def test_unknown_band(self):
+        with pytest.raises(ValueError, match="unknown band"):
+            AdaptiveSpecPolicy().choose_for_band("sometimes")
+
+
+class TestRepostTrigger:
+    def test_growth_triggers(self):
+        assert needs_repost(100, 150)
+        assert not needs_repost(100, 149)
+
+    def test_shrink_triggers(self):
+        assert needs_repost(150, 100)
+        assert not needs_repost(149, 100)
+
+    def test_appearance_and_disappearance(self):
+        assert needs_repost(0, 1)
+        assert needs_repost(5, 0)
+        assert not needs_repost(0, 0)
+
+    def test_custom_factor(self):
+        assert not needs_repost(100, 180, drift_factor=2.0)
+        assert needs_repost(100, 200, drift_factor=2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            needs_repost(10, 10, drift_factor=1.0)
+        with pytest.raises(ValueError):
+            needs_repost(-1, 10)

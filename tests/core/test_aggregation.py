@@ -1,0 +1,199 @@
+"""Tests for the per-peer and per-term aggregation strategies (Section 6)."""
+
+import pytest
+
+from repro.core.aggregation import PerPeerAggregation, PerTermAggregation
+from repro.datasets.queries import Query
+from repro.minerva.posts import PeerList, Post
+from repro.routing.base import LocalView, RoutingContext
+from repro.synopses.base import UnsupportedOperationError
+from repro.synopses.factory import SynopsisSpec
+
+MIPS = SynopsisSpec.parse("mips-64")
+HS = SynopsisSpec.parse("hs-16")
+
+
+def make_post(spec, peer_id, term, ids):
+    ids = list(ids)
+    return Post(
+        peer_id=peer_id,
+        term=term,
+        cdf=len(ids),
+        max_score=1.0,
+        avg_score=0.5,
+        term_space_size=100,
+        synopsis=spec.build(ids),
+    )
+
+
+def two_term_context(
+    spec=MIPS,
+    *,
+    conjunctive=False,
+    initiator_ids=frozenset(range(100)),
+):
+    """Peers over terms 'a' and 'b' with controlled doc-id sets.
+
+    - 'dup' repeats the initiator's documents on both terms;
+    - 'fresh' holds disjoint documents on both terms;
+    - 'half' holds term 'a' only.
+    """
+    list_a = PeerList(term="a")
+    list_b = PeerList(term="b")
+    list_a.add(make_post(spec, "dup", "a", range(100)))
+    list_b.add(make_post(spec, "dup", "b", range(100)))
+    list_a.add(make_post(spec, "fresh", "a", range(1000, 1100)))
+    list_b.add(make_post(spec, "fresh", "b", range(1100, 1200)))
+    list_a.add(make_post(spec, "half", "a", range(2000, 2100)))
+    initiator = LocalView(
+        peer_id="me",
+        result_doc_ids=frozenset(initiator_ids),
+        doc_ids_by_term={
+            "a": frozenset(initiator_ids),
+            "b": frozenset(initiator_ids),
+        },
+    )
+    return RoutingContext(
+        query=Query(0, ("a", "b")),
+        peer_lists={"a": list_a, "b": list_b},
+        num_peers=5,
+        spec=spec,
+        initiator=initiator,
+        conjunctive=conjunctive,
+    )
+
+
+def candidate(context, peer_id):
+    return {c.peer_id: c for c in context.candidates()}[peer_id]
+
+
+class TestPerPeerDisjunctive:
+    def test_duplicate_peer_scores_near_zero(self):
+        context = two_term_context()
+        strategy = PerPeerAggregation()
+        state = strategy.start(context)
+        assert strategy.novelty(state, candidate(context, "dup")) < 40
+
+    def test_fresh_peer_scores_near_full_size(self):
+        context = two_term_context()
+        strategy = PerPeerAggregation()
+        state = strategy.start(context)
+        novelty = strategy.novelty(state, candidate(context, "fresh"))
+        assert novelty > 120  # ~200 distinct docs across both terms
+
+    def test_absorb_discounts_future_duplicates(self):
+        """The Aggregate-Synopses step: after absorbing 'fresh', a clone
+        of fresh's content would no longer be novel."""
+        context = two_term_context()
+        strategy = PerPeerAggregation()
+        state = strategy.start(context)
+        fresh = candidate(context, "fresh")
+        before = strategy.novelty(state, fresh)
+        strategy.absorb(state, fresh)
+        after = strategy.novelty(state, fresh)
+        assert after < 0.3 * before
+
+    def test_absorb_updates_coverage(self):
+        context = two_term_context()
+        strategy = PerPeerAggregation()
+        state = strategy.start(context)
+        start_coverage = strategy.estimated_coverage(state)
+        strategy.absorb(state, candidate(context, "fresh"))
+        assert strategy.estimated_coverage(state) > start_coverage
+
+    def test_seeded_from_initiator(self):
+        context = two_term_context()
+        strategy = PerPeerAggregation()
+        state = strategy.start(context)
+        assert state.reference_cardinality == 100.0
+        assert not state.reference.is_empty
+
+    def test_no_initiator_starts_empty(self):
+        context = two_term_context()
+        context.initiator = None
+        state = PerPeerAggregation().start(context)
+        assert state.reference_cardinality == 0.0
+        assert state.reference.is_empty
+
+    def test_half_peer_counts_single_term(self):
+        context = two_term_context()
+        strategy = PerPeerAggregation()
+        state = strategy.start(context)
+        novelty = strategy.novelty(state, candidate(context, "half"))
+        assert 50 < novelty <= 110
+
+
+class TestPerPeerConjunctive:
+    def test_peer_missing_term_scores_zero(self):
+        context = two_term_context(conjunctive=True)
+        strategy = PerPeerAggregation()
+        state = strategy.start(context)
+        assert strategy.novelty(state, candidate(context, "half")) == 0.0
+
+    def test_intersection_bounds_cardinality(self):
+        context = two_term_context(conjunctive=True)
+        strategy = PerPeerAggregation()
+        state = strategy.start(context)
+        # fresh's term sets are disjoint: conjunctive matches ~0 docs.
+        novelty = strategy.novelty(state, candidate(context, "fresh"))
+        assert novelty <= 100  # min cdf bound
+
+    def test_hash_sketch_crude_fallback(self):
+        context = two_term_context(spec=HS, conjunctive=True)
+        strategy = PerPeerAggregation(crude_conjunctive_fallback=True)
+        state = strategy.start(context)
+        # Falls back to union; must not raise.
+        assert strategy.novelty(state, candidate(context, "dup")) >= 0.0
+
+    def test_hash_sketch_strict_mode_raises(self):
+        context = two_term_context(spec=HS, conjunctive=True)
+        strategy = PerPeerAggregation(crude_conjunctive_fallback=False)
+        state = strategy.start(context)
+        with pytest.raises(UnsupportedOperationError):
+            strategy.novelty(state, candidate(context, "fresh"))
+
+
+class TestPerTerm:
+    def test_duplicate_peer_scores_near_zero(self):
+        context = two_term_context()
+        strategy = PerTermAggregation()
+        state = strategy.start(context)
+        assert strategy.novelty(state, candidate(context, "dup")) < 40
+
+    def test_fresh_peer_sums_term_novelties(self):
+        context = two_term_context()
+        strategy = PerTermAggregation()
+        state = strategy.start(context)
+        novelty = strategy.novelty(state, candidate(context, "fresh"))
+        assert novelty == pytest.approx(200, rel=0.3)
+
+    def test_absorb_is_per_term(self):
+        context = two_term_context()
+        strategy = PerTermAggregation()
+        state = strategy.start(context)
+        strategy.absorb(state, candidate(context, "half"))
+        # Only term 'a' was absorbed; a peer novel on 'b' is unaffected.
+        fresh_novelty = strategy.novelty(state, candidate(context, "fresh"))
+        assert fresh_novelty > 120
+
+    def test_conjunctive_needs_no_intersection(self):
+        """The Section 6.3 advantage: per-term works for conjunctive
+        queries even on hash sketches."""
+        context = two_term_context(spec=HS, conjunctive=True)
+        strategy = PerTermAggregation()
+        state = strategy.start(context)
+        assert strategy.novelty(state, candidate(context, "fresh")) >= 0.0
+
+    def test_preserves_relative_ranking(self):
+        context = two_term_context()
+        strategy = PerTermAggregation()
+        state = strategy.start(context)
+        fresh = strategy.novelty(state, candidate(context, "fresh"))
+        dup = strategy.novelty(state, candidate(context, "dup"))
+        assert fresh > dup
+
+    def test_coverage_sums_terms(self):
+        context = two_term_context()
+        strategy = PerTermAggregation()
+        state = strategy.start(context)
+        assert strategy.estimated_coverage(state) == 200.0  # 100 per term

@@ -1,0 +1,150 @@
+"""Tests for adaptive synopsis length allocation (Section 7.2)."""
+
+import pytest
+
+from repro.core.budget import (
+    allocate_budget,
+    benefit_list_length,
+    benefit_score_mass_quantile,
+    benefit_score_threshold,
+    build_adaptive_posts,
+    uniform_budget,
+)
+from repro.ir.documents import Corpus, Document
+from repro.ir.index import InvertedIndex
+from repro.minerva.peer import Peer
+from repro.synopses.factory import SynopsisSpec
+from repro.synopses.mips import BITS_PER_POSITION
+
+
+@pytest.fixture
+def corpus():
+    docs = []
+    # "common" in 30 docs, "rare" in 3, "mid" in 10.
+    for i in range(30):
+        terms = ["common"]
+        if i < 3:
+            terms.append("rare")
+        if i < 10:
+            terms += ["mid"] * (1 + i)  # skewed tf -> skewed scores
+        docs.append(Document.from_terms(i, terms))
+    return Corpus.from_documents(docs)
+
+
+@pytest.fixture
+def index(corpus):
+    return InvertedIndex(corpus)
+
+
+TERMS = ["common", "mid", "rare"]
+
+
+class TestBenefits:
+    def test_list_length(self, index):
+        assert benefit_list_length(index, "common") == 30
+        assert benefit_list_length(index, "rare") == 3
+        assert benefit_list_length(index, "absent") == 0
+
+    def test_score_threshold(self, index):
+        benefit = benefit_score_threshold(0.5)
+        assert benefit(index, "mid") <= index.document_frequency("mid")
+        assert benefit(index, "absent") == 0.0
+
+    def test_score_threshold_validation(self):
+        with pytest.raises(ValueError):
+            benefit_score_threshold(1.5)
+
+    def test_score_mass_quantile_skew_sensitivity(self, index):
+        """A skewed list reaches 90% of its score mass in fewer entries
+        than its full length."""
+        benefit = benefit_score_mass_quantile(0.9)
+        assert 0 < benefit(index, "mid") <= index.document_frequency("mid")
+        assert benefit(index, "absent") == 0.0
+
+    def test_quantile_validation(self):
+        with pytest.raises(ValueError):
+            benefit_score_mass_quantile(0.0)
+
+
+class TestAllocation:
+    def test_sums_to_budget(self, index):
+        allocation = allocate_budget(index, TERMS, 96 * BITS_PER_POSITION)
+        assert sum(allocation.values()) == 96 * BITS_PER_POSITION
+
+    def test_proportional_to_benefit(self, index):
+        allocation = allocate_budget(index, TERMS, 128 * BITS_PER_POSITION)
+        assert allocation["common"] > allocation["mid"] > allocation["rare"]
+
+    def test_every_term_gets_minimum(self, index):
+        allocation = allocate_budget(index, TERMS, 4 * BITS_PER_POSITION)
+        assert all(v >= BITS_PER_POSITION for v in allocation.values())
+
+    def test_granularity_respected(self, index):
+        allocation = allocate_budget(index, TERMS, 50 * BITS_PER_POSITION)
+        assert all(v % BITS_PER_POSITION == 0 for v in allocation.values())
+
+    def test_zero_benefit_terms_get_floor(self, index):
+        allocation = allocate_budget(
+            index, ["absent1", "absent2"], 10 * BITS_PER_POSITION
+        )
+        assert all(v == BITS_PER_POSITION for v in allocation.values())
+
+    def test_budget_below_floor_rejected(self, index):
+        with pytest.raises(ValueError, match="floor"):
+            allocate_budget(index, TERMS, 2 * BITS_PER_POSITION)
+
+    def test_duplicate_terms_rejected(self, index):
+        with pytest.raises(ValueError):
+            allocate_budget(index, ["a", "a"], 1024)
+
+    def test_empty_terms_rejected(self, index):
+        with pytest.raises(ValueError):
+            allocate_budget(index, [], 1024)
+
+    def test_deterministic(self, index):
+        a = allocate_budget(index, TERMS, 77 * BITS_PER_POSITION)
+        b = allocate_budget(index, TERMS, 77 * BITS_PER_POSITION)
+        assert a == b
+
+
+class TestUniform:
+    def test_equal_shares(self):
+        allocation = uniform_budget(TERMS, 96 * BITS_PER_POSITION)
+        assert set(allocation.values()) == {32 * BITS_PER_POSITION}
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            uniform_budget(TERMS, 2)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            uniform_budget([], 1024)
+
+
+class TestAdaptivePosts:
+    def test_posts_have_allocated_lengths(self, corpus, index):
+        peer = Peer("p1", corpus, spec=SynopsisSpec.parse("mips-64"), index=index)
+        allocation = allocate_budget(index, TERMS, 64 * BITS_PER_POSITION)
+        posts = build_adaptive_posts(peer, allocation)
+        assert len(posts) == 3
+        for post in posts:
+            assert post.synopsis.size_in_bits == allocation[post.term]
+
+    def test_heterogeneous_posts_remain_comparable(self, corpus, index):
+        """Long and short MIPs from the allocation still estimate
+        resemblance on their common prefix."""
+        peer = Peer("p1", corpus, spec=SynopsisSpec.parse("mips-64"), index=index)
+        allocation = allocate_budget(index, TERMS, 64 * BITS_PER_POSITION)
+        posts = {p.term: p for p in build_adaptive_posts(peer, allocation)}
+        r = posts["common"].synopsis.estimate_resemblance(posts["mid"].synopsis)
+        assert 0.0 <= r <= 1.0
+
+    def test_non_mips_rejected(self, corpus, index):
+        peer = Peer("p1", corpus, spec=SynopsisSpec.parse("bf-1024"), index=index)
+        with pytest.raises(ValueError, match="MIPs"):
+            build_adaptive_posts(peer, {"common": 512})
+
+    def test_nonpositive_allocation_rejected(self, corpus, index):
+        peer = Peer("p1", corpus, spec=SynopsisSpec.parse("mips-64"), index=index)
+        with pytest.raises(ValueError):
+            build_adaptive_posts(peer, {"common": 0})

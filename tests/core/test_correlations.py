@@ -1,0 +1,139 @@
+"""Tests for correlation-aware per-term aggregation (future work #2)."""
+
+import pytest
+
+from repro.core.aggregation import PerTermAggregation
+from repro.core.correlations import (
+    CorrelationAwarePerTerm,
+    estimate_distinct_mass,
+)
+from repro.datasets.queries import Query
+from repro.minerva.posts import PeerList, Post
+from repro.routing.base import LocalView, RoutingContext
+from repro.synopses.factory import SynopsisSpec
+
+SPEC = SynopsisSpec.parse("mips-64")
+
+
+def make_post(peer_id, term, ids):
+    ids = list(ids)
+    return Post(
+        peer_id=peer_id,
+        term=term,
+        cdf=len(ids),
+        max_score=1.0,
+        avg_score=0.5,
+        term_space_size=100,
+        synopsis=SPEC.build(ids),
+    )
+
+
+def correlated_context():
+    """Two candidates with equal per-term novelty sums but different
+    inter-term correlation:
+
+    - 'correlated': both terms over the SAME 200 docs (distinct mass 200);
+    - 'independent': disjoint 200-doc lists per term (distinct mass 400).
+    """
+    list_a = PeerList(term="a")
+    list_b = PeerList(term="b")
+    same_docs = range(1000, 1200)
+    list_a.add(make_post("correlated", "a", same_docs))
+    list_b.add(make_post("correlated", "b", same_docs))
+    list_a.add(make_post("independent", "a", range(2000, 2200)))
+    list_b.add(make_post("independent", "b", range(3000, 3200)))
+    return RoutingContext(
+        query=Query(0, ("a", "b")),
+        peer_lists={"a": list_a, "b": list_b},
+        num_peers=4,
+        spec=SPEC,
+        initiator=LocalView(peer_id="me"),
+    )
+
+
+def candidate(context, peer_id):
+    return {c.peer_id: c for c in context.candidates()}[peer_id]
+
+
+class TestDistinctMass:
+    def test_identical_lists_counted_once(self):
+        context = correlated_context()
+        mass = estimate_distinct_mass(
+            candidate(context, "correlated"), ("a", "b")
+        )
+        assert mass == pytest.approx(200, rel=0.25)
+
+    def test_disjoint_lists_counted_fully(self):
+        context = correlated_context()
+        mass = estimate_distinct_mass(
+            candidate(context, "independent"), ("a", "b")
+        )
+        assert mass == pytest.approx(400, rel=0.15)
+
+    def test_missing_terms_ignored(self):
+        context = correlated_context()
+        mass = estimate_distinct_mass(candidate(context, "correlated"), ("a",))
+        assert mass == 200.0
+
+    def test_no_posts_is_zero(self):
+        context = correlated_context()
+        assert (
+            estimate_distinct_mass(candidate(context, "correlated"), ("zzz",))
+            == 0.0
+        )
+
+    def test_bounded_by_largest_list(self):
+        context = correlated_context()
+        mass = estimate_distinct_mass(
+            candidate(context, "correlated"), ("a", "b")
+        )
+        assert mass >= 200.0  # union can't be smaller than one list
+
+
+class TestCorrelationAwareNovelty:
+    def test_plain_per_term_cannot_distinguish(self):
+        """The baseline's blind spot: both candidates sum to ~400."""
+        context = correlated_context()
+        strategy = PerTermAggregation()
+        state = strategy.start(context)
+        plain_corr = strategy.novelty(state, candidate(context, "correlated"))
+        plain_indep = strategy.novelty(state, candidate(context, "independent"))
+        assert plain_corr == pytest.approx(plain_indep, rel=0.15)
+
+    def test_correlation_correction_separates_them(self):
+        context = correlated_context()
+        strategy = CorrelationAwarePerTerm()
+        state = strategy.start(context)
+        corrected_corr = strategy.novelty(state, candidate(context, "correlated"))
+        corrected_indep = strategy.novelty(
+            state, candidate(context, "independent")
+        )
+        # The duplicated-list peer is scaled toward ~200; the independent
+        # peer keeps ~400.
+        assert corrected_indep > 1.5 * corrected_corr
+        assert corrected_corr == pytest.approx(200, rel=0.35)
+
+    def test_absorb_still_per_term(self):
+        """Aggregate-Synopses remains the parent's per-term union."""
+        context = correlated_context()
+        strategy = CorrelationAwarePerTerm()
+        state = strategy.start(context)
+        independent = candidate(context, "independent")
+        strategy.absorb(state, independent)
+        assert strategy.novelty(state, independent) < 100
+
+    def test_zero_novelty_stays_zero(self):
+        context = correlated_context()
+        strategy = CorrelationAwarePerTerm()
+        state = strategy.start(context)
+        chosen = candidate(context, "correlated")
+        strategy.absorb(state, chosen)
+        assert strategy.novelty(state, chosen) < 60
+
+    def test_works_inside_iqn(self):
+        from repro.core.iqn import IQNRouter
+
+        context = correlated_context()
+        router = IQNRouter(CorrelationAwarePerTerm(), quality_weighted=False)
+        ranked = router.rank(context, 2)
+        assert ranked[0] == "independent"

@@ -1,0 +1,173 @@
+"""Tests for score-conscious histogram novelty (Section 7.1)."""
+
+import pytest
+
+from repro.core.histogram_routing import (
+    HistogramAggregation,
+    cell_midpoint_weights,
+    per_cell_novelties,
+    top_heavy_weights,
+    weighted_histogram_novelty,
+)
+from repro.datasets.queries import Query
+from repro.minerva.posts import PeerList, Post
+from repro.routing.base import LocalView, RoutingContext
+from repro.synopses.factory import SynopsisSpec
+from repro.synopses.histogram import ScoreHistogramSynopsis
+
+SPEC = SynopsisSpec.parse("mips-32")
+
+
+def hist(scored_ids, num_cells=2):
+    return ScoreHistogramSynopsis.from_scored_ids(
+        scored_ids, spec=SPEC, num_cells=num_cells
+    )
+
+
+def high_scored(ids):
+    return [(i, 0.9) for i in ids]
+
+
+def low_scored(ids):
+    return [(i, 0.1) for i in ids]
+
+
+class TestPerCellNovelties:
+    def test_disjoint_candidate_fully_novel(self):
+        ref = hist(high_scored(range(100)))
+        cand = hist(high_scored(range(1000, 1100)))
+        novelties = per_cell_novelties(cand, ref)
+        assert novelties[0] == 0.0
+        assert novelties[1] == pytest.approx(100, rel=0.3)
+
+    def test_duplicate_candidate_near_zero(self):
+        ref = hist(high_scored(range(100)))
+        cand = hist(high_scored(range(100)))
+        assert sum(per_cell_novelties(cand, ref)) < 30
+
+    def test_cross_cell_overlap_detected(self):
+        """A doc can sit in different cells at different peers (local
+        score normalization) — the all-pairs estimation must catch it."""
+        ref = hist(low_scored(range(100)))     # docs in low cell
+        cand = hist(high_scored(range(100)))   # same docs, high cell
+        novelties = per_cell_novelties(cand, ref)
+        assert novelties[1] < 30
+
+    def test_empty_reference(self):
+        ref = ScoreHistogramSynopsis.empty(spec=SPEC, num_cells=2)
+        cand = hist(high_scored(range(50)))
+        assert per_cell_novelties(cand, ref)[1] == pytest.approx(50)
+
+
+class TestWeightedNovelty:
+    def test_high_cell_novelty_weighs_more(self):
+        ref = ScoreHistogramSynopsis.empty(spec=SPEC, num_cells=2)
+        top = hist(high_scored(range(100)))
+        bottom = hist(low_scored(range(100)))
+        assert weighted_histogram_novelty(top, ref) > weighted_histogram_novelty(
+            bottom, ref
+        )
+
+    def test_top_heavy_weights_amplify(self):
+        ref = ScoreHistogramSynopsis.empty(spec=SPEC, num_cells=4)
+        cand = hist([(i, 0.95) for i in range(100)], num_cells=4)
+        linear = weighted_histogram_novelty(
+            cand, ref, weights=cell_midpoint_weights
+        )
+        quadratic = weighted_histogram_novelty(cand, ref, weights=top_heavy_weights)
+        # midpoint of top cell = 0.875; squared = 0.766 < 0.875.
+        assert quadratic < linear
+
+    def test_weight_function_validation(self):
+        ref = ScoreHistogramSynopsis.empty(spec=SPEC, num_cells=2)
+        cand = hist(high_scored(range(10)))
+        with pytest.raises(ValueError):
+            weighted_histogram_novelty(cand, ref, weights=lambda h: [1.0])
+        with pytest.raises(ValueError):
+            weighted_histogram_novelty(cand, ref, weights=lambda h: [-1.0, 1.0])
+
+
+def histogram_context(conjunctive=False, with_histograms=True):
+    apple = PeerList(term="apple")
+
+    def post(peer_id, scored_ids):
+        histogram = hist(scored_ids) if with_histograms else None
+        return Post(
+            peer_id=peer_id,
+            term="apple",
+            cdf=len(scored_ids),
+            max_score=1.0,
+            avg_score=0.5,
+            term_space_size=100,
+            synopsis=SPEC.build([i for i, _ in scored_ids]),
+            histogram=histogram,
+        )
+
+    # 'top' has novel docs in the high-score cell; 'tail' the same number
+    # of novel docs in the low-score cell.
+    apple.add(post("top", high_scored(range(200, 300))))
+    apple.add(post("tail", low_scored(range(400, 500))))
+    return RoutingContext(
+        query=Query(0, ("apple",)),
+        peer_lists={"apple": apple},
+        num_peers=4,
+        spec=SPEC,
+        initiator=LocalView(peer_id="me"),
+        conjunctive=conjunctive,
+    )
+
+
+class TestHistogramAggregation:
+    def test_prefers_high_scoring_novelty(self):
+        strategy = HistogramAggregation()
+        context = histogram_context()
+        state = strategy.start(context)
+        by_id = {c.peer_id: c for c in context.candidates()}
+        assert strategy.novelty(state, by_id["top"]) > strategy.novelty(
+            state, by_id["tail"]
+        )
+
+    def test_absorb_discounts(self):
+        strategy = HistogramAggregation()
+        context = histogram_context()
+        state = strategy.start(context)
+        by_id = {c.peer_id: c for c in context.candidates()}
+        before = strategy.novelty(state, by_id["top"])
+        strategy.absorb(state, by_id["top"])
+        assert strategy.novelty(state, by_id["top"]) < 0.3 * before
+
+    def test_coverage_tracks_absorbed_cells(self):
+        strategy = HistogramAggregation()
+        context = histogram_context()
+        state = strategy.start(context)
+        by_id = {c.peer_id: c for c in context.candidates()}
+        strategy.absorb(state, by_id["top"])
+        assert strategy.estimated_coverage(state) == pytest.approx(100, rel=0.3)
+
+    def test_conjunctive_rejected(self):
+        with pytest.raises(ValueError, match="disjunctive"):
+            HistogramAggregation().start(histogram_context(conjunctive=True))
+
+    def test_requires_histogram_posts(self):
+        context = histogram_context(with_histograms=False)
+        with pytest.raises(ValueError, match="histogram"):
+            HistogramAggregation().start(context)
+
+    def test_candidate_without_histogram_scores_zero(self):
+        strategy = HistogramAggregation()
+        context = histogram_context()
+        # Add a histogram-less post for a new peer.
+        context.peer_lists["apple"].add(
+            Post(
+                peer_id="bare",
+                term="apple",
+                cdf=10,
+                max_score=1.0,
+                avg_score=0.5,
+                term_space_size=100,
+                synopsis=SPEC.build(range(10)),
+            )
+        )
+        state = strategy.start(context)
+        by_id = {c.peer_id: c for c in context.candidates()}
+        assert strategy.novelty(state, by_id["bare"]) == 0.0

@@ -1,0 +1,170 @@
+"""Tests for the IQN router (Section 5.1) — the paper's core algorithm."""
+
+import pytest
+
+from repro.core.aggregation import PerTermAggregation
+from repro.core.iqn import IQNRouter, IQNSelection
+from repro.core.stopping import CoverageTarget, MinimumNoveltyGain
+from repro.datasets.queries import Query
+from repro.minerva.posts import PeerList, Post
+from repro.routing.base import LocalView, RoutingContext
+from repro.synopses.factory import SynopsisSpec
+
+SPEC = SynopsisSpec.parse("mips-64")
+
+
+def make_post(peer_id, term, ids):
+    ids = list(ids)
+    return Post(
+        peer_id=peer_id,
+        term=term,
+        cdf=len(ids),
+        max_score=1.0,
+        avg_score=0.5,
+        term_space_size=100,
+        synopsis=SPEC.build(ids),
+    )
+
+
+def twins_context():
+    """The scenario that separates IQN from one-shot overlap routing.
+
+    The initiator holds 0..99.  Candidates:
+    - twin1, twin2: identical large novel collections (200..399);
+    - other: a distinct novel collection (500..649), smaller than a twin.
+
+    A one-shot method picks both twins (both maximally novel w.r.t. the
+    initiator); IQN must pick one twin, absorb it, and then prefer
+    'other' because the second twin adds nothing.
+    """
+    apple = PeerList(term="apple")
+    apple.add(make_post("twin1", "apple", range(200, 400)))
+    apple.add(make_post("twin2", "apple", range(200, 400)))
+    apple.add(make_post("other", "apple", range(500, 650)))
+    initiator = LocalView(
+        peer_id="me",
+        result_doc_ids=frozenset(range(100)),
+        doc_ids_by_term={"apple": frozenset(range(100))},
+    )
+    return RoutingContext(
+        query=Query(0, ("apple",)),
+        peer_lists={"apple": apple},
+        num_peers=6,
+        spec=SPEC,
+        initiator=initiator,
+    )
+
+
+class TestIterativeSelection:
+    def test_avoids_duplicate_twin(self):
+        ranked = IQNRouter().rank(twins_context(), max_peers=2)
+        assert len(ranked) == 2
+        assert "other" in ranked
+        assert not {"twin1", "twin2"} <= set(ranked)
+
+    def test_first_pick_is_a_twin(self):
+        """Twins are larger, hence more novel initially."""
+        ranked = IQNRouter().rank(twins_context(), max_peers=3)
+        assert ranked[0] in {"twin1", "twin2"}
+
+    def test_full_ranking_orders_duplicate_last(self):
+        ranked = IQNRouter().rank(twins_context(), max_peers=3)
+        assert ranked[2] in {"twin1", "twin2"}
+
+    def test_per_term_strategy_same_decision(self):
+        ranked = IQNRouter(PerTermAggregation()).rank(twins_context(), 2)
+        assert "other" in ranked
+
+    def test_deterministic(self):
+        a = IQNRouter().rank(twins_context(), 3)
+        b = IQNRouter().rank(twins_context(), 3)
+        assert a == b
+
+
+class TestDiagnostics:
+    def test_rank_detailed_returns_selections(self):
+        selections = IQNRouter().rank_detailed(twins_context(), 3)
+        assert all(isinstance(s, IQNSelection) for s in selections)
+        assert all(s.novelty >= 0 and s.quality > 0 for s in selections)
+
+    def test_score_is_product(self):
+        selection = IQNRouter().rank_detailed(twins_context(), 1)[0]
+        assert selection.score == pytest.approx(
+            selection.quality * selection.novelty
+        )
+
+    def test_novelty_decreases_for_absorbed_duplicates(self):
+        selections = IQNRouter().rank_detailed(twins_context(), 3)
+        twin_novelties = [
+            s.novelty for s in selections if s.peer_id.startswith("twin")
+        ]
+        assert twin_novelties[1] < 0.3 * twin_novelties[0]
+
+
+class TestStopping:
+    def test_max_peers_limits(self):
+        assert len(IQNRouter().rank(twins_context(), max_peers=1)) == 1
+
+    def test_coverage_target_stops_early(self):
+        router = IQNRouter(stopping=CoverageTarget(250))
+        ranked = router.rank(twins_context(), max_peers=3)
+        # Initiator (100) + first twin (~200) exceeds 250 at once.
+        assert len(ranked) == 1
+
+    def test_min_novelty_gain_stops_on_duplicate(self):
+        router = IQNRouter(stopping=MinimumNoveltyGain(20.0))
+        ranked = router.rank(twins_context(), max_peers=3)
+        # Stops as soon as the best remaining peer adds < 20 docs: the
+        # second twin triggers the cutoff after being selected.
+        assert len(ranked) <= 3
+
+    def test_max_peers_validation(self):
+        with pytest.raises(ValueError):
+            IQNRouter().rank(twins_context(), 0)
+
+
+class TestQualityWeighting:
+    def test_novelty_only_mode(self):
+        router = IQNRouter(quality_weighted=False)
+        selections = router.rank_detailed(twins_context(), 2)
+        assert all(s.quality == 1.0 for s in selections)
+        assert "other" in [s.peer_id for s in selections]
+
+    def test_name_reflects_configuration(self):
+        assert "IQN" in IQNRouter().name
+        assert "novelty-only" in IQNRouter(quality_weighted=False).name
+
+
+class TestEdges:
+    def test_no_candidates(self):
+        context = RoutingContext(
+            query=Query(0, ("apple",)),
+            peer_lists={"apple": PeerList(term="apple")},
+            num_peers=2,
+            spec=SPEC,
+        )
+        assert IQNRouter().rank(context, 3) == []
+
+    def test_max_peers_beyond_candidates(self):
+        ranked = IQNRouter().rank(twins_context(), max_peers=50)
+        assert len(ranked) == 3
+
+    def test_zero_novelty_candidates_still_ranked_by_quality(self):
+        """When every remaining peer duplicates the reference, IQN keeps
+        selecting (by quality) rather than stalling."""
+        apple = PeerList(term="apple")
+        apple.add(make_post("dup1", "apple", range(100)))
+        apple.add(make_post("dup2", "apple", range(100)))
+        initiator = LocalView(
+            peer_id="me",
+            result_doc_ids=frozenset(range(100)),
+            doc_ids_by_term={"apple": frozenset(range(100))},
+        )
+        context = RoutingContext(
+            query=Query(0, ("apple",)),
+            peer_lists={"apple": apple},
+            num_peers=4,
+            spec=SPEC,
+            initiator=initiator,
+        )
+        assert len(IQNRouter().rank(context, 2)) == 2

@@ -1,0 +1,152 @@
+"""Tests for synopsis-based novelty estimation (Section 5.2)."""
+
+import random
+
+import pytest
+
+from repro.core.novelty import estimate_novelty
+from repro.synopses.base import IncompatibleSynopsesError
+from repro.synopses.factory import SynopsisSpec
+from repro.synopses.measures import novelty as exact_novelty
+
+# The Bloom spec is deliberately generous (32k bits for ~2.4k-element
+# sets): the Section 5.2 bitwise-difference novelty needs lightly loaded
+# filters — its overload collapse is characterized separately below.
+SPECS = {
+    "mips": SynopsisSpec.parse("mips-64"),
+    "bloom": SynopsisSpec.parse("bf-32768"),
+    "hash-sketch": SynopsisSpec.parse("hs-32"),
+}
+
+
+def sets_with_overlap(rng, size=1500, shared=600):
+    ids = rng.sample(range(1 << 40), 2 * size - shared)
+    common = set(ids[:shared])
+    ref = common | set(ids[shared:size])
+    cand = common | set(ids[size : 2 * size - shared])
+    return ref, cand
+
+
+@pytest.mark.parametrize("kind", list(SPECS))
+class TestAllFamilies:
+    def test_estimate_close_to_truth(self, kind):
+        rng = random.Random(11)
+        ref, cand = sets_with_overlap(rng)
+        truth = exact_novelty(cand, ref)
+        spec = SPECS[kind]
+        estimate = estimate_novelty(
+            spec.build(cand),
+            spec.build(ref),
+            candidate_cardinality=len(cand),
+            reference_cardinality=len(ref),
+        )
+        assert estimate == pytest.approx(truth, rel=0.45)
+
+    def test_empty_candidate_is_zero(self, kind):
+        spec = SPECS[kind]
+        assert (
+            estimate_novelty(spec.build([]), spec.build(range(100)))
+            == 0.0
+        )
+
+    def test_bounded_by_candidate_cardinality(self, kind):
+        rng = random.Random(13)
+        ref, cand = sets_with_overlap(rng)
+        spec = SPECS[kind]
+        estimate = estimate_novelty(
+            spec.build(cand),
+            spec.build(ref),
+            candidate_cardinality=len(cand),
+            reference_cardinality=len(ref),
+        )
+        assert 0.0 <= estimate <= len(cand)
+
+    def test_identical_sets_low_novelty(self, kind):
+        ids = set(range(2000))
+        spec = SPECS[kind]
+        estimate = estimate_novelty(
+            spec.build(ids),
+            spec.build(ids),
+            candidate_cardinality=len(ids),
+            reference_cardinality=len(ids),
+        )
+        assert estimate < 0.25 * len(ids)
+
+    def test_disjoint_sets_high_novelty(self, kind):
+        a = set(range(2000))
+        b = set(range(10_000, 12_000))
+        spec = SPECS[kind]
+        estimate = estimate_novelty(
+            spec.build(b),
+            spec.build(a),
+            candidate_cardinality=len(b),
+            reference_cardinality=len(a),
+        )
+        assert estimate > 0.6 * len(b)
+
+    def test_empty_reference_novelty_is_candidate_size(self, kind):
+        spec = SPECS[kind]
+        cand = set(range(1000))
+        estimate = estimate_novelty(
+            spec.build(cand),
+            spec.empty(),
+            candidate_cardinality=len(cand),
+            reference_cardinality=0.0,
+        )
+        assert estimate == pytest.approx(len(cand), rel=0.35)
+
+
+class TestValidation:
+    def test_incompatible_synopses_rejected(self):
+        mips = SPECS["mips"].build(range(10))
+        bloom = SPECS["bloom"].build(range(10))
+        with pytest.raises(IncompatibleSynopsesError):
+            estimate_novelty(mips, bloom)
+
+    def test_negative_cardinalities_rejected(self):
+        spec = SPECS["mips"]
+        a, b = spec.build(range(10)), spec.build(range(5))
+        with pytest.raises(ValueError):
+            estimate_novelty(a, b, candidate_cardinality=-1)
+        with pytest.raises(ValueError):
+            estimate_novelty(a, b, reference_cardinality=-1)
+
+    def test_cardinalities_fall_back_to_synopsis_estimates(self):
+        spec = SPECS["mips"]
+        cand = spec.build(range(1000))
+        ref = spec.build(range(500, 1500))
+        estimate = estimate_novelty(cand, ref)
+        assert 0.0 <= estimate <= 2500
+
+
+class TestBloomOverloadCollapse:
+    def test_loaded_filters_underestimate_novelty(self):
+        """Characterizes the Section 5.2 caveat: the bitwise set
+        difference produces garbage "unless there were already many false
+        positives in the operands" — a loaded reference filter clears
+        almost every candidate bit, so novelty collapses toward zero.
+        This is exactly why IQN-BF-1024 degrades in Figure 3."""
+        spec = SynopsisSpec.parse("bf-2048")
+        ref = spec.build(range(2000))
+        cand = spec.build(range(10_000, 12_000))  # fully disjoint
+        estimate = estimate_novelty(
+            cand, ref, candidate_cardinality=2000, reference_cardinality=2000
+        )
+        assert estimate < 0.2 * 2000
+
+
+class TestSubsetScenario:
+    def test_small_subset_gets_near_zero_novelty(self):
+        """The Section 3.1 motivating case: a strict subset must score
+        ~zero novelty even though its resemblance to the reference is
+        low."""
+        big = set(range(5000))
+        small = set(range(500))  # subset of big
+        spec = SPECS["mips"]
+        estimate = estimate_novelty(
+            spec.build(small),
+            spec.build(big),
+            candidate_cardinality=len(small),
+            reference_cardinality=len(big),
+        )
+        assert estimate < 0.25 * len(small)

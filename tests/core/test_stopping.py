@@ -1,0 +1,64 @@
+"""Tests for IQN stopping criteria."""
+
+import pytest
+
+from repro.core.stopping import (
+    AnyOf,
+    CoverageTarget,
+    MaxPeers,
+    MinimumNoveltyGain,
+)
+
+
+def check(criterion, *, selected=1, coverage=0.0, novelty=100.0):
+    return criterion.should_stop(
+        selected_count=selected,
+        estimated_coverage=coverage,
+        last_novelty=novelty,
+    )
+
+
+class TestMaxPeers:
+    def test_stops_at_limit(self):
+        assert not check(MaxPeers(3), selected=2)
+        assert check(MaxPeers(3), selected=3)
+        assert check(MaxPeers(3), selected=4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MaxPeers(0)
+
+
+class TestCoverageTarget:
+    def test_stops_at_target(self):
+        assert not check(CoverageTarget(500), coverage=499)
+        assert check(CoverageTarget(500), coverage=500)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CoverageTarget(0)
+
+
+class TestMinimumNoveltyGain:
+    def test_stops_below_threshold(self):
+        assert not check(MinimumNoveltyGain(10), novelty=10)
+        assert check(MinimumNoveltyGain(10), novelty=9.9)
+
+    def test_zero_threshold_never_stops(self):
+        assert not check(MinimumNoveltyGain(0.0), novelty=0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MinimumNoveltyGain(-1)
+
+
+class TestAnyOf:
+    def test_any_member_fires(self):
+        combined = AnyOf(MaxPeers(5), CoverageTarget(100))
+        assert check(combined, selected=1, coverage=150)
+        assert check(combined, selected=5, coverage=0)
+        assert not check(combined, selected=1, coverage=50)
+
+    def test_needs_members(self):
+        with pytest.raises(ValueError):
+            AnyOf()

@@ -1,0 +1,145 @@
+"""Tests for the synthetic GOV-like corpus generator."""
+
+import pytest
+
+from repro.datasets.corpus import GovCorpusConfig, build_gov_corpus, topic_vocabulary
+
+SMALL = GovCorpusConfig(
+    num_docs=300,
+    vocabulary_size=1000,
+    num_topics=5,
+    topic_vocabulary_size=60,
+    doc_length_mean=50,
+    seed=3,
+)
+
+
+class TestConfigValidation:
+    def test_defaults_valid(self):
+        GovCorpusConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_docs": 0},
+            {"vocabulary_size": 0},
+            {"num_topics": 0},
+            {"topic_vocabulary_size": 10_000_000},
+            {"doc_length_mean": 0},
+            {"topic_mix": 1.5},
+            {"zipf_exponent": 0.0},
+            {"topic_assignment": "sorted"},
+            {"topic_smear": -1.0},
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ValueError):
+            GovCorpusConfig(**kwargs)
+
+
+class TestGeneration:
+    def test_doc_count_and_ids(self):
+        corpus = build_gov_corpus(SMALL)
+        assert len(corpus) == 300
+        assert corpus.doc_ids == frozenset(range(300))
+
+    def test_reproducible(self):
+        a = build_gov_corpus(SMALL)
+        b = build_gov_corpus(SMALL)
+        for doc_id in (0, 150, 299):
+            assert a.get(doc_id) == b.get(doc_id)
+
+    def test_different_seed_differs(self):
+        import dataclasses
+
+        other = dataclasses.replace(SMALL, seed=4)
+        a = build_gov_corpus(SMALL)
+        b = build_gov_corpus(other)
+        assert any(a.get(i) != b.get(i) for i in range(20))
+
+    def test_document_lengths_near_mean(self):
+        corpus = build_gov_corpus(SMALL)
+        mean_len = sum(d.length for d in corpus) / len(corpus)
+        assert mean_len == pytest.approx(SMALL.doc_length_mean, rel=0.15)
+
+    def test_df_skew_is_zipfian(self):
+        """A few terms are very frequent, most are rare."""
+        corpus = build_gov_corpus(SMALL)
+        dfs = sorted(
+            (corpus.document_frequency(t) for t in corpus.vocabulary),
+            reverse=True,
+        )
+        assert dfs[0] > 10 * dfs[len(dfs) // 2]
+
+    def test_topic_terms_cluster(self):
+        """Topic-0 docs use topic-0 terms far more than topic-1 docs do."""
+        corpus = build_gov_corpus(SMALL)
+        topic0_terms = set(topic_vocabulary(SMALL, 0)[:20])
+        by_topic = {0: 0, 1: 0}
+        counts = {0: 0, 1: 0}
+        for doc in corpus:
+            topic = doc.doc_id % SMALL.num_topics
+            if topic in by_topic:
+                counts[topic] += 1
+                by_topic[topic] += sum(
+                    doc.frequency(t) for t in topic0_terms
+                )
+        rate0 = by_topic[0] / counts[0]
+        rate1 = by_topic[1] / counts[1]
+        assert rate0 > 3 * rate1
+
+
+class TestTopicAssignment:
+    def test_blocked_assignment_localizes_topics(self):
+        import dataclasses
+
+        cfg = dataclasses.replace(SMALL, topic_assignment="blocked")
+        corpus = build_gov_corpus(cfg)
+        topic0_terms = set(topic_vocabulary(cfg, 0)[:20])
+        first_block = sum(
+            sum(corpus.get(i).frequency(t) for t in topic0_terms)
+            for i in range(60)
+        )
+        last_block = sum(
+            sum(corpus.get(i).frequency(t) for t in topic0_terms)
+            for i in range(240, 300)
+        )
+        assert first_block > 3 * max(1, last_block)
+
+    def test_smear_spreads_topics(self):
+        import dataclasses
+
+        blocked = dataclasses.replace(SMALL, topic_assignment="blocked")
+        smeared = dataclasses.replace(
+            SMALL, topic_assignment="blocked", topic_smear=1.5
+        )
+        t0 = set(topic_vocabulary(SMALL, 0)[:20])
+
+        def mid_block_mass(corpus):
+            return sum(
+                sum(corpus.get(i).frequency(t) for t in t0)
+                for i in range(120, 180)
+            )
+
+        assert mid_block_mass(build_gov_corpus(smeared)) > mid_block_mass(
+            build_gov_corpus(blocked)
+        )
+
+
+class TestTopicVocabulary:
+    def test_deterministic(self):
+        assert topic_vocabulary(SMALL, 2) == topic_vocabulary(SMALL, 2)
+
+    def test_size(self):
+        assert len(topic_vocabulary(SMALL, 0)) == SMALL.topic_vocabulary_size
+
+    def test_topics_differ(self):
+        a = set(topic_vocabulary(SMALL, 0))
+        b = set(topic_vocabulary(SMALL, 1))
+        assert len(a & b) < len(a) // 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            topic_vocabulary(SMALL, -1)
+        with pytest.raises(ValueError):
+            topic_vocabulary(SMALL, SMALL.num_topics)

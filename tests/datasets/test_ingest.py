@@ -1,0 +1,56 @@
+"""Tests for raw-text corpus ingestion."""
+
+import pytest
+
+from repro.datasets.ingest import corpus_from_texts, document_from_text
+
+
+class TestDocumentFromText:
+    def test_tokenizes_and_counts(self):
+        doc = document_from_text(1, "Forest fire! Forest rangers fight the fire.")
+        assert doc.frequency("forest") == 2
+        assert doc.frequency("fire") == 2
+        assert doc.frequency("the") == 0  # stopword
+
+    def test_keep_stopwords(self):
+        doc = document_from_text(1, "the the fire", drop_stopwords=False)
+        assert doc.frequency("the") == 2
+
+    def test_empty_text_rejected(self):
+        with pytest.raises(ValueError, match="no indexable tokens"):
+            document_from_text(1, "the of and")
+
+
+class TestCorpusFromTexts:
+    TEXTS = {
+        0: "Forest fire safety guidelines for national parks.",
+        1: "Pest control and safety in commercial agriculture.",
+        2: "Fire department response times in rural areas.",
+    }
+
+    def test_builds_corpus(self):
+        corpus = corpus_from_texts(self.TEXTS)
+        assert len(corpus) == 3
+        assert corpus.document_frequency("safety") == 2
+        assert corpus.document_frequency("fire") == 2
+
+    def test_accepts_pairs(self):
+        corpus = corpus_from_texts([(5, "alpha beta"), (6, "beta gamma")])
+        assert corpus.doc_ids == {5, 6}
+
+    def test_skips_empty_by_default(self):
+        corpus = corpus_from_texts({1: "real words here", 2: "the of"})
+        assert corpus.doc_ids == {1}
+
+    def test_strict_mode_raises_on_empty(self):
+        with pytest.raises(ValueError):
+            corpus_from_texts({1: "the of"}, skip_empty=False)
+
+    def test_full_pipeline_over_real_text(self):
+        """Text in -> index -> query -> results out."""
+        from repro.ir.index import InvertedIndex
+        from repro.ir.topk import execute_query
+
+        index = InvertedIndex(corpus_from_texts(self.TEXTS))
+        results = execute_query(index, ("fire", "safety"), k=5)
+        assert results[0].doc_id == 0  # the only doc with both terms

@@ -1,0 +1,139 @@
+"""Tests for the two fragment-placement strategies (Section 8.1)."""
+
+import math
+
+import pytest
+
+from repro.datasets.corpus import GovCorpusConfig, build_gov_corpus
+from repro.datasets.partition import (
+    combination_collections,
+    corpora_from_doc_id_sets,
+    fragment_corpus,
+    sliding_window_collections,
+)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return build_gov_corpus(
+        GovCorpusConfig(
+            num_docs=200,
+            vocabulary_size=500,
+            num_topics=4,
+            topic_vocabulary_size=40,
+            doc_length_mean=30,
+            seed=1,
+        )
+    )
+
+
+class TestFragmentCorpus:
+    def test_disjoint_cover(self, corpus):
+        fragments = fragment_corpus(corpus, 6)
+        all_ids = [i for f in fragments for i in f]
+        assert len(all_ids) == len(corpus)
+        assert len(set(all_ids)) == len(corpus)
+
+    def test_near_equal_sizes(self, corpus):
+        fragments = fragment_corpus(corpus, 7)
+        sizes = [len(f) for f in fragments]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_validation(self, corpus):
+        with pytest.raises(ValueError):
+            fragment_corpus(corpus, 0)
+        with pytest.raises(ValueError):
+            fragment_corpus(corpus, len(corpus) + 1)
+
+
+class TestCombinationStrategy:
+    def test_c_6_3_yields_20_collections(self, corpus):
+        fragments = fragment_corpus(corpus, 6)
+        collections = combination_collections(fragments, 3)
+        assert len(collections) == math.comb(6, 3)
+
+    def test_collection_sizes(self, corpus):
+        fragments = fragment_corpus(corpus, 4)
+        collections = combination_collections(fragments, 2)
+        expected = len(corpus) // 2
+        assert all(abs(len(c) - expected) <= 2 for c in collections)
+
+    def test_pairwise_overlap_structure(self, corpus):
+        """Two C(4,2) collections overlap in 0 or 1 fragments."""
+        fragments = fragment_corpus(corpus, 4)
+        frag_size = len(fragments[0])
+        collections = combination_collections(fragments, 2)
+        for i in range(len(collections)):
+            for j in range(i + 1, len(collections)):
+                shared = len(collections[i] & collections[j])
+                assert shared in range(0, frag_size + 2)
+
+    def test_every_doc_replicated(self, corpus):
+        """With s of f fragments, each doc is on C(f-1, s-1) peers."""
+        fragments = fragment_corpus(corpus, 5)
+        collections = combination_collections(fragments, 2)
+        doc = next(iter(fragments[0]))
+        holders = sum(1 for c in collections if doc in c)
+        assert holders == math.comb(4, 1)
+
+    def test_validation(self, corpus):
+        fragments = fragment_corpus(corpus, 4)
+        with pytest.raises(ValueError):
+            combination_collections(fragments, 0)
+        with pytest.raises(ValueError):
+            combination_collections(fragments, 5)
+
+
+class TestSlidingWindowStrategy:
+    def test_peer_count(self, corpus):
+        fragments = fragment_corpus(corpus, 20)
+        collections = sliding_window_collections(fragments, window=4, offset=2)
+        assert len(collections) == 10
+
+    def test_paper_configuration_shape(self, corpus):
+        """100 fragments, r=10, offset=2 -> 50 peers (checked scaled-down)."""
+        fragments = fragment_corpus(corpus, 10)
+        collections = sliding_window_collections(fragments, window=4, offset=2)
+        assert len(collections) == 5
+
+    def test_adjacent_overlap_is_window_minus_offset(self, corpus):
+        fragments = fragment_corpus(corpus, 10)
+        frag_size = len(fragments[0])
+        collections = sliding_window_collections(fragments, window=4, offset=2)
+        shared = len(collections[0] & collections[1])
+        assert abs(shared - 2 * frag_size) <= 4
+
+    def test_distant_peers_disjoint(self, corpus):
+        fragments = fragment_corpus(corpus, 10)
+        collections = sliding_window_collections(fragments, window=2, offset=2)
+        assert not (collections[0] & collections[2])
+
+    def test_wraparound_gives_full_windows(self, corpus):
+        fragments = fragment_corpus(corpus, 10)
+        collections = sliding_window_collections(fragments, window=4, offset=2)
+        sizes = {len(c) for c in collections}
+        assert max(sizes) - min(sizes) <= 4
+
+    def test_validation(self, corpus):
+        fragments = fragment_corpus(corpus, 10)
+        with pytest.raises(ValueError):
+            sliding_window_collections(fragments, window=0, offset=2)
+        with pytest.raises(ValueError):
+            sliding_window_collections(fragments, window=4, offset=0)
+        with pytest.raises(ValueError):
+            sliding_window_collections(fragments, window=4, offset=3)
+
+
+class TestCorporaMaterialization:
+    def test_documents_shared_by_reference(self, corpus):
+        fragments = fragment_corpus(corpus, 4)
+        collections = combination_collections(fragments, 2)
+        corpora = corpora_from_doc_id_sets(corpus, collections[:2])
+        doc_id = next(iter(collections[0] & collections[1]))
+        assert corpora[0].get(doc_id) is corpora[1].get(doc_id)
+
+    def test_sizes_match(self, corpus):
+        fragments = fragment_corpus(corpus, 4)
+        collections = combination_collections(fragments, 2)
+        corpora = corpora_from_doc_id_sets(corpus, collections)
+        assert all(len(c) == len(s) for c, s in zip(corpora, collections))

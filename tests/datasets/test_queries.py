@@ -1,0 +1,67 @@
+"""Tests for the query workload generator."""
+
+import pytest
+
+from repro.datasets.corpus import GovCorpusConfig, topic_vocabulary
+from repro.datasets.queries import Query, make_workload
+
+CFG = GovCorpusConfig(
+    num_docs=100,
+    vocabulary_size=600,
+    num_topics=4,
+    topic_vocabulary_size=50,
+    doc_length_mean=20,
+    seed=2,
+)
+
+
+class TestQuery:
+    def test_str(self):
+        assert str(Query(0, ("forest", "fire"))) == "forest fire"
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Query(0, ())
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            Query(0, ("fire", "fire"))
+
+
+class TestWorkload:
+    def test_count_and_ids(self):
+        queries = make_workload(CFG, num_queries=7)
+        assert len(queries) == 7
+        assert [q.query_id for q in queries] == list(range(7))
+
+    def test_term_counts_in_range(self):
+        queries = make_workload(CFG, num_queries=20, min_terms=2, max_terms=3)
+        assert all(2 <= len(q.terms) <= 3 for q in queries)
+
+    def test_terms_from_topic_pool(self):
+        queries = make_workload(
+            CFG, num_queries=10, pool_size=10, pool_offset=5
+        )
+        for q in queries:
+            pool = set(topic_vocabulary(CFG, q.topic)[5:15])
+            assert set(q.terms) <= pool
+
+    def test_reproducible(self):
+        assert make_workload(CFG, seed=9) == make_workload(CFG, seed=9)
+
+    def test_seed_changes_workload(self):
+        assert make_workload(CFG, seed=1) != make_workload(CFG, seed=2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_workload(CFG, num_queries=0)
+        with pytest.raises(ValueError):
+            make_workload(CFG, min_terms=3, max_terms=2)
+        with pytest.raises(ValueError):
+            make_workload(CFG, pool_size=1, max_terms=3)
+        with pytest.raises(ValueError):
+            make_workload(CFG, pool_offset=-1)
+
+    def test_pool_beyond_vocabulary_rejected(self):
+        with pytest.raises(ValueError, match="too small"):
+            make_workload(CFG, pool_offset=49, pool_size=3, max_terms=3)

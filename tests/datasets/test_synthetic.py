@@ -1,0 +1,122 @@
+"""Tests for controlled-overlap synthetic set generation."""
+
+import random
+
+import pytest
+
+from repro.datasets.synthetic import (
+    collections_with_pairwise_overlap,
+    distinct_ids,
+    overlapping_pair,
+    pair_with_overlap_fraction,
+    resemblance_of_overlap_fraction,
+    split_into_fragments,
+)
+from repro.synopses.measures import resemblance
+
+
+@pytest.fixture
+def rng():
+    return random.Random(7)
+
+
+class TestDistinctIds:
+    def test_count_and_distinctness(self, rng):
+        ids = distinct_ids(1000, rng=rng)
+        assert len(ids) == 1000
+        assert len(set(ids)) == 1000
+
+    def test_zero(self, rng):
+        assert distinct_ids(0, rng=rng) == []
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            distinct_ids(-1, rng=rng)
+        with pytest.raises(ValueError):
+            distinct_ids(10, rng=rng, id_bits=3)
+
+    def test_reproducible(self):
+        a = distinct_ids(50, rng=random.Random(3))
+        b = distinct_ids(50, rng=random.Random(3))
+        assert a == b
+
+
+class TestOverlappingPair:
+    def test_exact_cardinalities_and_overlap(self, rng):
+        a, b = overlapping_pair(500, 300, 100, rng=rng)
+        assert len(a) == 500
+        assert len(b) == 300
+        assert len(a & b) == 100
+
+    def test_disjoint(self, rng):
+        a, b = overlapping_pair(100, 100, 0, rng=rng)
+        assert not (a & b)
+
+    def test_full_containment(self, rng):
+        a, b = overlapping_pair(200, 100, 100, rng=rng)
+        assert b <= a
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            overlapping_pair(10, 10, 11, rng=rng)
+        with pytest.raises(ValueError):
+            overlapping_pair(10, 10, -1, rng=rng)
+
+
+class TestOverlapFraction:
+    def test_shared_fraction(self, rng):
+        a, b = pair_with_overlap_fraction(900, 1 / 3, rng=rng)
+        assert len(a) == len(b) == 900
+        assert len(a & b) == 300
+
+    def test_resemblance_formula(self, rng):
+        q = 1 / 3
+        a, b = pair_with_overlap_fraction(600, q, rng=rng)
+        assert resemblance(a, b) == pytest.approx(
+            resemblance_of_overlap_fraction(q), abs=0.01
+        )
+
+    def test_formula_endpoints(self):
+        assert resemblance_of_overlap_fraction(0.0) == 0.0
+        assert resemblance_of_overlap_fraction(1.0) == 1.0
+        assert resemblance_of_overlap_fraction(0.5) == pytest.approx(1 / 3)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            pair_with_overlap_fraction(10, 1.5, rng=rng)
+        with pytest.raises(ValueError):
+            resemblance_of_overlap_fraction(-0.1)
+
+
+class TestSharedCoreCollections:
+    def test_common_core(self, rng):
+        collections = collections_with_pairwise_overlap(4, 100, 0.4, rng=rng)
+        assert len(collections) == 4
+        assert all(len(c) == 100 for c in collections)
+        core = set.intersection(*collections)
+        assert len(core) == 40
+
+    def test_pairwise_overlap_is_exactly_core(self, rng):
+        collections = collections_with_pairwise_overlap(3, 50, 0.2, rng=rng)
+        for i in range(3):
+            for j in range(i + 1, 3):
+                assert len(collections[i] & collections[j]) == 10
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            collections_with_pairwise_overlap(0, 10, 0.5, rng=rng)
+        with pytest.raises(ValueError):
+            collections_with_pairwise_overlap(2, 10, 2.0, rng=rng)
+
+
+class TestSplitIntoFragments:
+    def test_partition(self):
+        fragments = split_into_fragments(list(range(10)), 3)
+        assert [len(f) for f in fragments] == [4, 3, 3]
+        assert sorted(sum(fragments, [])) == list(range(10))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            split_into_fragments([1, 2], 3)
+        with pytest.raises(ValueError):
+            split_into_fragments([1, 2], 0)

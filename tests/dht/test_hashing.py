@@ -1,0 +1,64 @@
+"""Tests for Chord consistent hashing primitives."""
+
+import pytest
+
+from repro.dht.hashing import chord_id, in_interval, ring_distance
+
+
+class TestChordId:
+    def test_deterministic(self):
+        assert chord_id("peer-1") == chord_id("peer-1")
+
+    def test_within_ring(self):
+        for key in ("a", "b", 42, "term:apple"):
+            assert 0 <= chord_id(key, bits=16) < (1 << 16)
+
+    def test_salt_separates_namespaces(self):
+        assert chord_id("x", salt="node") != chord_id("x", salt="key")
+
+    def test_bits_validation(self):
+        with pytest.raises(ValueError):
+            chord_id("x", bits=0)
+        with pytest.raises(ValueError):
+            chord_id("x", bits=200)
+
+    def test_spread(self):
+        ids = {chord_id(i, bits=32) for i in range(1000)}
+        assert len(ids) == 1000
+
+
+class TestRingDistance:
+    def test_forward(self):
+        assert ring_distance(10, 20, bits=8) == 10
+
+    def test_wraparound(self):
+        assert ring_distance(250, 5, bits=8) == 11
+
+    def test_zero(self):
+        assert ring_distance(7, 7, bits=8) == 0
+
+
+class TestInInterval:
+    def test_simple_interval(self):
+        assert in_interval(15, 10, 20, bits=8)
+        assert not in_interval(5, 10, 20, bits=8)
+
+    def test_exclusive_start(self):
+        assert not in_interval(10, 10, 20, bits=8)
+
+    def test_inclusive_end_default(self):
+        assert in_interval(20, 10, 20, bits=8)
+
+    def test_exclusive_end(self):
+        assert not in_interval(20, 10, 20, bits=8, inclusive_end=False)
+
+    def test_wraparound_interval(self):
+        assert in_interval(3, 250, 10, bits=8)
+        assert in_interval(255, 250, 10, bits=8)
+        assert not in_interval(100, 250, 10, bits=8)
+
+    def test_full_ring_interval(self):
+        # start == end spans the whole ring.
+        assert in_interval(5, 9, 9, bits=8)
+        assert in_interval(9, 9, 9, bits=8)  # inclusive end
+        assert not in_interval(9, 9, 9, bits=8, inclusive_end=False)

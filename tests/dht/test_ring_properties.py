@@ -1,0 +1,85 @@
+"""Property-based tests on the Chord ring.
+
+Invariants over arbitrary node populations and churn sequences: routed
+lookups agree with direct ownership, keys survive churn, and the ring's
+pointers stay mutually consistent.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dht.ring import ChordRing
+
+node_name_sets = st.sets(
+    st.integers(min_value=0, max_value=500).map(lambda i: f"peer-{i}"),
+    min_size=1,
+    max_size=24,
+)
+
+key_lists = st.lists(
+    st.integers(min_value=0, max_value=300).map(lambda i: f"key-{i}"),
+    min_size=1,
+    max_size=30,
+    unique=True,
+)
+
+
+class TestRingProperties:
+    @given(node_name_sets, key_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_lookup_agrees_with_ownership(self, names, keys):
+        ring = ChordRing(names, bits=16)
+        for key in keys:
+            assert ring.lookup(key).owner == ring.owner_of(key).node_id
+
+    @given(node_name_sets, key_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_lookup_start_invariance(self, names, keys):
+        ring = ChordRing(names, bits=16)
+        for key in keys[:5]:
+            owners = {
+                ring.lookup(key, start_node=start).owner
+                for start in ring.node_ids[:5]
+            }
+            assert len(owners) == 1
+
+    @given(node_name_sets)
+    @settings(max_examples=40, deadline=None)
+    def test_pointer_consistency(self, names):
+        ring = ChordRing(names, bits=16)
+        ids = ring.node_ids
+        for position, node_id in enumerate(ids):
+            node = ring.node(node_id)
+            assert node.successor == ids[(position + 1) % len(ids)]
+            assert node.predecessor == ids[(position - 1) % len(ids)]
+
+    @given(node_name_sets, key_lists, st.randoms(use_true_random=False))
+    @settings(max_examples=30, deadline=None)
+    def test_keys_survive_arbitrary_churn(self, names, keys, rng):
+        """Put keys, then run a random join/leave sequence; every key
+        must remain resolvable with its value."""
+        ring = ChordRing(names, bits=16)
+        for index, key in enumerate(keys):
+            ring.put(key, index)
+        joined = 0
+        for step in range(6):
+            if rng.random() < 0.5 and len(ring) > 1:
+                ring.remove_node(rng.choice(ring.node_ids))
+            else:
+                ring.add_node(f"joiner-{joined}")
+                joined += 1
+        for index, key in enumerate(keys):
+            assert ring.get(key) == index
+
+    @given(node_name_sets, key_lists)
+    @settings(max_examples=30, deadline=None)
+    def test_key_partition_is_total(self, names, keys):
+        """Every key has exactly one owner; owners partition the space."""
+        ring = ChordRing(names, bits=16)
+        for key in keys:
+            owners = [
+                node_id
+                for node_id in ring.node_ids
+                if ring.successor_of(ring.key_id(key)) == node_id
+            ]
+            assert len(owners) == 1

@@ -1,0 +1,171 @@
+"""Tests for the ablation harnesses (tiny scale)."""
+
+import pytest
+
+from repro.datasets.corpus import GovCorpusConfig, build_gov_corpus
+from repro.datasets.partition import (
+    corpora_from_doc_id_sets,
+    fragment_corpus,
+    sliding_window_collections,
+)
+from repro.datasets.queries import make_workload
+from repro.experiments.ablations import (
+    BudgetTrial,
+    aggregation_ablation,
+    budget_ablation,
+    histogram_ablation,
+    quality_novelty_ablation,
+)
+from repro.experiments.fig3 import build_combination_testbed
+from repro.minerva.engine import MinervaEngine
+from repro.synopses.factory import SynopsisSpec
+from repro.synopses.mips import BITS_PER_POSITION
+
+TINY = GovCorpusConfig(
+    num_docs=360,
+    vocabulary_size=900,
+    num_topics=4,
+    topic_vocabulary_size=60,
+    doc_length_mean=50,
+    topic_assignment="blocked",
+    topic_smear=0.8,
+    seed=17,
+)
+
+
+@pytest.fixture(scope="module")
+def testbed():
+    return build_combination_testbed(
+        TINY,
+        num_fragments=4,
+        subset_size=2,
+        spec_labels=("mips-16",),
+        num_queries=3,
+        query_pool_size=12,
+        query_pool_offset=0,
+    )
+
+
+class TestAggregationAblation:
+    def test_all_strategies_run(self, testbed):
+        curves = aggregation_ablation(
+            testbed, spec_label="mips-16", max_peers=3, k=20
+        )
+        assert {c.method for c in curves} == {
+            "IQN per-peer",
+            "IQN per-term",
+            "IQN per-term+corr",
+        }
+        assert all(len(c.recall_at) == 4 for c in curves)
+
+
+class TestPeerListFetchAblation:
+    def test_modes_compared(self, testbed):
+        from repro.experiments.ablations import peerlist_fetch_ablation
+
+        trials = peerlist_fetch_ablation(
+            testbed,
+            spec_label="mips-16",
+            max_peers=3,
+            k=20,
+            peer_k=10,
+            peer_list_limits=(None, 3),
+        )
+        assert [t.mode for t in trials] == ["full", "top-3"]
+        assert all(0.0 <= t.mean_final_recall <= 1.0 for t in trials)
+        assert all(t.mean_peerlist_bits >= 0 for t in trials)
+
+
+class TestQualityNoveltyAblation:
+    def test_three_variants(self, testbed):
+        curves = quality_novelty_ablation(
+            testbed, spec_label="mips-16", max_peers=3, k=20
+        )
+        assert len(curves) == 3
+        names = {c.method for c in curves}
+        assert "quality * novelty (IQN)" in names
+
+
+class TestHistogramAblation:
+    def test_flat_vs_histogram(self, tiny_flat_and_hist_engines):
+        engine_flat, engine_hist, queries = tiny_flat_and_hist_engines
+        curves = histogram_ablation(
+            engine_flat, engine_hist, queries, max_peers=2, k=20
+        )
+        assert {c.method for c in curves} == {"IQN flat", "IQN histogram"}
+
+    @pytest.fixture(scope="class")
+    def tiny_flat_and_hist_engines(self):
+        corpus = build_gov_corpus(TINY)
+        fragments = fragment_corpus(corpus, 8)
+        collections = corpora_from_doc_id_sets(
+            corpus, sliding_window_collections(fragments, 2, 2)
+        )
+        queries = make_workload(
+            TINY, num_queries=2, pool_size=12, pool_offset=0, seed=3
+        )
+        terms = {t for q in queries for t in q.terms}
+        spec = SynopsisSpec.parse("mips-16")
+        flat = MinervaEngine(collections, spec=spec)
+        flat.publish(terms)
+        hist = MinervaEngine(collections, spec=spec, histogram_cells=2)
+        hist.publish(terms, with_histogram=True)
+        return flat, hist, queries
+
+
+class TestBudgetAblation:
+    def test_policies_compared(self, testbed):
+        engine = testbed.engines["mips-16"]
+        trials = budget_ablation(
+            engine,
+            testbed.queries,
+            total_bits=len(
+                {t for q in testbed.queries for t in q.terms}
+            )
+            * 8
+            * BITS_PER_POSITION,
+        )
+        assert {t.policy for t in trials} == {"uniform", "benefit-proportional"}
+        assert all(isinstance(t, BudgetTrial) for t in trials)
+        assert all(t.mean_absolute_error >= 0.0 for t in trials)
+
+
+class TestLoadMeasurement:
+    def test_reports_structure(self, testbed):
+        from repro.core.iqn import IQNRouter
+        from repro.experiments.load import measure_load
+        from repro.routing.cori import CoriSelector
+
+        engine = testbed.engines["mips-16"]
+        reports = measure_load(
+            engine,
+            testbed.queries[:2],
+            {"CORI": CoriSelector(), "IQN": IQNRouter()},
+            max_peers=2,
+            k=20,
+            peer_k=10,
+            initiators_per_query=2,
+        )
+        assert {r.method for r in reports} == {"CORI", "IQN"}
+        for report in reports:
+            assert report.total_forwards == 2 * 2 * 2  # queries*inits*peers
+            assert sum(report.forwards_per_peer.values()) == report.total_forwards
+            assert 0.0 < report.busiest_peer_share <= 1.0
+            assert report.imbalance() >= 1.0
+            assert report.hottest_response_time_ms() > 0
+
+    def test_validation(self, testbed):
+        from repro.core.iqn import IQNRouter
+        from repro.experiments.load import measure_load
+
+        engine = testbed.engines["mips-16"]
+        import pytest as _pytest
+
+        with _pytest.raises(ValueError):
+            measure_load(
+                engine,
+                testbed.queries[:1],
+                {"IQN": IQNRouter()},
+                max_peers=2,
+                initiators_per_query=0,
+            )

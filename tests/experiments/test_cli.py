@@ -1,0 +1,54 @@
+"""Tests for the figure-regeneration CLI."""
+
+import pytest
+
+from repro.experiments.__main__ import TARGETS, main, run_target
+
+
+class TestRunTarget:
+    def test_matrix(self):
+        text = run_target("matrix")
+        assert "MIPs" in text
+
+    def test_fig2_left_quick(self):
+        text = run_target("fig2-left", quick=True)
+        assert "MIPs 64" in text
+        assert "docs/collection" in text
+
+    def test_fig2_right_quick(self):
+        text = run_target("fig2-right", quick=True)
+        assert "mutual overlap" in text
+
+    def test_unknown_target(self):
+        with pytest.raises(ValueError, match="unknown target"):
+            run_target("fig9")
+
+
+class TestMain:
+    def test_prints_output(self, capsys):
+        assert main(["matrix"]) == 0
+        captured = capsys.readouterr()
+        assert "Bloom filter" in captured.out
+
+    def test_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            main(["nope"])
+
+    def test_all_targets_declared(self):
+        assert set(TARGETS) == {
+            "fig2-left",
+            "fig2-right",
+            "fig3-left",
+            "fig3-right",
+            "matrix",
+            "load",
+            "reposting",
+        }
+
+    def test_reposting_quick(self):
+        text = run_target("reposting", quick=True)
+        assert "always" in text and "never" in text
+
+    def test_load_quick(self):
+        text = run_target("load", quick=True)
+        assert "CORI" in text and "IQN" in text

@@ -1,0 +1,83 @@
+"""Tests for the Figure 2 harness (small-scale, shape-checking)."""
+
+import pytest
+
+from repro.experiments.fig2 import (
+    DEFAULT_SPECS,
+    FIG2_LEFT_SIZES,
+    FIG2_RIGHT_OVERLAPS,
+    ErrorPoint,
+    error_vs_collection_size,
+    error_vs_overlap,
+    resemblance_error,
+)
+from repro.synopses.factory import SynopsisSpec
+
+
+class TestDefaults:
+    def test_paper_legend_specs(self):
+        assert [s.label for s in DEFAULT_SPECS] == ["MIPs 64", "HSs 32", "BF 2048"]
+
+    def test_equal_bit_budget(self):
+        assert len({s.size_in_bits for s in DEFAULT_SPECS}) == 1
+
+    def test_axis_ranges(self):
+        assert FIG2_LEFT_SIZES[0] >= 1000
+        assert FIG2_LEFT_SIZES[-1] == 60_000
+        assert FIG2_RIGHT_OVERLAPS[0] == pytest.approx(0.5)
+        assert FIG2_RIGHT_OVERLAPS[-1] == pytest.approx(1 / 9)
+
+
+class TestResemblanceError:
+    def test_zero_error_for_exact_estimator(self):
+        # With many permutations and identical sets, error ~ 0.
+        spec = SynopsisSpec.parse("mips-256")
+        ids = set(range(1000))
+        assert resemblance_error(spec, ids, ids) == pytest.approx(0.0)
+
+    def test_rejects_disjoint_sets(self):
+        spec = SynopsisSpec.parse("mips-16")
+        with pytest.raises(ValueError, match="positive"):
+            resemblance_error(spec, {1, 2}, {3, 4})
+
+
+class TestSweeps:
+    @pytest.fixture(scope="class")
+    def size_points(self):
+        return error_vs_collection_size(
+            sizes=(500, 4000), runs=6, seed=1
+        )
+
+    def test_grid_complete(self, size_points):
+        assert len(size_points) == len(DEFAULT_SPECS) * 2
+        assert all(isinstance(p, ErrorPoint) for p in size_points)
+        assert all(p.runs == 6 for p in size_points)
+
+    def test_errors_nonnegative(self, size_points):
+        assert all(p.mean_relative_error >= 0.0 for p in size_points)
+
+    def test_bloom_overload_shape(self, size_points):
+        """The paper's key Figure 2 finding: once collections outgrow the
+        2048-bit filter, BF error explodes while MIPs stays low."""
+        at_4000 = {p.spec_label: p for p in size_points if p.x_value == 4000}
+        assert at_4000["BF 2048"].mean_relative_error > 5 * at_4000[
+            "MIPs 64"
+        ].mean_relative_error
+
+    def test_mips_size_independence(self, size_points):
+        """MIPs error must not grow materially with collection size."""
+        mips = {p.x_value: p for p in size_points if p.spec_label == "MIPs 64"}
+        assert mips[4000].mean_relative_error < mips[500].mean_relative_error + 0.25
+
+    def test_overlap_sweep(self):
+        points = error_vs_overlap(
+            overlaps=(0.5, 0.2), collection_size=3000, runs=6, seed=2
+        )
+        assert len(points) == len(DEFAULT_SPECS) * 2
+        mips = [p for p in points if p.spec_label == "MIPs 64"]
+        assert all(p.mean_relative_error < 1.0 for p in mips)
+
+    def test_reproducible(self):
+        a = error_vs_collection_size(sizes=(500,), runs=3, seed=9)
+        b = error_vs_collection_size(sizes=(500,), runs=3, seed=9)
+        assert a == b

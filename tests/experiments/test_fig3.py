@@ -1,0 +1,123 @@
+"""Tests for the Figure 3 harness (tiny scale — structure and sanity)."""
+
+import pytest
+
+from repro.datasets.corpus import GovCorpusConfig
+from repro.experiments.fig3 import (
+    FIG3_SPEC_LABELS,
+    build_combination_testbed,
+    build_sliding_window_testbed,
+    default_selectors,
+    run_recall_experiment,
+)
+
+TINY = GovCorpusConfig(
+    num_docs=360,
+    vocabulary_size=900,
+    num_topics=4,
+    topic_vocabulary_size=60,
+    doc_length_mean=50,
+    topic_assignment="blocked",
+    topic_smear=0.8,
+    seed=17,
+)
+
+
+@pytest.fixture(scope="module")
+def testbed():
+    return build_combination_testbed(
+        TINY,
+        num_fragments=4,
+        subset_size=2,
+        spec_labels=("mips-16", "bf-256"),
+        num_queries=3,
+        query_pool_size=12,
+        query_pool_offset=0,
+    )
+
+
+class TestTestbedConstruction:
+    def test_engine_per_spec(self, testbed):
+        assert set(testbed.engines) == {"mips-16", "bf-256"}
+
+    def test_peer_count(self, testbed):
+        assert testbed.num_peers == 6  # C(4, 2)
+
+    def test_engines_share_collections(self, testbed):
+        engines = list(testbed.engines.values())
+        assert engines[0].peers.keys() == engines[1].peers.keys()
+        # Indexes are shared objects, not rebuilt per engine.
+        assert (
+            engines[0].peers["p00"].index is engines[1].peers["p00"].index
+        )
+
+    def test_queries_published(self, testbed):
+        engine = testbed.engines["mips-16"]
+        for query in testbed.queries:
+            engine.run_query(query, default_selectors(("mips-16",))["CORI"][1],
+                             max_peers=1, k=5)
+
+    def test_engine_for_unknown_label(self, testbed):
+        with pytest.raises(KeyError, match="no engine"):
+            testbed.engine_for("bf-9999")
+
+    def test_sliding_window_builder(self):
+        tb = build_sliding_window_testbed(
+            TINY,
+            num_fragments=12,
+            window=3,
+            offset=2,
+            spec_labels=("mips-16",),
+            num_queries=2,
+            query_pool_size=12,
+            query_pool_offset=0,
+        )
+        assert tb.num_peers == 6
+
+
+class TestDefaultSelectors:
+    def test_method_set_matches_paper_legend(self):
+        methods = default_selectors(FIG3_SPEC_LABELS)
+        assert set(methods) == {
+            "CORI",
+            "IQN MIPs 32",
+            "IQN BF 1024",
+            "IQN MIPs 64",
+            "IQN BF 2048",
+        }
+
+
+class TestRecallExperiment:
+    @pytest.fixture(scope="class")
+    def curves(self, testbed):
+        return run_recall_experiment(testbed, max_peers=3, k=20, peer_k=10)
+
+    def test_one_curve_per_method(self, curves, testbed):
+        assert len(curves) == 1 + len(testbed.engines)
+
+    def test_curves_monotone(self, curves):
+        for curve in curves:
+            for earlier, later in zip(curve.recall_at, curve.recall_at[1:]):
+                assert later >= earlier - 1e-9
+
+    def test_curves_bounded(self, curves):
+        for curve in curves:
+            assert all(0.0 <= r <= 1.0 for r in curve.recall_at)
+
+    def test_depth(self, curves):
+        assert all(len(c.recall_at) == 4 for c in curves)
+
+    def test_at_accessor(self, curves):
+        assert curves[0].at(0) == curves[0].recall_at[0]
+
+    def test_custom_methods(self, testbed):
+        from repro.core.iqn import IQNRouter
+
+        curves = run_recall_experiment(
+            testbed,
+            max_peers=2,
+            k=10,
+            peer_k=5,
+            methods={"only-iqn": ("mips-16", IQNRouter())},
+        )
+        assert [c.method for c in curves] == ["only-iqn"]

@@ -1,0 +1,74 @@
+"""Tests for the plain-text result formatting."""
+
+import pytest
+
+from repro.experiments.fig2 import ErrorPoint
+from repro.experiments.fig3 import RecallCurve
+from repro.experiments.report import (
+    format_capability_matrix,
+    format_error_points,
+    format_recall_curves,
+    format_table,
+)
+
+
+class TestFormatTable:
+    def test_aligned_columns(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [10, 0.25]])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert len({len(line) for line in lines}) == 1
+
+    def test_float_formatting(self):
+        text = format_table(["x"], [[0.123456]])
+        assert "0.1235" in text
+
+    def test_row_arity_checked(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+
+class TestFormatErrorPoints:
+    def test_grid_layout(self):
+        points = [
+            ErrorPoint("MIPs 64", 1000, 0.1, 0.01, 5),
+            ErrorPoint("BF 2048", 1000, 0.4, 0.02, 5),
+            ErrorPoint("MIPs 64", 2000, 0.2, 0.01, 5),
+            ErrorPoint("BF 2048", 2000, 0.5, 0.02, 5),
+        ]
+        text = format_error_points(points, x_name="docs")
+        assert "docs" in text
+        assert "MIPs 64" in text and "BF 2048" in text
+        assert "1000" in text and "2000" in text
+
+    def test_missing_cell_rendered_as_dash(self):
+        points = [
+            ErrorPoint("MIPs 64", 1000, 0.1, 0.01, 5),
+            ErrorPoint("BF 2048", 2000, 0.5, 0.02, 5),
+        ]
+        text = format_error_points(points, x_name="docs")
+        assert "-" in text
+
+
+class TestFormatRecallCurves:
+    def test_one_row_per_method(self):
+        curves = [
+            RecallCurve("CORI", (0.1, 0.2, 0.3)),
+            RecallCurve("IQN", (0.1, 0.4, 0.6)),
+        ]
+        text = format_recall_curves(curves)
+        assert "CORI" in text and "IQN" in text
+        assert "@0" in text and "@2" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            format_recall_curves([])
+
+
+class TestCapabilityMatrix:
+    def test_section_3_4_content(self):
+        text = format_capability_matrix()
+        assert "Bloom filter" in text
+        assert "Hash sketch" in text
+        assert "MIPs" in text
+        assert "heterogeneous sizes" in text

@@ -1,0 +1,116 @@
+"""Tests for the re-posting experiment and engine.grow_peer."""
+
+import pytest
+
+from repro.datasets.corpus import GovCorpusConfig
+from repro.experiments.reposting import (
+    DEFAULT_POLICIES,
+    reposting_experiment,
+)
+from repro.ir.documents import Document
+from repro.net.cost import MessageKinds
+
+TINY = GovCorpusConfig(
+    num_docs=600,
+    vocabulary_size=1500,
+    num_topics=4,
+    topic_vocabulary_size=80,
+    doc_length_mean=60,
+    topic_assignment="blocked",
+    topic_smear=0.8,
+    seed=41,
+)
+
+
+class TestGrowPeer:
+    def test_collection_and_reference_updated(self, tiny_engine):
+        peer_id = sorted(tiny_engine.peers)[0]
+        before = tiny_engine.peers[peer_id].collection_size
+        tiny_engine.grow_peer(
+            peer_id,
+            [Document.from_terms(900_001, ["zzznew"])],
+            republish_terms=set(),
+        )
+        assert tiny_engine.peers[peer_id].collection_size == before + 1
+        assert 900_001 in tiny_engine.reference_index.corpus
+
+    def test_republish_charges_posts(self, tiny_engine, tiny_queries):
+        peer_id = sorted(tiny_engine.peers)[1]
+        term = tiny_queries[0].terms[0]
+        before = tiny_engine.cost.snapshot()
+        tiny_engine.grow_peer(
+            peer_id,
+            [Document.from_terms(900_002, [term])],
+            republish_terms={term},
+        )
+        delta = tiny_engine.cost.snapshot() - before
+        assert delta.messages(MessageKinds.POST) == 1
+
+    def test_drifted_terms_returned(self, tiny_engine):
+        peer_id = sorted(tiny_engine.peers)[2]
+        drifted = tiny_engine.grow_peer(
+            peer_id,
+            [Document.from_terms(900_003 + i, ["freshterm"]) for i in range(3)],
+            republish_terms=set(),
+        )
+        assert "freshterm" in drifted
+
+
+class TestRepostingExperiment:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return reposting_experiment(
+            TINY,
+            policies={"always": 1.0, "never": None},
+            rounds=2,
+            num_peers=5,
+            num_queries=2,
+            query_pool_size=12,
+            max_peers=2,
+            k=15,
+            peer_k=8,
+        )
+
+    def test_grid_complete(self, rows):
+        assert len(rows) == 2 * 2  # policies x rounds
+        assert {r.policy for r in rows} == {"always", "never"}
+
+    def test_bits_monotone_within_policy(self, rows):
+        for policy in ("always", "never"):
+            bits = [
+                r.cumulative_post_bits
+                for r in rows
+                if r.policy == policy
+            ]
+            assert bits == sorted(bits)
+
+    def test_always_posts_more(self, rows):
+        final = {
+            r.policy: r.cumulative_post_bits
+            for r in rows
+            if r.round_index == 1
+        }
+        assert final["always"] > final["never"]
+
+    def test_recalls_valid(self, rows):
+        assert all(0.0 <= r.mean_recall <= 1.0 for r in rows)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            reposting_experiment(TINY, rounds=0, num_peers=4)
+        with pytest.raises(ValueError):
+            reposting_experiment(TINY, initial_fraction=1.5, num_peers=4)
+        with pytest.raises(ValueError):
+            reposting_experiment(TINY, growing_fraction=0.0, num_peers=4)
+        with pytest.raises(ValueError):
+            reposting_experiment(
+                TINY, policies={"bad": 0.5}, num_peers=4
+            )
+
+    def test_default_policies_shape(self):
+        assert set(DEFAULT_POLICIES) == {
+            "always",
+            "threshold-1.5",
+            "threshold-2.5",
+            "never",
+        }

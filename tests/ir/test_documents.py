@@ -1,0 +1,95 @@
+"""Tests for the document/corpus model."""
+
+import pytest
+
+from repro.ir.documents import Corpus, Document
+
+
+def doc(doc_id, terms):
+    return Document.from_terms(doc_id, terms)
+
+
+class TestDocument:
+    def test_from_terms_counts(self):
+        d = doc(1, ["a", "b", "a", "c", "a"])
+        assert d.frequency("a") == 3
+        assert d.frequency("b") == 1
+        assert d.frequency("missing") == 0
+
+    def test_length_and_vocabulary(self):
+        d = doc(1, ["a", "b", "a"])
+        assert d.length == 3
+        assert d.vocabulary == {"a", "b"}
+
+    def test_contains(self):
+        d = doc(1, ["x"])
+        assert "x" in d
+        assert "y" not in d
+
+    def test_rejects_negative_id(self):
+        with pytest.raises(ValueError):
+            Document(doc_id=-1, term_frequencies={"a": 1})
+
+    def test_rejects_nonpositive_frequency(self):
+        with pytest.raises(ValueError):
+            Document(doc_id=1, term_frequencies={"a": 0})
+
+    def test_equality_and_hash(self):
+        assert doc(1, ["a", "b"]) == doc(1, ["b", "a"])
+        assert hash(doc(1, ["a"])) == hash(doc(1, ["a"]))
+        assert doc(1, ["a"]) != doc(2, ["a"])
+
+    def test_frozen_mapping_snapshot(self):
+        source = {"a": 2}
+        d = Document(doc_id=1, term_frequencies=source)
+        source["b"] = 5
+        assert "b" not in d
+
+
+class TestCorpus:
+    def test_from_documents(self):
+        corpus = Corpus.from_documents([doc(1, ["a"]), doc(2, ["a", "b"])])
+        assert len(corpus) == 2
+        assert corpus.doc_ids == {1, 2}
+
+    def test_duplicate_id_rejected(self):
+        corpus = Corpus.from_documents([doc(1, ["a"])])
+        with pytest.raises(ValueError, match="duplicate"):
+            corpus.add(doc(1, ["b"]))
+
+    def test_document_frequency(self):
+        corpus = Corpus.from_documents(
+            [doc(1, ["a", "b"]), doc(2, ["a"]), doc(3, ["c"])]
+        )
+        assert corpus.document_frequency("a") == 2
+        assert corpus.document_frequency("b") == 1
+        assert corpus.document_frequency("zzz") == 0
+        assert corpus.max_document_frequency == 2
+
+    def test_term_space_size(self):
+        corpus = Corpus.from_documents([doc(1, ["a", "b"]), doc(2, ["b", "c"])])
+        assert corpus.term_space_size == 3
+        assert corpus.vocabulary == {"a", "b", "c"}
+
+    def test_average_document_length(self):
+        corpus = Corpus.from_documents(
+            [doc(1, ["a"] * 4), doc(2, ["b"] * 6)]
+        )
+        assert corpus.average_document_length == 5.0
+
+    def test_empty_corpus(self):
+        corpus = Corpus()
+        assert len(corpus) == 0
+        assert corpus.average_document_length == 0.0
+        assert corpus.max_document_frequency == 0
+
+    def test_get_missing_raises(self):
+        with pytest.raises(KeyError, match="no document"):
+            Corpus().get(42)
+
+    def test_membership_and_iteration(self):
+        d1, d2 = doc(1, ["a"]), doc(2, ["b"])
+        corpus = Corpus.from_documents([d1, d2])
+        assert 1 in corpus
+        assert 3 not in corpus
+        assert set(corpus) == {d1, d2}

@@ -1,0 +1,113 @@
+"""Tests for the inverted index."""
+
+import pytest
+
+from repro.ir.documents import Corpus, Document
+from repro.ir.index import InvertedIndex, Posting, build_index
+from repro.ir.scoring import BM25Scorer
+
+
+@pytest.fixture
+def corpus():
+    return Corpus.from_documents(
+        [
+            Document.from_terms(10, ["apple"] * 5 + ["banana"]),
+            Document.from_terms(20, ["apple", "banana", "banana"]),
+            Document.from_terms(30, ["cherry"]),
+        ]
+    )
+
+
+@pytest.fixture
+def index(corpus):
+    return InvertedIndex(corpus)
+
+
+class TestStructure:
+    def test_lists_sorted_by_score_desc(self, index):
+        for term in index.terms():
+            scores = [p.score for p in index.index_list(term)]
+            assert scores == sorted(scores, reverse=True)
+
+    def test_document_frequency(self, index):
+        assert index.document_frequency("apple") == 2
+        assert index.document_frequency("cherry") == 1
+        assert index.document_frequency("nope") == 0
+
+    def test_doc_ids(self, index):
+        assert index.doc_ids("apple") == {10, 20}
+        assert index.doc_ids("nope") == frozenset()
+
+    def test_vocabulary_and_term_space(self, index):
+        assert index.vocabulary == {"apple", "banana", "cherry"}
+        assert index.term_space_size == 3
+
+    def test_max_document_frequency(self, index):
+        assert index.max_document_frequency == 2
+
+    def test_contains_and_len(self, index):
+        assert "apple" in index
+        assert "nope" not in index
+        assert len(index) == 3
+
+    def test_unknown_term_is_empty(self, index):
+        assert index.index_list("nope") == ()
+
+    def test_higher_tf_scores_higher(self, index):
+        postings = index.index_list("apple")
+        assert postings[0].doc_id == 10  # tf 5 beats tf 1
+
+    def test_build_index_helper(self, corpus):
+        assert build_index(corpus).vocabulary == InvertedIndex(corpus).vocabulary
+
+
+class TestStatistics:
+    def test_max_and_average_score(self, index):
+        postings = index.index_list("banana")
+        assert index.max_score("banana") == postings[0].score
+        assert index.average_score("banana") == pytest.approx(
+            sum(p.score for p in postings) / len(postings)
+        )
+
+    def test_zero_for_unknown(self, index):
+        assert index.max_score("nope") == 0.0
+        assert index.average_score("nope") == 0.0
+
+
+class TestScoredDocIds:
+    def test_normalized_tops_at_one(self, index):
+        scored = index.scored_doc_ids("apple", normalized=True)
+        assert scored[0][1] == pytest.approx(1.0)
+        assert all(0.0 < s <= 1.0 for _, s in scored)
+
+    def test_raw_scores(self, index):
+        raw = index.scored_doc_ids("apple", normalized=False)
+        postings = index.index_list("apple")
+        assert raw == [(p.doc_id, p.score) for p in postings]
+
+    def test_unknown_term(self, index):
+        assert index.scored_doc_ids("nope") == []
+
+
+class TestAlternativeScorer:
+    def test_bm25_changes_scores_not_structure(self, corpus):
+        tfidf = InvertedIndex(corpus)
+        bm25 = InvertedIndex(corpus, BM25Scorer())
+        assert tfidf.vocabulary == bm25.vocabulary
+        for term in tfidf.terms():
+            assert tfidf.doc_ids(term) == bm25.doc_ids(term)
+
+    def test_scorer_exposed(self, corpus):
+        scorer = BM25Scorer()
+        assert InvertedIndex(corpus, scorer).scorer is scorer
+
+
+class TestPosting:
+    def test_tuple_ordering(self):
+        assert Posting(2.0, 1) > Posting(1.0, 99)
+        assert Posting(1.0, 2) > Posting(1.0, 1)
+
+    def test_fields(self):
+        p = Posting(score=1.5, doc_id=7)
+        assert p.score == 1.5
+        assert p.doc_id == 7

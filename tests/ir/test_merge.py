@@ -1,0 +1,47 @@
+"""Tests for result merging at the query initiator."""
+
+import pytest
+
+from repro.ir.merge import merge_results
+from repro.ir.topk import ScoredDocument
+
+
+def results(*pairs):
+    return [ScoredDocument(score=s, doc_id=d) for s, d in pairs]
+
+
+class TestMerge:
+    def test_dedupes_by_doc_id_keeping_max_score(self):
+        merged = merge_results(
+            [results((1.0, 7), (0.5, 8)), results((2.0, 7), (0.4, 9))]
+        )
+        by_id = {r.doc_id: r.score for r in merged}
+        assert by_id == {7: 2.0, 8: 0.5, 9: 0.4}
+
+    def test_reranks_descending(self):
+        merged = merge_results([results((0.1, 1)), results((0.9, 2))])
+        assert [r.doc_id for r in merged] == [2, 1]
+
+    def test_k_truncates(self):
+        merged = merge_results(
+            [results((1.0, 1), (0.9, 2), (0.8, 3))], k=2
+        )
+        assert len(merged) == 2
+
+    def test_k_none_returns_all(self):
+        merged = merge_results([results((1.0, 1)), results((0.9, 2))], k=None)
+        assert len(merged) == 2
+
+    def test_empty_inputs(self):
+        assert merge_results([]) == []
+        assert merge_results([[], []]) == []
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            merge_results([results((1.0, 1))], k=0)
+
+    def test_overlapping_peers_collapse(self):
+        """The paper's duplicate problem: three peers, same top docs."""
+        same = results((1.0, 1), (0.9, 2))
+        merged = merge_results([same, same, same])
+        assert len(merged) == 2

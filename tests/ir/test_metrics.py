@@ -1,0 +1,75 @@
+"""Tests for evaluation metrics (relative recall et al.)."""
+
+import pytest
+
+from repro.ir.metrics import (
+    duplicate_fraction,
+    micro_average,
+    precision_against_reference,
+    relative_recall,
+    result_ids,
+)
+from repro.ir.topk import ScoredDocument
+
+
+class TestRelativeRecall:
+    def test_full_recall(self):
+        assert relative_recall({1, 2, 3}, {1, 2, 3}) == 1.0
+
+    def test_partial(self):
+        assert relative_recall({1, 2}, {1, 2, 3, 4}) == 0.5
+
+    def test_zero(self):
+        assert relative_recall({9}, {1, 2}) == 0.0
+
+    def test_empty_reference_is_one(self):
+        assert relative_recall({1}, set()) == 1.0
+        assert relative_recall(set(), set()) == 1.0
+
+    def test_extra_retrieved_do_not_hurt(self):
+        assert relative_recall({1, 2, 99, 100}, {1, 2}) == 1.0
+
+    def test_accepts_any_collection(self):
+        assert relative_recall([1, 1, 2], (1, 2, 3, 4)) == 0.5
+
+
+class TestPrecision:
+    def test_basic(self):
+        assert precision_against_reference({1, 2, 3, 4}, {1, 2}) == 0.5
+
+    def test_empty_retrieved(self):
+        assert precision_against_reference(set(), {1}) == 0.0
+
+
+class TestResultIds:
+    def test_extracts_ids(self):
+        docs = [ScoredDocument(1.0, 5), ScoredDocument(0.5, 6)]
+        assert result_ids(docs) == {5, 6}
+
+    def test_empty(self):
+        assert result_ids([]) == frozenset()
+
+
+class TestMicroAverage:
+    def test_mean(self):
+        assert micro_average([0.0, 1.0]) == 0.5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            micro_average([])
+
+
+class TestDuplicateFraction:
+    def test_no_duplicates(self):
+        assert duplicate_fraction([{1, 2}, {3, 4}]) == 0.0
+
+    def test_all_duplicates(self):
+        assert duplicate_fraction([{1, 2}, {1, 2}]) == 0.5
+
+    def test_empty(self):
+        assert duplicate_fraction([]) == 0.0
+        assert duplicate_fraction([set(), set()]) == 0.0
+
+    def test_partial(self):
+        # 6 slots, 4 distinct docs -> 1/3 wasted.
+        assert duplicate_fraction([{1, 2, 3}, {3, 4, 1}]) == pytest.approx(1 / 3)

@@ -1,0 +1,91 @@
+"""Tests for tf*idf and BM25 scorers."""
+
+import math
+
+import pytest
+
+from repro.ir.documents import Corpus, Document
+from repro.ir.scoring import BM25Scorer, TfIdfScorer
+
+
+@pytest.fixture
+def corpus():
+    return Corpus.from_documents(
+        [
+            Document.from_terms(1, ["apple"] * 3 + ["banana"]),
+            Document.from_terms(2, ["apple", "cherry"]),
+            Document.from_terms(3, ["cherry", "cherry", "durian"]),
+        ]
+    )
+
+
+class TestTfIdf:
+    def test_zero_for_absent_term(self, corpus):
+        scorer = TfIdfScorer()
+        assert scorer.score(corpus, corpus.get(1), "cherry") == 0.0
+
+    def test_zero_for_unknown_term(self, corpus):
+        scorer = TfIdfScorer()
+        assert scorer.score(corpus, corpus.get(1), "nope") == 0.0
+        assert scorer.term_weight(corpus, "nope") == 0.0
+
+    def test_exact_formula(self, corpus):
+        scorer = TfIdfScorer()
+        # apple: tf=3 in doc 1, df=2, N=3.
+        expected = (1 + math.log(3)) * math.log(1 + 3 / 2)
+        assert scorer.score(corpus, corpus.get(1), "apple") == pytest.approx(expected)
+
+    def test_rarer_term_weighs_more(self, corpus):
+        scorer = TfIdfScorer()
+        assert scorer.term_weight(corpus, "durian") > scorer.term_weight(
+            corpus, "apple"
+        )
+
+    def test_score_combines_components(self, corpus):
+        scorer = TfIdfScorer()
+        d = corpus.get(3)
+        assert scorer.score(corpus, d, "cherry") == pytest.approx(
+            scorer.term_weight(corpus, "cherry")
+            * scorer.within_document(2, d, corpus)
+        )
+
+
+class TestBM25:
+    def test_zero_for_absent_term(self, corpus):
+        scorer = BM25Scorer()
+        assert scorer.score(corpus, corpus.get(2), "banana") == 0.0
+
+    def test_monotone_in_tf(self, corpus):
+        scorer = BM25Scorer()
+        d1 = corpus.get(1)  # tf(apple)=3
+        d2 = corpus.get(2)  # tf(apple)=1, shorter doc though
+        w1 = scorer.within_document(3, d1, corpus)
+        w2 = scorer.within_document(1, d1, corpus)
+        assert w1 > w2
+
+    def test_tf_saturation(self, corpus):
+        """BM25's hallmark: the tf component is bounded by k1 + 1."""
+        scorer = BM25Scorer(k1=1.2)
+        d = corpus.get(1)
+        assert scorer.within_document(10_000, d, corpus) < scorer.k1 + 1
+
+    def test_idf_nonnegative(self, corpus):
+        scorer = BM25Scorer()
+        for term in ("apple", "banana", "cherry", "durian"):
+            assert scorer.term_weight(corpus, term) >= 0.0
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            BM25Scorer(k1=-1)
+        with pytest.raises(ValueError):
+            BM25Scorer(b=1.5)
+
+    def test_scores_nonnegative(self, corpus):
+        scorer = BM25Scorer()
+        for document in corpus:
+            for term in document.vocabulary:
+                assert scorer.score(corpus, document, term) >= 0.0
+
+    def test_name(self):
+        assert BM25Scorer().name == "BM25Scorer"
+        assert TfIdfScorer().name == "TfIdfScorer"

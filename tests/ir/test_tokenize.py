@@ -1,0 +1,47 @@
+"""Tests for the tokenizer."""
+
+from repro.ir.tokenize import STOPWORDS, tokenize
+
+
+class TestTokenize:
+    def test_lowercases_and_splits(self):
+        assert list(tokenize("Forest FIRE safety")) == ["forest", "fire", "safety"]
+
+    def test_strips_punctuation(self):
+        assert list(tokenize("pest-safety, control!")) == [
+            "pest",
+            "safety",
+            "control",
+        ]
+
+    def test_drops_stopwords(self):
+        assert list(tokenize("the fire and the forest")) == ["fire", "forest"]
+
+    def test_keeps_stopwords_when_asked(self):
+        tokens = list(tokenize("the fire", drop_stopwords=False))
+        assert tokens == ["the", "fire"]
+
+    def test_min_length(self):
+        assert list(tokenize("a ab abc", min_length=3, drop_stopwords=False)) == [
+            "abc"
+        ]
+
+    def test_min_length_validation(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            list(tokenize("x", min_length=0))
+
+    def test_numbers_kept(self):
+        assert list(tokenize("trec 2003 web track")) == [
+            "trec",
+            "2003",
+            "web",
+            "track",
+        ]
+
+    def test_empty_text(self):
+        assert list(tokenize("")) == []
+
+    def test_stopword_list_is_lowercase(self):
+        assert all(w == w.lower() for w in STOPWORDS)

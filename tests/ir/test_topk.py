@@ -1,0 +1,85 @@
+"""Tests for local top-k query execution."""
+
+import pytest
+
+from repro.ir.documents import Corpus, Document
+from repro.ir.index import InvertedIndex
+from repro.ir.topk import ScoredDocument, execute_query
+
+
+@pytest.fixture
+def index():
+    return InvertedIndex(
+        Corpus.from_documents(
+            [
+                Document.from_terms(1, ["forest", "fire", "fire"]),
+                Document.from_terms(2, ["forest", "park"]),
+                Document.from_terms(3, ["fire", "safety"]),
+                Document.from_terms(4, ["park", "ranger"]),
+            ]
+        )
+    )
+
+
+class TestDisjunctive:
+    def test_matches_any_term(self, index):
+        results = execute_query(index, ("forest", "fire"), k=10)
+        assert {r.doc_id for r in results} == {1, 2, 3}
+
+    def test_multi_term_doc_ranks_first(self, index):
+        results = execute_query(index, ("forest", "fire"), k=10)
+        assert results[0].doc_id == 1
+
+    def test_k_truncates(self, index):
+        assert len(execute_query(index, ("forest", "fire"), k=2)) == 2
+
+    def test_duplicate_terms_counted_once(self, index):
+        once = execute_query(index, ("fire",), k=10)
+        twice = execute_query(index, ("fire", "fire"), k=10)
+        assert once == twice
+
+    def test_scores_descending(self, index):
+        results = execute_query(index, ("forest", "fire", "park"), k=10)
+        scores = [r.score for r in results]
+        assert scores == sorted(scores, reverse=True)
+
+
+class TestConjunctive:
+    def test_requires_all_terms(self, index):
+        results = execute_query(index, ("forest", "fire"), k=10, conjunctive=True)
+        assert {r.doc_id for r in results} == {1}
+
+    def test_no_match_is_empty(self, index):
+        assert (
+            execute_query(index, ("forest", "ranger"), k=10, conjunctive=True) == []
+        )
+
+    def test_single_term_same_as_disjunctive(self, index):
+        a = execute_query(index, ("park",), k=10)
+        b = execute_query(index, ("park",), k=10, conjunctive=True)
+        assert a == b
+
+
+class TestEdges:
+    def test_empty_terms(self, index):
+        assert execute_query(index, (), k=5) == []
+
+    def test_unknown_terms(self, index):
+        assert execute_query(index, ("zzz",), k=5) == []
+
+    def test_invalid_k(self, index):
+        with pytest.raises(ValueError):
+            execute_query(index, ("fire",), k=0)
+
+    def test_deterministic_tie_break(self, index):
+        results = execute_query(index, ("park",), k=10)
+        # Both docs contain "park" once with equal length-independent
+        # tf-idf scores; higher doc_id wins the tie (reverse tuple sort).
+        assert [r.doc_id for r in results] == sorted(
+            [r.doc_id for r in results],
+            key=lambda d: (-dict((x.doc_id, x.score) for x in results)[d], -d),
+        )
+
+    def test_result_type(self, index):
+        results = execute_query(index, ("fire",), k=1)
+        assert isinstance(results[0], ScoredDocument)

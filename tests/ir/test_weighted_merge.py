@@ -1,0 +1,76 @@
+"""Tests for CORI-weighted result fusion."""
+
+import pytest
+
+from repro.ir.merge import merge_results, weighted_merge
+from repro.ir.topk import ScoredDocument
+
+
+def results(*pairs):
+    return [ScoredDocument(score=s, doc_id=d) for s, d in pairs]
+
+
+class TestWeightedMerge:
+    def test_weights_scale_scores(self):
+        fused = weighted_merge(
+            {
+                "good": results((1.0, 1)),
+                "weak": results((1.0, 2)),
+            },
+            {"good": 0.9, "weak": 0.3},
+        )
+        assert [r.doc_id for r in fused] == [1, 2]
+        assert fused[0].score == pytest.approx(0.9)
+
+    def test_weight_can_flip_ranking(self):
+        """A strong score from a weak collection loses to a moderate
+        score from a strong one."""
+        fused = weighted_merge(
+            {
+                "strong-collection": results((0.6, 1)),
+                "weak-collection": results((0.9, 2)),
+            },
+            {"strong-collection": 1.0, "weak-collection": 0.5},
+        )
+        assert fused[0].doc_id == 1
+
+    def test_missing_weight_defaults_to_one(self):
+        fused = weighted_merge(
+            {"unknown": results((0.7, 5))},
+            {},
+        )
+        assert fused[0].score == pytest.approx(0.7)
+
+    def test_duplicates_keep_best_weighted_score(self):
+        fused = weighted_merge(
+            {
+                "a": results((1.0, 7)),
+                "b": results((0.8, 7)),
+            },
+            {"a": 0.5, "b": 1.0},
+        )
+        assert len(fused) == 1
+        assert fused[0].score == pytest.approx(0.8)
+
+    def test_uniform_weights_match_plain_merge(self):
+        per_peer = {
+            "a": results((1.0, 1), (0.5, 2)),
+            "b": results((0.8, 2), (0.3, 3)),
+        }
+        weighted = weighted_merge(per_peer, {"a": 1.0, "b": 1.0})
+        plain = merge_results(per_peer.values())
+        assert weighted == plain
+
+    def test_k_truncates(self):
+        fused = weighted_merge(
+            {"a": results((1.0, 1), (0.9, 2), (0.8, 3))},
+            {"a": 1.0},
+            k=2,
+        )
+        assert len(fused) == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            weighted_merge({}, {}, k=0)
+        with pytest.raises(ValueError):
+            weighted_merge({"a": results((1.0, 1))}, {"a": -0.5})

@@ -1,0 +1,81 @@
+"""Tests for batched Post publication (Section 7.2's batching remark)."""
+
+import pytest
+
+from repro.dht.ring import ChordRing
+from repro.minerva.directory import Directory
+from repro.minerva.posts import Post
+from repro.net.cost import CostModel, MessageKinds
+from repro.synopses.factory import SynopsisSpec
+
+SPEC = SynopsisSpec.parse("mips-8")
+
+
+def make_post(peer_id, term, cdf=5):
+    return Post(
+        peer_id=peer_id,
+        term=term,
+        cdf=cdf,
+        max_score=1.0,
+        avg_score=0.5,
+        term_space_size=50,
+        synopsis=SPEC.build(range(cdf)),
+    )
+
+
+def fresh_directory(replicas=1):
+    ring = ChordRing([f"n{i}" for i in range(8)], bits=16)
+    return Directory(ring, cost=CostModel(), replicas=replicas)
+
+
+class TestBatchedPublish:
+    def test_stored_identically_to_individual_publish(self):
+        batched = fresh_directory()
+        individual = fresh_directory()
+        posts = [make_post("p1", f"term-{i}") for i in range(20)]
+        batched.publish_batch(posts)
+        for post in posts:
+            individual.publish(post)
+        for i in range(20):
+            term = f"term-{i}"
+            assert (
+                batched.peer_list(term).peer_ids
+                == individual.peer_list(term).peer_ids
+            )
+
+    def test_fewer_messages_than_individual(self):
+        batched = fresh_directory()
+        individual = fresh_directory()
+        posts = [make_post("p1", f"term-{i}") for i in range(30)]
+        batched.publish_batch(posts)
+        for post in posts:
+            individual.publish(post)
+        assert batched.cost.snapshot().messages(
+            MessageKinds.POST
+        ) < individual.cost.snapshot().messages(MessageKinds.POST)
+
+    def test_payload_bits_unchanged(self):
+        batched = fresh_directory()
+        individual = fresh_directory()
+        posts = [make_post("p1", f"term-{i}") for i in range(30)]
+        batched.publish_batch(posts)
+        for post in posts:
+            individual.publish(post)
+        assert batched.cost.snapshot().bits(
+            MessageKinds.POST
+        ) == individual.cost.snapshot().bits(MessageKinds.POST)
+
+    def test_message_count_bounded_by_destinations(self):
+        directory = fresh_directory()
+        posts = [make_post("p1", f"term-{i}") for i in range(50)]
+        messages = directory.publish_batch(posts)
+        assert messages <= len(directory.ring)
+
+    def test_replication_multiplies_messages(self):
+        directory = fresh_directory(replicas=2)
+        posts = [make_post("p1", f"term-{i}") for i in range(10)]
+        messages = directory.publish_batch(posts)
+        assert messages % 2 == 0
+
+    def test_empty_batch(self):
+        assert fresh_directory().publish_batch([]) == 0

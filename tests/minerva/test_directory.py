@@ -1,0 +1,115 @@
+"""Tests for the DHT-backed directory."""
+
+import pytest
+
+from repro.dht.ring import ChordRing
+from repro.minerva.directory import Directory
+from repro.minerva.posts import Post
+from repro.net.cost import CostModel, MessageKinds
+from repro.synopses.factory import SynopsisSpec
+
+SPEC = SynopsisSpec.parse("mips-8")
+
+
+def make_post(peer_id, term, cdf=5):
+    return Post(
+        peer_id=peer_id,
+        term=term,
+        cdf=cdf,
+        max_score=1.0,
+        avg_score=0.5,
+        term_space_size=50,
+        synopsis=SPEC.build(range(cdf)),
+    )
+
+
+@pytest.fixture
+def directory():
+    ring = ChordRing([f"p{i}" for i in range(8)], bits=16)
+    return Directory(ring, cost=CostModel())
+
+
+class TestPublish:
+    def test_publish_then_lookup(self, directory):
+        directory.publish(make_post("p1", "apple"))
+        directory.publish(make_post("p2", "apple"))
+        peer_list = directory.peer_list("apple")
+        assert peer_list.peer_ids == {"p1", "p2"}
+
+    def test_republish_overwrites(self, directory):
+        directory.publish(make_post("p1", "apple", cdf=3))
+        directory.publish(make_post("p1", "apple", cdf=7))
+        assert directory.peer_list("apple").get("p1").cdf == 7
+
+    def test_publish_charges_post_and_hops(self, directory):
+        directory.publish(make_post("p1", "apple"))
+        snap = directory.cost.snapshot()
+        assert snap.messages(MessageKinds.POST) == 1
+        assert snap.bits(MessageKinds.POST) == make_post("p1", "apple").size_in_bits
+
+    def test_terms_partitioned_across_nodes(self, directory):
+        for i in range(40):
+            directory.publish(make_post("p1", f"term-{i}"))
+        occupied = [
+            node_id
+            for node_id in directory.ring.node_ids
+            if directory.ring.node(node_id).store
+        ]
+        assert len(occupied) > 1
+
+
+class TestReplication:
+    def test_replicas_store_copies(self):
+        ring = ChordRing([f"p{i}" for i in range(8)], bits=16)
+        directory = Directory(ring, replicas=3)
+        directory.publish(make_post("p1", "apple"))
+        key = ring.key_id("apple")
+        holders = [
+            node_id
+            for node_id in ring.node_ids
+            if key in ring.node(node_id).store
+        ]
+        assert len(holders) == 3
+
+    def test_replicas_validation(self):
+        ring = ChordRing(["a"], bits=16)
+        with pytest.raises(ValueError):
+            Directory(ring, replicas=0)
+
+
+class TestLookup:
+    def test_unknown_term_empty_peerlist(self, directory):
+        peer_list = directory.peer_list("never-posted")
+        assert len(peer_list) == 0
+        assert peer_list.term == "never-posted"
+
+    def test_fetch_charges_payload(self, directory):
+        directory.publish(make_post("p1", "apple"))
+        before = directory.cost.snapshot()
+        directory.peer_list("apple")
+        delta = directory.cost.snapshot() - before
+        assert delta.messages(MessageKinds.PEERLIST_FETCH) == 1
+        assert delta.bits(MessageKinds.PEERLIST_FETCH) > 0
+
+    def test_peer_lists_fetches_unique_terms(self, directory):
+        directory.publish(make_post("p1", "a"))
+        directory.publish(make_post("p1", "b"))
+        lists = directory.peer_lists(("a", "b", "a"))
+        assert set(lists) == {"a", "b"}
+
+    def test_stored_terms(self, directory):
+        directory.publish(make_post("p1", "apple"))
+        directory.publish(make_post("p2", "pear"))
+        assert directory.stored_terms() == {"apple", "pear"}
+
+    def test_requester_start_node_used(self):
+        ring = ChordRing([f"p{i}" for i in range(8)], bits=16)
+        node_map = {
+            f"p{i}": ring.node_ids[i] for i in range(8)
+        }
+        directory = Directory(ring, node_of_peer=node_map)
+        directory.publish(make_post("p0", "apple"))
+        # Both requesters must see the same PeerList.
+        a = directory.peer_list("apple", requester="p0")
+        b = directory.peer_list("apple", requester="p7")
+        assert a.peer_ids == b.peer_ids == {"p0"}

@@ -1,0 +1,103 @@
+"""Tests for the Peer object."""
+
+import pytest
+
+from repro.ir.documents import Corpus, Document
+from repro.ir.index import InvertedIndex
+from repro.minerva.peer import Peer
+from repro.synopses.factory import SynopsisSpec
+
+SPEC = SynopsisSpec.parse("mips-16")
+
+
+@pytest.fixture
+def corpus():
+    return Corpus.from_documents(
+        [
+            Document.from_terms(1, ["apple", "apple", "banana"]),
+            Document.from_terms(2, ["apple", "cherry"]),
+            Document.from_terms(3, ["banana", "banana"]),
+        ]
+    )
+
+
+@pytest.fixture
+def peer(corpus):
+    return Peer("p1", corpus, spec=SPEC, histogram_cells=2)
+
+
+class TestConstruction:
+    def test_requires_peer_id(self, corpus):
+        with pytest.raises(ValueError):
+            Peer("", corpus, spec=SPEC)
+
+    def test_prebuilt_index_must_match_corpus(self, corpus):
+        other = Corpus.from_documents([Document.from_terms(9, ["x"])])
+        with pytest.raises(ValueError):
+            Peer("p1", corpus, spec=SPEC, index=InvertedIndex(other))
+
+    def test_prebuilt_index_used(self, corpus):
+        index = InvertedIndex(corpus)
+        peer = Peer("p1", corpus, spec=SPEC, index=index)
+        assert peer.index is index
+
+    def test_collection_size(self, peer):
+        assert peer.collection_size == 3
+
+
+class TestSynopses:
+    def test_synopsis_covers_index_list(self, peer):
+        synopsis = peer.synopsis("apple")
+        assert synopsis == SPEC.build(peer.index.doc_ids("apple"))
+
+    def test_synopsis_cached(self, peer):
+        assert peer.synopsis("apple") is peer.synopsis("apple")
+
+    def test_unknown_term_synopsis_empty(self, peer):
+        assert peer.synopsis("zzz").is_empty
+
+    def test_histogram_requires_configuration(self, corpus):
+        peer = Peer("p1", corpus, spec=SPEC)
+        with pytest.raises(ValueError, match="histogram_cells"):
+            peer.histogram_synopsis("apple")
+
+    def test_histogram_cells_cover_list(self, peer):
+        hist = peer.histogram_synopsis("apple")
+        assert hist.num_cells == 2
+        assert hist.total_cardinality == peer.index.document_frequency("apple")
+
+    def test_histogram_cached(self, peer):
+        assert peer.histogram_synopsis("apple") is peer.histogram_synopsis("apple")
+
+
+class TestPosts:
+    def test_build_post_statistics(self, peer):
+        post = peer.build_post("apple")
+        assert post.peer_id == "p1"
+        assert post.cdf == 2
+        assert post.term_space_size == peer.index.term_space_size
+        assert post.max_score == peer.index.max_score("apple")
+        assert post.synopsis is not None
+        assert post.histogram is None
+
+    def test_build_post_with_histogram(self, peer):
+        post = peer.build_post("apple", with_histogram=True)
+        assert post.histogram is not None
+
+    def test_post_for_unknown_term(self, peer):
+        post = peer.build_post("zzz")
+        assert post.cdf == 0
+        assert post.synopsis.is_empty
+
+
+class TestQueryAnswering:
+    def test_local_topk(self, peer):
+        results = peer.answer_query(("apple",), k=5)
+        assert {r.doc_id for r in results} == {1, 2}
+
+    def test_conjunctive(self, peer):
+        results = peer.answer_query(("apple", "banana"), k=5, conjunctive=True)
+        assert {r.doc_id for r in results} == {1}
+
+    def test_local_doc_ids(self, peer):
+        assert peer.local_doc_ids("banana") == {1, 3}

@@ -1,0 +1,76 @@
+"""Tests for evolving peer collections (crawl growth + re-posting)."""
+
+import pytest
+
+from repro.ir.documents import Corpus, Document
+from repro.minerva.peer import Peer
+from repro.synopses.factory import SynopsisSpec
+
+SPEC = SynopsisSpec.parse("mips-16")
+
+
+@pytest.fixture
+def peer():
+    corpus = Corpus.from_documents(
+        [
+            Document.from_terms(1, ["apple", "banana"]),
+            Document.from_terms(2, ["apple"]),
+        ]
+    )
+    return Peer("p1", corpus, spec=SPEC)
+
+
+class TestAddDocuments:
+    def test_collection_grows(self, peer):
+        peer.add_documents([Document.from_terms(3, ["cherry"])])
+        assert peer.collection_size == 3
+        assert "cherry" in peer.index
+
+    def test_new_term_reported_as_drifted(self, peer):
+        drifted = peer.add_documents([Document.from_terms(3, ["cherry"])])
+        assert "cherry" in drifted
+
+    def test_heavy_growth_reported(self, peer):
+        docs = [Document.from_terms(10 + i, ["apple"]) for i in range(5)]
+        drifted = peer.add_documents(docs)
+        assert "apple" in drifted  # df 2 -> 7
+
+    def test_small_growth_not_reported(self, peer):
+        # apple df 2 -> 2 (unchanged), banana 1 -> 1: nothing drifts.
+        drifted = peer.add_documents([Document.from_terms(3, ["durian"])])
+        assert "apple" not in drifted
+        assert "banana" not in drifted
+
+    def test_synopsis_cache_invalidated(self, peer):
+        before = peer.synopsis("apple")
+        peer.add_documents(
+            [Document.from_terms(10 + i, ["apple"]) for i in range(4)]
+        )
+        after = peer.synopsis("apple")
+        assert after != before
+        assert after == SPEC.build(peer.index.doc_ids("apple"))
+
+    def test_duplicate_doc_id_rejected(self, peer):
+        with pytest.raises(ValueError, match="duplicate"):
+            peer.add_documents([Document.from_terms(1, ["x"])])
+
+    def test_custom_drift_factor(self, peer):
+        docs = [Document.from_terms(20 + i, ["banana"]) for i in range(1)]
+        # banana df 1 -> 2: drift 2.0; reported at 1.5, not at 3.0.
+        assert "banana" in Peer(
+            "a", _clone_corpus(peer), spec=SPEC
+        ).add_documents(docs, drift_factor=1.5)
+        assert "banana" not in Peer(
+            "b", _clone_corpus(peer), spec=SPEC
+        ).add_documents(docs, drift_factor=3.0)
+
+    def test_posts_reflect_new_state(self, peer):
+        peer.add_documents(
+            [Document.from_terms(30 + i, ["apple"]) for i in range(3)]
+        )
+        post = peer.build_post("apple")
+        assert post.cdf == 5
+
+
+def _clone_corpus(peer):
+    return Corpus.from_documents(list(peer.corpus))

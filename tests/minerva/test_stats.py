@@ -1,0 +1,104 @@
+"""Tests for network-wide term statistics."""
+
+import pytest
+
+from repro.minerva.posts import PeerList, Post
+from repro.minerva.stats import global_term_statistics
+from repro.synopses.factory import SynopsisSpec
+
+SPEC = SynopsisSpec.parse("mips-64")
+
+
+def make_post(peer_id, ids, synopsis=True):
+    ids = list(ids)
+    return Post(
+        peer_id=peer_id,
+        term="apple",
+        cdf=len(ids),
+        max_score=1.0,
+        avg_score=0.5,
+        term_space_size=100,
+        synopsis=SPEC.build(ids) if synopsis else None,
+    )
+
+
+def peer_list_of(*posts):
+    peer_list = PeerList(term="apple")
+    for post in posts:
+        peer_list.add(post)
+    return peer_list
+
+
+class TestGlobalTermStatistics:
+    def test_empty_peerlist(self):
+        stats = global_term_statistics(PeerList(term="apple"))
+        assert stats.collection_frequency == 0
+        assert stats.total_postings == 0
+        assert stats.distinct_documents == 0.0
+        assert stats.replication_factor == 1.0
+
+    def test_disjoint_collections(self):
+        stats = global_term_statistics(
+            peer_list_of(
+                make_post("a", range(0, 500)),
+                make_post("b", range(1000, 1500)),
+            )
+        )
+        assert stats.total_postings == 1000
+        assert stats.distinct_documents == pytest.approx(1000, rel=0.15)
+        assert stats.replication_factor == pytest.approx(1.0, abs=0.2)
+
+    def test_fully_replicated_collections(self):
+        """Four mirrors of the same 500 docs -> replication ~4."""
+        posts = [make_post(f"p{i}", range(500)) for i in range(4)]
+        stats = global_term_statistics(peer_list_of(*posts))
+        assert stats.total_postings == 2000
+        assert stats.distinct_documents == pytest.approx(500, rel=0.35)
+        assert stats.replication_factor == pytest.approx(4.0, rel=0.35)
+
+    def test_partial_overlap(self):
+        stats = global_term_statistics(
+            peer_list_of(
+                make_post("a", range(0, 600)),
+                make_post("b", range(300, 900)),  # 300 shared
+            )
+        )
+        assert stats.distinct_documents == pytest.approx(900, rel=0.2)
+
+    def test_posts_without_synopses_counted_disjoint(self):
+        stats = global_term_statistics(
+            peer_list_of(
+                make_post("a", range(500)),
+                make_post("b", range(500), synopsis=False),
+            )
+        )
+        # The synopsis-less post adds its cdf conservatively.
+        assert stats.distinct_documents == pytest.approx(1000, rel=0.15)
+
+    def test_distinct_never_exceeds_total(self):
+        stats = global_term_statistics(
+            peer_list_of(make_post("a", range(100)), make_post("b", range(100)))
+        )
+        assert stats.distinct_documents <= stats.total_postings
+
+    def test_replication_at_least_one(self):
+        stats = global_term_statistics(peer_list_of(make_post("a", range(10))))
+        assert stats.replication_factor >= 1.0
+
+    def test_combination_placement_replication(self, tiny_engine, tiny_queries):
+        """End-to-end: C(5,2) placement replicates each doc on C(4,1)=4
+        of 10 peers, so measured replication should be ~4."""
+        term = tiny_queries[0].terms[0]
+        peer_list = tiny_engine.directory.peer_list(term)
+        stats = global_term_statistics(peer_list)
+        assert stats.replication_factor == pytest.approx(4.0, rel=0.4)
+
+    def test_feeds_adaptive_policy(self):
+        from repro.core.adaptive import AdaptiveSpecPolicy
+
+        stats = global_term_statistics(
+            peer_list_of(make_post("a", range(100)), make_post("b", range(100)))
+        )
+        policy = AdaptiveSpecPolicy(budget_bits=2048)
+        spec = policy.choose(round(stats.distinct_documents))
+        assert spec.kind == "bloom"  # ~100 distinct docs fit easily

@@ -1,0 +1,90 @@
+"""Property-based tests for the NRA top-k fetcher.
+
+The central invariant: for *any* score distribution over any number of
+peers and terms, the threshold algorithm's returned set equals the
+brute-force top-k by summed quality.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dht.ring import ChordRing
+from repro.minerva.directory import Directory
+from repro.minerva.posts import Post
+from repro.minerva.topk_peers import fetch_top_k_peers
+from repro.synopses.factory import SynopsisSpec
+
+SPEC = SynopsisSpec.parse("mips-8")
+_SHARED_SYNOPSIS = SPEC.build(range(5))
+
+score_tables = st.lists(
+    st.dictionaries(
+        keys=st.integers(min_value=0, max_value=30).map(lambda i: f"p{i:02d}"),
+        values=st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+        max_size=20,
+    ),
+    min_size=1,
+    max_size=3,
+)
+
+
+def build_directory(tables):
+    ring = ChordRing([f"n{i}" for i in range(4)], bits=16)
+    directory = Directory(ring)
+    for index, table in enumerate(tables):
+        term = f"term{index}"
+        for peer_id, score in table.items():
+            directory.publish(
+                Post(
+                    peer_id=peer_id,
+                    term=term,
+                    cdf=5,
+                    max_score=score,
+                    avg_score=score / 2,
+                    term_space_size=10,
+                    synopsis=_SHARED_SYNOPSIS,
+                )
+            )
+    return directory, tuple(f"term{i}" for i in range(len(tables)))
+
+
+def brute_force(tables, k):
+    totals = {}
+    for table in tables:
+        for peer, value in table.items():
+            totals[peer] = totals.get(peer, 0.0) + value
+    ranked = sorted(totals.items(), key=lambda item: (-item[1], item[0]))
+    return [p for p, _ in ranked[:k]], totals
+
+
+class TestNraProperties:
+    @given(score_tables, st.integers(min_value=1, max_value=8),
+           st.integers(min_value=1, max_value=7))
+    @settings(max_examples=60, deadline=None)
+    def test_topk_set_matches_brute_force(self, tables, k, batch_size):
+        directory, terms = build_directory(tables)
+        result = fetch_top_k_peers(directory, terms, k, batch_size=batch_size)
+        expected, totals = brute_force(tables, k)
+        if not totals:
+            assert result.top_peers == []
+            return
+        # Set equality up to score ties at the k-th position: any peer
+        # whose total equals the k-th score is an equally valid answer.
+        got_scores = sorted((totals[p] for p in result.top_peers), reverse=True)
+        want_scores = sorted((totals[p] for p in expected), reverse=True)
+        assert got_scores == want_scores
+
+    @given(score_tables, st.integers(min_value=1, max_value=5))
+    @settings(max_examples=40, deadline=None)
+    def test_fetched_posts_never_exceed_published(self, tables, k):
+        directory, terms = build_directory(tables)
+        result = fetch_top_k_peers(directory, terms, k, batch_size=4)
+        published = sum(len(t) for t in tables)
+        assert result.posts_fetched <= published
+
+    @given(score_tables)
+    @settings(max_examples=40, deadline=None)
+    def test_top_peers_within_shortlist(self, tables):
+        directory, terms = build_directory(tables)
+        result = fetch_top_k_peers(directory, terms, 3, batch_size=4)
+        assert set(result.top_peers) <= result.shortlist

@@ -1,0 +1,80 @@
+"""Tests for the network cost model."""
+
+import pytest
+
+from repro.net.cost import CostModel, MessageKinds
+
+
+class TestRecord:
+    def test_accumulates(self):
+        cost = CostModel()
+        cost.record(MessageKinds.POST, bits=100)
+        cost.record(MessageKinds.POST, bits=50)
+        snap = cost.snapshot()
+        assert snap.messages(MessageKinds.POST) == 2
+        assert snap.bits(MessageKinds.POST) == 150
+
+    def test_multi_count(self):
+        cost = CostModel()
+        cost.record(MessageKinds.DHT_HOP, count=5)
+        assert cost.snapshot().messages(MessageKinds.DHT_HOP) == 5
+
+    def test_zero_count_allowed(self):
+        cost = CostModel()
+        cost.record(MessageKinds.DHT_HOP, count=0)
+        assert cost.total_messages == 0
+
+    def test_validation(self):
+        cost = CostModel()
+        with pytest.raises(ValueError):
+            cost.record("x", bits=-1)
+        with pytest.raises(ValueError):
+            cost.record("x", count=-1)
+
+    def test_custom_kinds_accepted(self):
+        cost = CostModel()
+        cost.record("gossip", bits=8)
+        assert cost.snapshot().messages("gossip") == 1
+
+
+class TestSnapshot:
+    def test_snapshot_is_immutable_view(self):
+        cost = CostModel()
+        cost.record(MessageKinds.POST, bits=10)
+        snap = cost.snapshot()
+        cost.record(MessageKinds.POST, bits=10)
+        assert snap.messages(MessageKinds.POST) == 1
+
+    def test_totals(self):
+        cost = CostModel()
+        cost.record("a", bits=16)
+        cost.record("b", bits=24)
+        snap = cost.snapshot()
+        assert snap.total_messages == 2
+        assert snap.total_bits == 40
+        assert snap.total_bytes == 5.0
+
+    def test_delta(self):
+        cost = CostModel()
+        cost.record("a", bits=16)
+        before = cost.snapshot()
+        cost.record("a", bits=4)
+        cost.record("b", bits=8)
+        delta = cost.snapshot() - before
+        assert delta.messages("a") == 1
+        assert delta.bits("a") == 4
+        assert delta.messages("b") == 1
+
+    def test_missing_kind_is_zero(self):
+        snap = CostModel().snapshot()
+        assert snap.messages("nothing") == 0
+        assert snap.bits("nothing") == 0
+
+
+class TestReset:
+    def test_reset_clears(self):
+        cost = CostModel()
+        cost.record("a", bits=16)
+        cost.reset()
+        assert cost.total_messages == 0
+        assert cost.total_bits == 0

@@ -1,0 +1,69 @@
+"""Tests for latency estimation."""
+
+import pytest
+
+from repro.net.cost import CostModel
+from repro.net.latency import LatencyProfile, mm1_response_time
+
+
+def snapshot_with(messages_bits):
+    cost = CostModel()
+    for kind, (count, bits) in messages_bits.items():
+        cost.record(kind, bits=bits, count=count)
+    return cost.snapshot()
+
+
+class TestLatencyProfile:
+    def test_linear_model(self):
+        profile = LatencyProfile(per_message_ms=10.0, per_kilobit_ms=2.0)
+        snap = snapshot_with({"post": (3, 5000)})
+        # 3 messages * 10 ms + 5 kbit * 2 ms.
+        assert profile.estimate_ms(snap) == pytest.approx(40.0)
+
+    def test_empty_snapshot(self):
+        profile = LatencyProfile()
+        assert profile.estimate_ms(CostModel().snapshot()) == 0.0
+
+    def test_breakdown_sums_to_total(self):
+        profile = LatencyProfile()
+        snap = snapshot_with({"post": (2, 1000), "dht_hop": (5, 0)})
+        by_kind = profile.estimate_ms_by_kind(snap)
+        assert sum(by_kind.values()) == pytest.approx(profile.estimate_ms(snap))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LatencyProfile(per_message_ms=-1)
+
+    def test_real_query_estimate(self, tiny_engine, tiny_queries):
+        from repro.core.iqn import IQNRouter
+
+        outcome = tiny_engine.run_query(
+            tiny_queries[0], IQNRouter(), max_peers=3, k=20
+        )
+        estimate = LatencyProfile().estimate_ms(outcome.cost)
+        assert estimate > 0.0
+
+
+class TestMm1:
+    def test_idle_system(self):
+        assert mm1_response_time(10.0, 0.0) == 10.0
+
+    def test_superlinear_growth(self):
+        """The paper's 'highly superlinear' remark: 50% load doubles,
+        90% load tenfolds."""
+        assert mm1_response_time(10.0, 0.5) == pytest.approx(20.0)
+        assert mm1_response_time(10.0, 0.9) == pytest.approx(100.0)
+
+    def test_halving_load_saves_superlinearly(self):
+        """Why fewer contacted peers matters more than linearly."""
+        at_90 = mm1_response_time(10.0, 0.9)
+        at_45 = mm1_response_time(10.0, 0.45)
+        assert at_90 / at_45 > 2.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mm1_response_time(0.0, 0.5)
+        with pytest.raises(ValueError):
+            mm1_response_time(10.0, 1.0)
+        with pytest.raises(ValueError):
+            mm1_response_time(10.0, -0.1)

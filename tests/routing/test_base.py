@@ -1,0 +1,104 @@
+"""Tests for routing context assembly."""
+
+import pytest
+
+from repro.datasets.queries import Query
+from repro.minerva.posts import PeerList, Post
+from repro.routing.base import LocalView, RoutingContext
+from repro.synopses.factory import SynopsisSpec
+
+SPEC = SynopsisSpec.parse("mips-8")
+
+
+def make_post(peer_id, term, cdf=5, term_space=100):
+    return Post(
+        peer_id=peer_id,
+        term=term,
+        cdf=cdf,
+        max_score=1.0,
+        avg_score=0.5,
+        term_space_size=term_space,
+        synopsis=SPEC.build(range(cdf)),
+    )
+
+
+def make_context(initiator=None, conjunctive=False):
+    apple = PeerList(term="apple")
+    apple.add(make_post("p1", "apple", term_space=100))
+    apple.add(make_post("p2", "apple", term_space=200))
+    pear = PeerList(term="pear")
+    pear.add(make_post("p2", "pear", term_space=200))
+    pear.add(make_post("p3", "pear", term_space=300))
+    return RoutingContext(
+        query=Query(0, ("apple", "pear")),
+        peer_lists={"apple": apple, "pear": pear},
+        num_peers=10,
+        spec=SPEC,
+        initiator=initiator,
+        conjunctive=conjunctive,
+    )
+
+
+class TestValidation:
+    def test_missing_term_peerlist_rejected(self):
+        with pytest.raises(ValueError, match="missing query terms"):
+            RoutingContext(
+                query=Query(0, ("apple", "pear")),
+                peer_lists={"apple": PeerList(term="apple")},
+                num_peers=3,
+                spec=SPEC,
+            )
+
+    def test_nonpositive_peers_rejected(self):
+        with pytest.raises(ValueError):
+            RoutingContext(
+                query=Query(0, ("apple",)),
+                peer_lists={"apple": PeerList(term="apple")},
+                num_peers=0,
+                spec=SPEC,
+            )
+
+
+class TestCandidates:
+    def test_union_over_terms(self):
+        context = make_context()
+        ids = {c.peer_id for c in context.candidates()}
+        assert ids == {"p1", "p2", "p3"}
+
+    def test_posts_grouped_per_peer(self):
+        context = make_context()
+        by_id = {c.peer_id: c for c in context.candidates()}
+        assert by_id["p2"].covered_terms == {"apple", "pear"}
+        assert by_id["p1"].covered_terms == {"apple"}
+        assert by_id["p1"].cdf("pear") == 0
+        assert by_id["p1"].post("pear") is None
+
+    def test_initiator_excluded(self):
+        context = make_context(initiator=LocalView(peer_id="p2"))
+        ids = {c.peer_id for c in context.candidates()}
+        assert ids == {"p1", "p3"}
+
+    def test_deterministic_order(self):
+        context = make_context()
+        assert [c.peer_id for c in context.candidates()] == ["p1", "p2", "p3"]
+
+
+class TestStatistics:
+    def test_collection_frequency(self):
+        context = make_context()
+        assert context.collection_frequency("apple") == 2
+        assert context.collection_frequency("pear") == 2
+
+    def test_average_term_space_size(self):
+        context = make_context()
+        # Peers p1 (100), p2 (200), p3 (300): average 200.
+        assert context.average_term_space_size == pytest.approx(200.0)
+
+    def test_average_term_space_empty_lists(self):
+        context = RoutingContext(
+            query=Query(0, ("apple",)),
+            peer_lists={"apple": PeerList(term="apple")},
+            num_peers=3,
+            spec=SPEC,
+        )
+        assert context.average_term_space_size == 1.0

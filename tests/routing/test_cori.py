@@ -1,0 +1,120 @@
+"""Tests for CORI collection selection — formula checked by hand."""
+
+import math
+
+import pytest
+
+from repro.datasets.queries import Query
+from repro.minerva.posts import PeerList, Post
+from repro.routing.base import RoutingContext
+from repro.routing.cori import CORI_ALPHA, CoriSelector, cori_score, cori_scores
+from repro.synopses.factory import SynopsisSpec
+
+SPEC = SynopsisSpec.parse("mips-8")
+
+
+def make_post(peer_id, term, cdf, term_space):
+    return Post(
+        peer_id=peer_id,
+        term=term,
+        cdf=cdf,
+        max_score=1.0,
+        avg_score=0.5,
+        term_space_size=term_space,
+        synopsis=SPEC.build(range(cdf)),
+    )
+
+
+def single_term_context(num_peers=10):
+    apple = PeerList(term="apple")
+    apple.add(make_post("rich", "apple", cdf=100, term_space=100))
+    apple.add(make_post("poor", "apple", cdf=5, term_space=100))
+    return RoutingContext(
+        query=Query(0, ("apple",)),
+        peer_lists={"apple": apple},
+        num_peers=num_peers,
+        spec=SPEC,
+    )
+
+
+class TestFormula:
+    def test_hand_computed_score(self):
+        context = single_term_context()
+        candidate = [c for c in context.candidates() if c.peer_id == "rich"][0]
+        # |V_avg| = 100, |V_i| = 100 -> T = 100 / (100 + 50 + 150) = 1/3.
+        t = 100 / (100 + 50 + 150)
+        # cf = 2, np = 10 -> I = log(10.5/2) / log(11).
+        i = math.log(10.5 / 2) / math.log(11)
+        expected = CORI_ALPHA + (1 - CORI_ALPHA) * t * i
+        assert cori_score(candidate, context) == pytest.approx(expected)
+
+    def test_missing_term_scores_alpha(self):
+        apple = PeerList(term="apple")
+        apple.add(make_post("p1", "apple", cdf=10, term_space=100))
+        pear = PeerList(term="pear")
+        pear.add(make_post("p2", "pear", cdf=10, term_space=100))
+        context = RoutingContext(
+            query=Query(0, ("apple", "pear")),
+            peer_lists={"apple": apple, "pear": pear},
+            num_peers=5,
+            spec=SPEC,
+        )
+        scores = cori_scores(context)
+        # p1 has apple only: s = (s_apple + alpha) / 2 > alpha.
+        assert scores["p1"] > CORI_ALPHA / 1.0 / 2
+        single = cori_score(
+            [c for c in context.candidates() if c.peer_id == "p1"][0], context
+        )
+        assert single < 1.0
+
+    def test_longer_list_scores_higher(self):
+        scores = cori_scores(single_term_context())
+        assert scores["rich"] > scores["poor"]
+
+    def test_score_bounded(self):
+        for candidate in single_term_context().candidates():
+            score = cori_score(candidate, single_term_context())
+            assert CORI_ALPHA / 2 <= score <= 1.0
+
+    def test_alpha_validation(self):
+        context = single_term_context()
+        candidate = context.candidates()[0]
+        with pytest.raises(ValueError):
+            cori_score(candidate, context, alpha=1.5)
+
+
+class TestSelector:
+    def test_ranks_by_score(self):
+        selector = CoriSelector()
+        ranked = selector.rank(single_term_context(), max_peers=2)
+        assert ranked == ["rich", "poor"]
+
+    def test_max_peers_truncates(self):
+        assert len(CoriSelector().rank(single_term_context(), 1)) == 1
+
+    def test_max_peers_validation(self):
+        with pytest.raises(ValueError):
+            CoriSelector().rank(single_term_context(), 0)
+
+    def test_alpha_validation(self):
+        with pytest.raises(ValueError):
+            CoriSelector(alpha=-0.1)
+
+    def test_name(self):
+        assert CoriSelector().name == "CORI"
+
+    def test_overlap_blindness(self):
+        """CORI's defining flaw: two identical rich peers both rank above
+        a complementary poor peer."""
+        apple = PeerList(term="apple")
+        apple.add(make_post("rich1", "apple", cdf=100, term_space=100))
+        apple.add(make_post("rich2", "apple", cdf=100, term_space=100))
+        apple.add(make_post("modest", "apple", cdf=30, term_space=100))
+        context = RoutingContext(
+            query=Query(0, ("apple",)),
+            peer_lists={"apple": apple},
+            num_peers=10,
+            spec=SPEC,
+        )
+        ranked = CoriSelector().rank(context, max_peers=2)
+        assert set(ranked) == {"rich1", "rich2"}

@@ -1,0 +1,112 @@
+"""Tests for the random and SIGIR'05 one-shot baselines."""
+
+import pytest
+
+from repro.datasets.queries import Query
+from repro.minerva.posts import PeerList, Post
+from repro.routing.base import LocalView, RoutingContext
+from repro.routing.random_select import RandomSelector
+from repro.routing.sigir05 import OneShotOverlapSelector
+from repro.synopses.factory import SynopsisSpec
+
+SPEC = SynopsisSpec.parse("bf-2048")
+
+
+def make_post(peer_id, term, ids):
+    ids = list(ids)
+    return Post(
+        peer_id=peer_id,
+        term=term,
+        cdf=len(ids),
+        max_score=1.0,
+        avg_score=0.5,
+        term_space_size=100,
+        synopsis=SPEC.build(ids),
+    )
+
+
+def overlap_context():
+    """Initiator holds 0..49; 'dup' duplicates it, 'fresh' is disjoint."""
+    apple = PeerList(term="apple")
+    apple.add(make_post("dup", "apple", range(50)))
+    apple.add(make_post("fresh", "apple", range(100, 150)))
+    initiator = LocalView(
+        peer_id="me",
+        result_doc_ids=frozenset(range(50)),
+        doc_ids_by_term={"apple": frozenset(range(50))},
+    )
+    return RoutingContext(
+        query=Query(0, ("apple",)),
+        peer_lists={"apple": apple},
+        num_peers=5,
+        spec=SPEC,
+        initiator=initiator,
+    )
+
+
+class TestRandomSelector:
+    def test_subset_of_candidates(self):
+        context = overlap_context()
+        ranked = RandomSelector(seed=1).rank(context, max_peers=2)
+        assert set(ranked) <= {"dup", "fresh"}
+
+    def test_reproducible(self):
+        context = overlap_context()
+        a = RandomSelector(seed=5).rank(context, 2)
+        b = RandomSelector(seed=5).rank(context, 2)
+        assert a == b
+
+    def test_max_peers(self):
+        assert len(RandomSelector().rank(overlap_context(), 1)) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RandomSelector().rank(overlap_context(), 0)
+
+    def test_name(self):
+        assert RandomSelector().name == "Random"
+
+
+class TestOneShotOverlapSelector:
+    def test_prefers_novel_peer(self):
+        """The whole point of [5]: the duplicate of the initiator's local
+        collection ranks below the complementary peer."""
+        ranked = OneShotOverlapSelector().rank(overlap_context(), max_peers=2)
+        assert ranked[0] == "fresh"
+
+    def test_no_initiator_falls_back_to_quality_times_size(self):
+        context = overlap_context()
+        context.initiator = None
+        ranked = OneShotOverlapSelector().rank(context, max_peers=2)
+        assert set(ranked) == {"dup", "fresh"}
+
+    def test_one_shot_blindness_to_mutual_overlap(self):
+        """The known weakness IQN fixes: two peers that duplicate *each
+        other* (but not the initiator) both rank above a smaller novel
+        peer, wasting the second pick."""
+        apple = PeerList(term="apple")
+        twin_ids = range(200, 320)
+        apple.add(make_post("twin1", "apple", twin_ids))
+        apple.add(make_post("twin2", "apple", twin_ids))
+        apple.add(make_post("small-novel", "apple", range(400, 460)))
+        initiator = LocalView(
+            peer_id="me",
+            result_doc_ids=frozenset(range(50)),
+            doc_ids_by_term={"apple": frozenset(range(50))},
+        )
+        context = RoutingContext(
+            query=Query(0, ("apple",)),
+            peer_lists={"apple": apple},
+            num_peers=5,
+            spec=SPEC,
+            initiator=initiator,
+        )
+        ranked = OneShotOverlapSelector().rank(context, max_peers=2)
+        assert set(ranked) == {"twin1", "twin2"}
+
+    def test_max_peers_validation(self):
+        with pytest.raises(ValueError):
+            OneShotOverlapSelector().rank(overlap_context(), 0)
+
+    def test_name(self):
+        assert OneShotOverlapSelector().name == "SIGIR05-OneShot"

@@ -1,0 +1,190 @@
+"""Tests for Bloom filter synopses."""
+
+import math
+
+import pytest
+
+from repro.synopses.base import IncompatibleSynopsesError
+from repro.synopses.bloom import BloomFilter, optimal_num_hashes
+from repro.synopses.measures import resemblance
+
+
+def build(ids, m=2048, k=5, seed=0):
+    return BloomFilter.from_ids(ids, num_bits=m, num_hashes=k, seed=seed)
+
+
+class TestConstruction:
+    def test_empty(self):
+        bf = build([])
+        assert bf.is_empty
+        assert bf.bit_count == 0
+        assert bf.estimate_cardinality() == 0.0
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            BloomFilter(num_bits=0, num_hashes=3)
+        with pytest.raises(ValueError):
+            BloomFilter(num_bits=64, num_hashes=0)
+        with pytest.raises(ValueError):
+            BloomFilter(num_bits=4, num_hashes=1, _bits=1 << 10)
+
+    def test_add_returns_new_filter(self):
+        bf = build([])
+        grown = bf.add(7)
+        assert bf.is_empty
+        assert not grown.is_empty
+        assert 7 in grown
+
+    def test_size_in_bits_is_m(self):
+        assert build([], m=512).size_in_bits == 512
+
+    def test_deterministic(self):
+        assert build(range(100)) == build(range(100))
+        assert hash(build(range(100))) == hash(build(range(100)))
+
+
+class TestMembership:
+    def test_no_false_negatives(self):
+        ids = list(range(0, 4000, 7))
+        bf = build(ids, m=8192)
+        assert all(i in bf for i in ids)
+
+    def test_false_positive_rate_matches_theory(self):
+        ids = list(range(500))
+        bf = build(ids, m=4096, k=5)
+        probes = [i for i in range(10_000, 30_000)]
+        observed = sum(1 for i in probes if i in bf) / len(probes)
+        predicted = bf.false_positive_rate()
+        assert observed == pytest.approx(predicted, abs=0.02)
+
+
+class TestCardinality:
+    @pytest.mark.parametrize("n", [10, 100, 400])
+    def test_estimate_within_ten_percent_when_not_overloaded(self, n):
+        bf = build(range(n), m=8192, k=5)
+        assert bf.estimate_cardinality() == pytest.approx(n, rel=0.10)
+
+    def test_overloaded_filter_underestimates(self):
+        # 50k elements in 2048 bits: the filter saturates and the
+        # estimate collapses — the paper's Figure 2 "BF overload" effect.
+        bf = build(range(50_000), m=2048, k=5)
+        assert bf.fill_fraction == 1.0
+        assert bf.estimate_cardinality() < 10_000
+
+    def test_saturated_estimate_is_finite(self):
+        bf = build(range(100_000), m=64, k=3)
+        assert math.isfinite(bf.estimate_cardinality())
+
+
+class TestAggregation:
+    def test_union_is_bitwise_or(self):
+        a, b = build(range(50)), build(range(25, 75))
+        union = a.union(b)
+        assert union == build(range(75))
+
+    def test_union_with_empty_is_identity(self):
+        a = build(range(50))
+        assert a.union(a.empty_like()) == a
+
+    def test_intersect_superset_of_true_intersection_filter(self):
+        a, b = build(range(100)), build(range(50, 150))
+        inter = a.intersect(b)
+        true_filter = build(range(50, 100))
+        # Every bit of the true intersection filter is set in the AND.
+        assert true_filter._bits & ~inter._bits == 0
+
+    def test_difference_removes_shared_bits(self):
+        a, b = build(range(100)), build(range(100))
+        assert a.difference(b).is_empty
+
+    def test_difference_of_disjoint_keeps_most_bits(self):
+        a, b = build(range(100)), build(range(10_000, 10_100))
+        diff = a.difference(b)
+        # A few collisions may clear bits, but most survive.
+        assert diff.bit_count > 0.7 * a.bit_count
+
+    def test_difference_cardinality_tracks_novelty(self):
+        ref = build(range(300), m=8192)
+        cand = build(range(200, 500), m=8192)
+        estimate = cand.difference(ref).estimate_cardinality()
+        assert estimate == pytest.approx(200, rel=0.25)
+
+
+class TestResemblance:
+    def test_identical_sets(self):
+        a = build(range(500), m=8192)
+        assert a.estimate_resemblance(a) == pytest.approx(1.0, abs=0.05)
+
+    def test_disjoint_sets(self):
+        a = build(range(500), m=8192)
+        b = build(range(10_000, 10_500), m=8192)
+        assert a.estimate_resemblance(b) == pytest.approx(0.0, abs=0.08)
+
+    def test_partial_overlap(self):
+        set_a = set(range(600))
+        set_b = set(range(300, 900))
+        a, b = build(set_a, m=16384), build(set_b, m=16384)
+        assert a.estimate_resemblance(b) == pytest.approx(
+            resemblance(set_a, set_b), abs=0.08
+        )
+
+
+class TestCompatibility:
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(IncompatibleSynopsesError, match="num_bits"):
+            build(range(5), m=1024).union(build(range(5), m=2048))
+
+    def test_seed_mismatch_rejected(self):
+        with pytest.raises(IncompatibleSynopsesError):
+            build(range(5), seed=1).union(build(range(5), seed=2))
+
+    def test_hash_count_mismatch_rejected(self):
+        with pytest.raises(IncompatibleSynopsesError):
+            build(range(5), k=3).intersect(build(range(5), k=5))
+
+    def test_cross_type_rejected(self):
+        from repro.synopses.mips import MinWisePermutations
+
+        mips = MinWisePermutations.from_ids(range(5))
+        with pytest.raises(IncompatibleSynopsesError):
+            build(range(5)).union(mips)
+
+
+class TestCompressedSize:
+    def test_sparse_filter_compresses_well(self):
+        """Mitzenmacher [26]: low fill -> far below m bits."""
+        bf = build(range(50), m=8192)
+        assert bf.compressed_size_in_bits < 0.3 * bf.size_in_bits
+
+    def test_half_full_filter_incompressible(self):
+        # Load the filter to ~50% fill (k=5, n ~ m ln2 / 5).
+        bf = build(range(1135), m=8192, k=5)
+        assert 0.4 < bf.fill_fraction < 0.6
+        assert bf.compressed_size_in_bits > 0.95 * bf.size_in_bits
+
+    def test_empty_and_saturated_are_free(self):
+        assert build([], m=256).compressed_size_in_bits == 0.0
+        saturated = build(range(50_000), m=256, k=5)
+        assert saturated.fill_fraction == 1.0
+        assert saturated.compressed_size_in_bits == 0.0
+
+    def test_never_exceeds_m(self):
+        for n in (10, 100, 1000):
+            bf = build(range(n), m=2048)
+            assert bf.compressed_size_in_bits <= bf.size_in_bits + 1e-9
+
+
+class TestOptimalNumHashes:
+    def test_classic_ratio(self):
+        # m/n = 8 -> k = 8 ln2 ~ 5.5 -> rounds to 6 (or 5).
+        assert optimal_num_hashes(8192, 1024) in (5, 6)
+
+    def test_overloaded_returns_one(self):
+        assert optimal_num_hashes(64, 10_000) == 1
+
+    def test_zero_items(self):
+        assert optimal_num_hashes(64, 0) == 1
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            optimal_num_hashes(0, 10)

@@ -1,0 +1,114 @@
+"""Tests for named synopsis configurations (SynopsisSpec)."""
+
+import pytest
+
+from repro.synopses.bloom import BloomFilter
+from repro.synopses.factory import KINDS, SynopsisSpec
+from repro.synopses.hashsketch import HashSketch
+from repro.synopses.mips import MinWisePermutations
+
+
+class TestParsing:
+    @pytest.mark.parametrize(
+        "label,kind,parameter",
+        [
+            ("mips-64", "mips", 64),
+            ("MIPS-32", "mips", 32),
+            ("bf-2048", "bloom", 2048),
+            ("bloom-1024", "bloom", 1024),
+            ("hs-32", "hash-sketch", 32),
+            ("hss-16", "hash-sketch", 16),
+            ("hash-sketch-8", "hash-sketch", 8),
+        ],
+    )
+    def test_parse(self, label, kind, parameter):
+        spec = SynopsisSpec.parse(label)
+        assert spec.kind == kind
+        assert spec.parameter == parameter
+
+    @pytest.mark.parametrize("label", ["", "mips", "64", "foo-12", "mips-x"])
+    def test_parse_rejects(self, label):
+        with pytest.raises(ValueError):
+            SynopsisSpec.parse(label)
+
+    def test_display_labels(self):
+        assert SynopsisSpec.parse("mips-64").label == "MIPs 64"
+        assert SynopsisSpec.parse("bf-2048").label == "BF 2048"
+        assert SynopsisSpec.parse("hs-32").label == "HSs 32"
+
+
+class TestValidation:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown synopsis kind"):
+            SynopsisSpec(kind="cuckoo", parameter=8)
+
+    def test_rejects_nonpositive_parameter(self):
+        with pytest.raises(ValueError):
+            SynopsisSpec(kind="mips", parameter=0)
+
+
+class TestBudget:
+    def test_equal_budget_configurations(self):
+        """The paper's 2048-bit comparison point (LogLog's 5-bit
+        registers cannot hit 2048 exactly; it fills to within one)."""
+        for kind in KINDS:
+            spec = SynopsisSpec.for_budget(kind, 2048)
+            assert 2048 - 4 <= spec.size_in_bits <= 2048
+        assert SynopsisSpec.for_budget("mips", 2048).parameter == 64
+        assert SynopsisSpec.for_budget("bloom", 2048).parameter == 2048
+        assert SynopsisSpec.for_budget("hash-sketch", 2048).parameter == 32
+        assert SynopsisSpec.for_budget("loglog", 2048).parameter == 409
+
+    def test_budget_never_exceeded(self):
+        for kind in KINDS:
+            spec = SynopsisSpec.for_budget(kind, 1000)
+            assert spec.size_in_bits <= 1000
+
+    def test_rejects_bad_budget(self):
+        with pytest.raises(ValueError):
+            SynopsisSpec.for_budget("mips", 0)
+        with pytest.raises(ValueError):
+            SynopsisSpec.for_budget("wrong", 64)
+
+
+class TestBuild:
+    def test_build_dispatch(self):
+        ids = range(50)
+        assert isinstance(SynopsisSpec.parse("mips-8").build(ids), MinWisePermutations)
+        assert isinstance(SynopsisSpec.parse("bf-128").build(ids), BloomFilter)
+        assert isinstance(SynopsisSpec.parse("hs-4").build(ids), HashSketch)
+
+    def test_empty_builds_empty(self):
+        for kind in KINDS:
+            spec = SynopsisSpec.for_budget(kind, 1024)
+            assert spec.empty().is_empty
+
+    def test_built_synopses_are_compatible(self):
+        spec = SynopsisSpec.parse("mips-16")
+        a = spec.build(range(10))
+        b = spec.build(range(5, 15))
+        a.check_compatible(b)  # does not raise
+
+    def test_seed_flows_through(self):
+        a = SynopsisSpec(kind="mips", parameter=16, seed=1).build(range(10))
+        b = SynopsisSpec(kind="mips", parameter=16, seed=2).build(range(10))
+        assert a != b
+
+
+class TestCapabilities:
+    def test_heterogeneous_sizes_only_mips(self):
+        assert SynopsisSpec.parse("mips-16").supports_heterogeneous_sizes
+        assert not SynopsisSpec.parse("bf-128").supports_heterogeneous_sizes
+        assert not SynopsisSpec.parse("hs-8").supports_heterogeneous_sizes
+
+    def test_intersection_not_hash_sketch(self):
+        assert SynopsisSpec.parse("mips-16").supports_intersection
+        assert SynopsisSpec.parse("bf-128").supports_intersection
+        assert not SynopsisSpec.parse("hs-8").supports_intersection
+
+    def test_resized(self):
+        spec = SynopsisSpec.parse("mips-64")
+        smaller = spec.resized(16)
+        assert smaller.parameter == 16
+        assert smaller.kind == spec.kind
+        assert smaller.seed == spec.seed

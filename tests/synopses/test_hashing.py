@@ -1,0 +1,122 @@
+"""Tests for the deterministic hash families."""
+
+import numpy as np
+import pytest
+
+from repro.synopses.hashing import (
+    MERSENNE_PRIME_61,
+    LinearHashFamily,
+    LinearPermutation,
+    splitmix64,
+    splitmix64_array,
+    uniform_hash,
+    uniform_hash_array,
+)
+
+
+class TestSplitMix64:
+    def test_deterministic(self):
+        assert splitmix64(42) == splitmix64(42)
+
+    def test_known_range(self):
+        for x in (0, 1, 2**63, 2**64 - 1):
+            assert 0 <= splitmix64(x) < 2**64
+
+    def test_distinct_inputs_distinct_outputs(self):
+        # SplitMix64 is a bijection on 64-bit ints; a small sample must
+        # therefore be collision-free.
+        outputs = {splitmix64(i) for i in range(10_000)}
+        assert len(outputs) == 10_000
+
+    def test_avalanche_flips_many_bits(self):
+        a = splitmix64(1234)
+        b = splitmix64(1235)
+        assert bin(a ^ b).count("1") > 16
+
+    def test_array_matches_scalar(self):
+        values = np.array([0, 1, 7, 2**40, 2**64 - 1], dtype=np.uint64)
+        expected = [splitmix64(int(v)) for v in values.tolist()]
+        assert splitmix64_array(values).tolist() == expected
+
+    def test_array_does_not_mutate_input(self):
+        values = np.array([3, 4], dtype=np.uint64)
+        splitmix64_array(values)
+        assert values.tolist() == [3, 4]
+
+
+class TestUniformHash:
+    def test_seed_changes_output(self):
+        assert uniform_hash(99, seed=1) != uniform_hash(99, seed=2)
+
+    def test_array_matches_scalar(self):
+        keys = np.array([5, 17, 2**33], dtype=np.uint64)
+        expected = [uniform_hash(int(k), seed=11) for k in keys.tolist()]
+        assert uniform_hash_array(keys, seed=11).tolist() == expected
+
+    def test_roughly_uniform_low_bits(self):
+        # Bucket 20k hashes into 16 buckets; each should be near 1250.
+        buckets = [0] * 16
+        for i in range(20_000):
+            buckets[uniform_hash(i) % 16] += 1
+        assert max(buckets) - min(buckets) < 400
+
+
+class TestLinearPermutation:
+    def test_is_bijection_on_small_modulus(self):
+        perm = LinearPermutation(a=3, b=5, modulus=17)
+        images = {perm(x) for x in range(17)}
+        assert images == set(range(17))
+
+    def test_rejects_zero_coefficient(self):
+        with pytest.raises(ValueError, match="nonzero"):
+            LinearPermutation(a=0, b=5, modulus=17)
+
+    def test_rejects_multiple_of_modulus(self):
+        with pytest.raises(ValueError, match="nonzero"):
+            LinearPermutation(a=34, b=5, modulus=17)
+
+    def test_rejects_bad_modulus(self):
+        with pytest.raises(ValueError, match="modulus"):
+            LinearPermutation(a=1, b=0, modulus=1)
+
+    def test_default_modulus_is_mersenne(self):
+        perm = LinearPermutation(a=7, b=3)
+        assert perm.modulus == MERSENNE_PRIME_61
+
+
+class TestLinearHashFamily:
+    def test_same_seed_same_sequence(self):
+        family_a = LinearHashFamily(seed=5)
+        family_b = LinearHashFamily(seed=5)
+        # Materialize in different orders; sequences must agree anyway.
+        family_a.permutation(10)
+        for i in (3, 10, 0):
+            pa = family_a.permutation(i)
+            pb = family_b.permutation(i)
+            assert (pa.a, pa.b) == (pb.a, pb.b)
+
+    def test_different_seeds_differ(self):
+        pa = LinearHashFamily(seed=1).permutation(0)
+        pb = LinearHashFamily(seed=2).permutation(0)
+        assert (pa.a, pa.b) != (pb.a, pb.b)
+
+    def test_permutations_prefix(self):
+        family = LinearHashFamily(seed=3)
+        five = family.permutations(5)
+        three = family.permutations(3)
+        assert five[:3] == three
+
+    def test_permutations_zero(self):
+        assert LinearHashFamily(seed=3).permutations(0) == []
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(IndexError):
+            LinearHashFamily(seed=3).permutation(-1)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            LinearHashFamily(seed=3).permutations(-2)
+
+    def test_bad_modulus_rejected(self):
+        with pytest.raises(ValueError):
+            LinearHashFamily(seed=0, modulus=0)

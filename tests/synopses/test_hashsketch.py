@@ -1,0 +1,114 @@
+"""Tests for Flajolet–Martin hash sketches (PCSA)."""
+
+import pytest
+
+from repro.synopses.base import (
+    IncompatibleSynopsesError,
+    UnsupportedOperationError,
+)
+from repro.synopses.hashsketch import HashSketch, _rho
+
+
+def build(ids, m=32, length=64, seed=0):
+    return HashSketch.from_ids(ids, num_bitmaps=m, bitmap_length=length, seed=seed)
+
+
+class TestRho:
+    def test_zero_maps_to_limit(self):
+        assert _rho(0, 63) == 63
+
+    @pytest.mark.parametrize(
+        "value,expected", [(1, 0), (2, 1), (4, 2), (6, 1), (8, 3), (12, 2)]
+    )
+    def test_least_significant_one(self, value, expected):
+        assert _rho(value, 63) == expected
+
+    def test_capped_at_limit(self):
+        assert _rho(1 << 40, 5) == 5
+
+
+class TestConstruction:
+    def test_empty(self):
+        sketch = build([])
+        assert sketch.is_empty
+        assert sketch.estimate_cardinality() == 0.0
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            HashSketch(num_bitmaps=0, bitmap_length=64)
+        with pytest.raises(ValueError):
+            HashSketch(num_bitmaps=4, bitmap_length=0)
+        with pytest.raises(ValueError):
+            HashSketch(num_bitmaps=2, bitmap_length=4, bitmaps=(1,))
+        with pytest.raises(ValueError):
+            HashSketch(num_bitmaps=1, bitmap_length=2, bitmaps=(16,))
+
+    def test_deterministic(self):
+        assert build(range(500)) == build(range(500))
+        assert hash(build(range(500))) == hash(build(range(500)))
+
+    def test_multiset_insensitive(self):
+        once = build(list(range(200)))
+        thrice = build(list(range(200)) * 3)
+        assert once == thrice
+
+    def test_size_accounting(self):
+        assert build([], m=32, length=64).size_in_bits == 2048
+
+
+class TestCardinality:
+    @pytest.mark.parametrize("n_items", [500, 5_000, 50_000])
+    def test_estimate_accuracy(self, n_items):
+        """PCSA with 32 bitmaps: stderr ~ 0.78/sqrt(32) ~ 14%."""
+        sketch = build(range(n_items))
+        assert sketch.estimate_cardinality() == pytest.approx(n_items, rel=0.45)
+
+    def test_monotone_in_set_size(self):
+        small = build(range(200)).estimate_cardinality()
+        large = build(range(50_000)).estimate_cardinality()
+        assert large > small
+
+
+class TestAggregation:
+    def test_union_equals_sketch_of_union(self):
+        """Bitwise OR is exactly the sketch of the union (Section 5.2)."""
+        set_a = set(range(0, 5000, 2))
+        set_b = set(range(0, 5000, 3))
+        assert build(set_a).union(build(set_b)) == build(set_a | set_b)
+
+    def test_union_with_empty_is_identity(self):
+        a = build(range(100))
+        assert a.union(a.empty_like()) == a
+
+    def test_intersect_raises(self):
+        a, b = build(range(10)), build(range(5, 15))
+        with pytest.raises(UnsupportedOperationError, match="intersection"):
+            a.intersect(b)
+
+
+class TestResemblance:
+    def test_identical_sets(self):
+        a = build(range(5000))
+        assert a.estimate_resemblance(a) == pytest.approx(1.0, abs=0.01)
+
+    def test_disjoint_sets(self):
+        a = build(range(5000))
+        b = build(range(100_000, 105_000))
+        assert a.estimate_resemblance(b) < 0.35
+
+    def test_bounded(self):
+        a = build(range(3000))
+        b = build(range(1500, 4500))
+        assert 0.0 <= a.estimate_resemblance(b) <= 1.0
+
+
+class TestCompatibility:
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(IncompatibleSynopsesError):
+            build(range(5), m=16).union(build(range(5), m=32))
+        with pytest.raises(IncompatibleSynopsesError):
+            build(range(5), length=32).union(build(range(5), length=64))
+
+    def test_seed_mismatch_rejected(self):
+        with pytest.raises(IncompatibleSynopsesError):
+            build(range(5), seed=1).union(build(range(5), seed=2))

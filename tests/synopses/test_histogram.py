@@ -1,0 +1,129 @@
+"""Tests for score-histogram synopses (Section 7.1 data structure)."""
+
+import pytest
+
+from repro.synopses.base import IncompatibleSynopsesError
+from repro.synopses.factory import SynopsisSpec
+from repro.synopses.histogram import ScoreHistogramSynopsis, cell_index
+
+SPEC = SynopsisSpec.parse("mips-16")
+
+
+def scored(ids_scores):
+    return list(ids_scores)
+
+
+class TestCellIndex:
+    @pytest.mark.parametrize(
+        "score,cells,expected",
+        [
+            (0.0, 4, 0),
+            (0.24, 4, 0),
+            (0.25, 4, 1),
+            (0.5, 4, 2),
+            (0.99, 4, 3),
+            (1.0, 4, 3),
+            (0.5, 1, 0),
+        ],
+    )
+    def test_mapping(self, score, cells, expected):
+        assert cell_index(score, cells) == expected
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            cell_index(1.5, 4)
+        with pytest.raises(ValueError):
+            cell_index(-0.1, 4)
+
+    def test_rejects_zero_cells(self):
+        with pytest.raises(ValueError):
+            cell_index(0.5, 0)
+
+
+class TestConstruction:
+    def test_from_scored_ids(self):
+        hist = ScoreHistogramSynopsis.from_scored_ids(
+            [(1, 0.9), (2, 0.8), (3, 0.2), (4, 0.4)], spec=SPEC, num_cells=4
+        )
+        assert hist.num_cells == 4
+        assert hist.cell_cardinalities == (1.0, 1.0, 0.0, 2.0)
+        assert hist.total_cardinality == 4.0
+
+    def test_empty(self):
+        hist = ScoreHistogramSynopsis.empty(spec=SPEC, num_cells=3)
+        assert hist.total_cardinality == 0.0
+        assert all(cell.is_empty for cell in hist.cells)
+
+    def test_rejects_mismatched_cardinalities(self):
+        with pytest.raises(ValueError):
+            ScoreHistogramSynopsis(
+                cells=(SPEC.empty(),), cell_cardinalities=(0.0, 1.0), spec=SPEC
+            )
+
+    def test_rejects_no_cells(self):
+        with pytest.raises(ValueError):
+            ScoreHistogramSynopsis(cells=(), cell_cardinalities=(), spec=SPEC)
+
+    def test_rejects_negative_cardinality(self):
+        with pytest.raises(ValueError):
+            ScoreHistogramSynopsis(
+                cells=(SPEC.empty(),), cell_cardinalities=(-1.0,), spec=SPEC
+            )
+
+    def test_size_in_bits_sums_cells(self):
+        hist = ScoreHistogramSynopsis.empty(spec=SPEC, num_cells=4)
+        assert hist.size_in_bits == 4 * SPEC.size_in_bits
+
+
+class TestUnion:
+    def test_cellwise_union(self):
+        a = ScoreHistogramSynopsis.from_scored_ids(
+            [(1, 0.9), (2, 0.1)], spec=SPEC, num_cells=2
+        )
+        b = ScoreHistogramSynopsis.from_scored_ids(
+            [(3, 0.9), (4, 0.1)], spec=SPEC, num_cells=2
+        )
+        union = a.union(b)
+        expected_top = SPEC.build([1, 3])
+        assert union.cells[1] == expected_top
+        assert union.cell_cardinalities == (2.0, 2.0)
+
+    def test_union_with_explicit_cardinalities(self):
+        a = ScoreHistogramSynopsis.from_scored_ids(
+            [(1, 0.9)], spec=SPEC, num_cells=2
+        )
+        b = ScoreHistogramSynopsis.from_scored_ids(
+            [(1, 0.9)], spec=SPEC, num_cells=2
+        )
+        union = a.union(b, merged_cardinalities=[0.0, 1.0])
+        assert union.cell_cardinalities == (0.0, 1.0)
+
+    def test_union_rejects_wrong_cardinality_count(self):
+        a = ScoreHistogramSynopsis.empty(spec=SPEC, num_cells=2)
+        with pytest.raises(ValueError):
+            a.union(a, merged_cardinalities=[1.0])
+
+    def test_union_rejects_cell_count_mismatch(self):
+        a = ScoreHistogramSynopsis.empty(spec=SPEC, num_cells=2)
+        b = ScoreHistogramSynopsis.empty(spec=SPEC, num_cells=3)
+        with pytest.raises(IncompatibleSynopsesError):
+            a.union(b)
+
+    def test_union_rejects_spec_mismatch(self):
+        other_spec = SynopsisSpec.parse("mips-8")
+        a = ScoreHistogramSynopsis.empty(spec=SPEC, num_cells=2)
+        b = ScoreHistogramSynopsis.empty(spec=other_spec, num_cells=2)
+        with pytest.raises(IncompatibleSynopsesError):
+            a.union(b)
+
+
+class TestWeights:
+    def test_cell_midpoints(self):
+        hist = ScoreHistogramSynopsis.empty(spec=SPEC, num_cells=4)
+        assert hist.cell_midpoint_score(0) == pytest.approx(0.125)
+        assert hist.cell_midpoint_score(3) == pytest.approx(0.875)
+
+    def test_midpoint_out_of_range(self):
+        hist = ScoreHistogramSynopsis.empty(spec=SPEC, num_cells=4)
+        with pytest.raises(IndexError):
+            hist.cell_midpoint_score(4)

@@ -1,0 +1,124 @@
+"""Tests for (super-)LogLog counters."""
+
+import pytest
+
+from repro.synopses.base import (
+    IncompatibleSynopsesError,
+    UnsupportedOperationError,
+)
+from repro.synopses.factory import SynopsisSpec
+from repro.synopses.loglog import REGISTER_BITS, LogLogCounter
+
+
+def build(ids, m=64, seed=0):
+    return LogLogCounter.from_ids(ids, num_buckets=m, seed=seed)
+
+
+class TestConstruction:
+    def test_empty(self):
+        counter = build([])
+        assert counter.is_empty
+        assert counter.estimate_cardinality() == 0.0
+        assert counter.estimate_cardinality_super() == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LogLogCounter(0)
+        with pytest.raises(ValueError):
+            LogLogCounter(2, registers=(1,))
+        with pytest.raises(ValueError):
+            LogLogCounter(1, registers=(99,))
+
+    def test_deterministic(self):
+        assert build(range(500)) == build(range(500))
+        assert hash(build(range(500))) == hash(build(range(500)))
+
+    def test_multiset_insensitive(self):
+        assert build(list(range(100)) * 5) == build(range(100))
+
+    def test_size_is_five_bits_per_bucket(self):
+        assert build([], m=64).size_in_bits == 64 * REGISTER_BITS
+        assert build([], m=256).size_in_bits == 1280
+
+
+class TestCardinality:
+    @pytest.mark.parametrize("n_items", [50, 1_000, 20_000, 200_000])
+    def test_estimate_accuracy(self, n_items):
+        """LogLog with 64 buckets: stderr ~ 1.3/sqrt(64) ~ 16%."""
+        counter = build(range(n_items), m=256)
+        assert counter.estimate_cardinality() == pytest.approx(n_items, rel=0.4)
+
+    def test_small_range_correction(self):
+        """With few elements, linear counting keeps the estimate sane."""
+        counter = build(range(10), m=256)
+        assert counter.estimate_cardinality() == pytest.approx(10, abs=6)
+
+    def test_super_estimate_positive(self):
+        counter = build(range(10_000), m=256)
+        assert counter.estimate_cardinality_super() > 0.0
+
+    def test_monotone_in_size(self):
+        assert (
+            build(range(50_000)).estimate_cardinality()
+            > build(range(500)).estimate_cardinality()
+        )
+
+
+class TestAggregation:
+    def test_union_equals_counter_of_union(self):
+        set_a = set(range(0, 8000, 2))
+        set_b = set(range(0, 8000, 3))
+        assert build(set_a).union(build(set_b)) == build(set_a | set_b)
+
+    def test_union_identity(self):
+        a = build(range(100))
+        assert a.union(a.empty_like()) == a
+
+    def test_intersect_unsupported(self):
+        with pytest.raises(UnsupportedOperationError):
+            build(range(10)).intersect(build(range(5, 15)))
+
+    def test_resemblance_bounded(self):
+        a = build(range(5000), m=256)
+        b = build(range(2500, 7500), m=256)
+        assert 0.0 <= a.estimate_resemblance(b) <= 1.0
+
+
+class TestCompatibility:
+    def test_bucket_mismatch(self):
+        with pytest.raises(IncompatibleSynopsesError):
+            build(range(5), m=32).union(build(range(5), m=64))
+
+    def test_seed_mismatch(self):
+        with pytest.raises(IncompatibleSynopsesError):
+            build(range(5), seed=1).union(build(range(5), seed=2))
+
+
+class TestFactoryIntegration:
+    def test_parse(self):
+        spec = SynopsisSpec.parse("ll-256")
+        assert spec.kind == "loglog"
+        assert spec.label == "LL 256"
+        assert spec.size_in_bits == 256 * REGISTER_BITS
+
+    def test_for_budget(self):
+        spec = SynopsisSpec.for_budget("loglog", 2048)
+        assert spec.size_in_bits <= 2048
+        # 2048 bits buy 409 LogLog buckets vs 32 FM bitmaps.
+        assert spec.parameter == 409
+
+    def test_capability_flags(self):
+        spec = SynopsisSpec.parse("loglog-64")
+        assert not spec.supports_intersection
+        assert not spec.supports_heterogeneous_sizes
+
+    def test_novelty_integration(self):
+        from repro.core.novelty import estimate_novelty
+
+        spec = SynopsisSpec.parse("ll-256")
+        ref = spec.build(range(3000))
+        cand = spec.build(range(1500, 4500))
+        estimate = estimate_novelty(
+            cand, ref, candidate_cardinality=3000, reference_cardinality=3000
+        )
+        assert estimate == pytest.approx(1500, rel=0.5)

@@ -1,0 +1,116 @@
+"""Tests for exact set measures and the estimator algebra (Section 3.1)."""
+
+import pytest
+
+from repro.synopses.measures import (
+    containment,
+    containment_from_resemblance,
+    novelty,
+    novelty_from_resemblance,
+    novelty_from_union,
+    overlap,
+    overlap_from_containment,
+    overlap_from_resemblance,
+    resemblance,
+    resemblance_from_containment,
+)
+
+A = set(range(0, 60))
+B = set(range(40, 100))  # |A ∩ B| = 20, |A ∪ B| = 100
+
+
+class TestExactMeasures:
+    def test_overlap(self):
+        assert overlap(A, B) == 20
+        assert overlap(B, A) == 20
+
+    def test_containment_asymmetric(self):
+        assert containment(A, B) == pytest.approx(20 / 60)
+        assert containment(B, A) == pytest.approx(20 / 60)
+        # Asymmetry shows with different sizes.
+        small = set(range(50, 60))
+        assert containment(A, small) == 1.0
+        assert containment(small, A) == pytest.approx(10 / 60)
+
+    def test_containment_empty_b(self):
+        assert containment(A, set()) == 0.0
+
+    def test_resemblance_symmetric(self):
+        assert resemblance(A, B) == resemblance(B, A) == pytest.approx(0.2)
+
+    def test_resemblance_empty(self):
+        assert resemblance(set(), set()) == 0.0
+
+    def test_novelty_definition(self):
+        # Novelty(B | A): what B adds beyond A.
+        assert novelty(B, A) == 40
+        assert novelty(A, B) == 40
+        assert novelty(A, A) == 0
+        assert novelty(set(), A) == 0
+        assert novelty(A, set()) == len(A)
+
+    def test_subset_has_zero_novelty(self):
+        """The Section 3.1 motivation: a small subset has low containment
+        and resemblance yet adds nothing new."""
+        small = set(range(10))
+        big = set(range(1000))
+        assert resemblance(small, big) < 0.02
+        assert containment(big, small) == 1.0
+        assert novelty(small, big) == 0
+
+
+class TestConversions:
+    def test_overlap_from_resemblance_roundtrip(self):
+        res = resemblance(A, B)
+        assert overlap_from_resemblance(res, len(A), len(B)) == pytest.approx(20)
+
+    def test_overlap_from_containment_roundtrip(self):
+        cont = containment(A, B)
+        assert overlap_from_containment(cont, len(B)) == pytest.approx(20)
+
+    def test_resemblance_containment_inverse(self):
+        res = resemblance(A, B)
+        cont = containment_from_resemblance(res, len(A), len(B))
+        assert cont == pytest.approx(containment(A, B))
+        back = resemblance_from_containment(cont, len(A), len(B))
+        assert back == pytest.approx(res)
+
+    def test_novelty_from_resemblance_roundtrip(self):
+        res = resemblance(A, B)
+        assert novelty_from_resemblance(res, len(A), len(B)) == pytest.approx(40)
+
+    def test_novelty_from_union_roundtrip(self):
+        union_size = len(A | B)
+        assert novelty_from_union(union_size, len(A), len(B)) == pytest.approx(40)
+
+    def test_overlap_clamped_to_feasible(self):
+        # A noisy resemblance of 1.0 cannot imply overlap > min(|A|, |B|).
+        assert overlap_from_resemblance(1.0, 10, 1000) <= 10
+
+    def test_novelty_clamped_nonnegative(self):
+        assert novelty_from_resemblance(1.0, 1000, 10) >= 0.0
+
+    def test_novelty_from_union_clamped_to_candidate(self):
+        assert novelty_from_union(10_000, 10, 50) == 50
+
+    def test_degenerate_cardinalities(self):
+        assert resemblance_from_containment(0.0, 0, 0) == 0.0
+        assert containment_from_resemblance(0.5, 10, 0) == 0.0
+
+
+class TestValidation:
+    def test_rejects_bad_resemblance(self):
+        with pytest.raises(ValueError):
+            overlap_from_resemblance(1.5, 10, 10)
+        with pytest.raises(ValueError):
+            overlap_from_resemblance(-0.1, 10, 10)
+
+    def test_rejects_negative_cardinality(self):
+        with pytest.raises(ValueError):
+            overlap_from_resemblance(0.5, -1, 10)
+        with pytest.raises(ValueError):
+            novelty_from_union(5, -1, 10)
+
+    def test_rejects_negative_union(self):
+        with pytest.raises(ValueError):
+            novelty_from_union(-5, 1, 10)

@@ -1,0 +1,175 @@
+"""Tests for min-wise independent permutation synopses."""
+
+import random
+import statistics
+
+import pytest
+
+from repro.synopses.base import IncompatibleSynopsesError
+from repro.synopses.measures import resemblance
+from repro.synopses.mips import MIPS_MODULUS, MinWisePermutations
+
+
+def build(ids, n=64, seed=0):
+    return MinWisePermutations.from_ids(ids, num_permutations=n, seed=seed)
+
+
+def overlapping_sets(rng, size=2000, shared=500):
+    ids = rng.sample(range(1 << 40), 2 * size - shared)
+    common = set(ids[:shared])
+    return (
+        common | set(ids[shared:size]),
+        common | set(ids[size : 2 * size - shared]),
+    )
+
+
+class TestConstruction:
+    def test_empty_is_sentinel_vector(self):
+        empty = build([])
+        assert empty.is_empty
+        assert all(m == MIPS_MODULUS for m in empty.minima)
+
+    def test_rejects_zero_permutations(self):
+        with pytest.raises(ValueError):
+            build([1, 2], n=0)
+
+    def test_rejects_out_of_range_minima(self):
+        with pytest.raises(ValueError):
+            MinWisePermutations([MIPS_MODULUS + 1])
+
+    def test_rejects_empty_vector(self):
+        with pytest.raises(ValueError):
+            MinWisePermutations([])
+
+    def test_deterministic(self):
+        assert build(range(100)) == build(range(100))
+        assert hash(build(range(100))) == hash(build(range(100)))
+
+    def test_order_independent(self):
+        ids = list(range(1000))
+        shuffled = ids[::-1]
+        assert build(ids) == build(shuffled)
+
+    def test_size_accounting(self):
+        assert build(range(10), n=64).size_in_bits == 64 * 32
+        assert build(range(10), n=32).size_in_bits == 1024
+
+
+class TestResemblance:
+    def test_identical_sets(self):
+        a = build(range(1000))
+        assert a.estimate_resemblance(a) == 1.0
+
+    def test_disjoint_sets(self):
+        a = build(range(1000))
+        b = build(range(10_000, 11_000))
+        assert a.estimate_resemblance(b) < 0.1
+
+    def test_empty_operand_gives_zero(self):
+        a = build(range(100))
+        assert a.estimate_resemblance(build([])) == 0.0
+        assert build([]).estimate_resemblance(a) == 0.0
+        assert build([]).estimate_resemblance(build([])) == 0.0
+
+    def test_unbiased_over_trials(self):
+        """Mean estimate over 25 trials within 2 stderr of the truth."""
+        estimates = []
+        truth = None
+        for trial in range(25):
+            rng = random.Random(1000 + trial)
+            set_a, set_b = overlapping_sets(rng)
+            truth = resemblance(set_a, set_b)
+            estimates.append(build(set_a).estimate_resemblance(build(set_b)))
+        mean = statistics.mean(estimates)
+        stderr = statistics.stdev(estimates) / len(estimates) ** 0.5
+        assert abs(mean - truth) < 3 * stderr + 0.01
+
+    def test_more_permutations_reduce_error(self):
+        errors = {n: [] for n in (16, 256)}
+        for trial in range(12):
+            rng = random.Random(2000 + trial)
+            set_a, set_b = overlapping_sets(rng)
+            truth = resemblance(set_a, set_b)
+            for n in errors:
+                est = build(set_a, n=n).estimate_resemblance(build(set_b, n=n))
+                errors[n].append(abs(est - truth))
+        assert statistics.mean(errors[256]) < statistics.mean(errors[16])
+
+
+class TestHeterogeneousLengths:
+    def test_resemblance_uses_common_prefix(self):
+        set_a = set(range(500))
+        set_b = set(range(250, 750))
+        long = build(set_a, n=128)
+        short = build(set_b, n=32)
+        est = long.estimate_resemblance(short)
+        # Same as comparing two 32-permutation vectors.
+        est_32 = build(set_a, n=32).estimate_resemblance(build(set_b, n=32))
+        assert est == est_32
+
+    def test_union_takes_shorter_length(self):
+        union = build(range(10), n=128).union(build(range(10, 20), n=32))
+        assert union.num_permutations == 32
+
+    def test_prefix_consistency(self):
+        # Longer vectors extend shorter ones built from the same set.
+        short = build(range(100), n=16)
+        long = build(range(100), n=64)
+        assert long.minima[:16] == short.minima
+
+
+class TestAggregation:
+    def test_union_equals_synopsis_of_union(self):
+        """Position-wise min is exactly the MIPs of the set union."""
+        set_a = set(range(0, 3000, 3))
+        set_b = set(range(0, 3000, 7))
+        assert build(set_a).union(build(set_b)) == build(set_a | set_b)
+
+    def test_union_with_empty_is_identity(self):
+        a = build(range(100))
+        assert a.union(a.empty_like()) == a
+
+    def test_intersect_is_conservative(self):
+        """Per Section 6.1: the true intersection's minimum under any
+        permutation can be *no lower* than the heuristic's position-wise
+        max, i.e. heuristic <= true at every position."""
+        set_a = set(range(0, 2000, 2))
+        set_b = set(range(0, 2000, 3))
+        heuristic = build(set_a).intersect(build(set_b))
+        true = build(set_a & set_b)
+        assert all(h <= t for h, t in zip(heuristic.minima, true.minima))
+
+    def test_intersect_of_disjoint_not_empty_vector_but_large_minima(self):
+        a, b = build(range(100)), build(range(1000, 1100))
+        inter = a.intersect(b)
+        assert all(
+            i >= max(x, y)
+            for i, x, y in zip(inter.minima, a.minima, b.minima)
+        )
+
+
+class TestCardinality:
+    @pytest.mark.parametrize("n_items", [100, 1000, 10_000])
+    def test_order_statistics_estimate(self, n_items):
+        mips = build(range(n_items), n=256)
+        assert mips.estimate_cardinality() == pytest.approx(n_items, rel=0.35)
+
+    def test_empty_cardinality(self):
+        assert build([]).estimate_cardinality() == 0.0
+
+    def test_distinct_fraction(self):
+        assert build([]).distinct_fraction == 0.0
+        assert 0.0 < build(range(1000)).distinct_fraction <= 1.0
+
+
+class TestCompatibility:
+    def test_seed_mismatch_rejected(self):
+        with pytest.raises(IncompatibleSynopsesError, match="seed"):
+            build(range(5), seed=1).union(build(range(5), seed=2))
+
+    def test_cross_type_rejected(self):
+        from repro.synopses.bloom import BloomFilter
+
+        bloom = BloomFilter.from_ids(range(5), num_bits=64, num_hashes=2)
+        with pytest.raises(IncompatibleSynopsesError):
+            build(range(5)).union(bloom)

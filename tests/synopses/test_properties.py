@@ -1,0 +1,151 @@
+"""Property-based tests (hypothesis) on the synopsis layer's invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.synopses.bloom import BloomFilter
+from repro.synopses.factory import SynopsisSpec
+from repro.synopses.hashsketch import HashSketch
+from repro.synopses.measures import (
+    containment,
+    novelty,
+    overlap,
+    overlap_from_resemblance,
+    resemblance,
+)
+from repro.synopses.mips import MinWisePermutations
+
+id_sets = st.sets(st.integers(min_value=0, max_value=1 << 40), max_size=300)
+nonempty_id_sets = st.sets(
+    st.integers(min_value=0, max_value=1 << 40), min_size=1, max_size=300
+)
+
+
+class TestExactMeasureAlgebra:
+    @given(id_sets, id_sets)
+    def test_inclusion_exclusion(self, a, b):
+        assert len(a) + len(b) - overlap(a, b) == len(a | b)
+
+    @given(id_sets, id_sets)
+    def test_novelty_decomposition(self, a, b):
+        """|B| = Novelty(B|A) + |A ∩ B| — the identity IQN relies on."""
+        assert novelty(b, a) + overlap(a, b) == len(b)
+
+    @given(id_sets, id_sets)
+    def test_resemblance_bounds_and_symmetry(self, a, b):
+        r = resemblance(a, b)
+        assert 0.0 <= r <= 1.0
+        assert r == resemblance(b, a)
+
+    @given(id_sets, id_sets)
+    def test_containment_bounds(self, a, b):
+        assert 0.0 <= containment(a, b) <= 1.0
+
+    @given(nonempty_id_sets, nonempty_id_sets)
+    def test_overlap_recovery_from_exact_resemblance(self, a, b):
+        """The Section 5.2 conversion is exact on exact inputs."""
+        recovered = overlap_from_resemblance(resemblance(a, b), len(a), len(b))
+        assert abs(recovered - overlap(a, b)) < 1e-6
+
+
+class TestBloomProperties:
+    @given(id_sets)
+    @settings(max_examples=50)
+    def test_no_false_negatives(self, ids):
+        bf = BloomFilter.from_ids(ids, num_bits=2048, num_hashes=4)
+        assert all(i in bf for i in ids)
+
+    @given(id_sets, id_sets)
+    @settings(max_examples=50)
+    def test_union_is_filter_of_union(self, a, b):
+        make = lambda s: BloomFilter.from_ids(s, num_bits=1024, num_hashes=3)
+        assert make(a).union(make(b)) == make(a | b)
+
+    @given(id_sets, id_sets)
+    @settings(max_examples=50)
+    def test_intersect_contains_true_intersection(self, a, b):
+        make = lambda s: BloomFilter.from_ids(s, num_bits=1024, num_hashes=3)
+        inter = make(a).intersect(make(b))
+        assert all(i in inter for i in a & b)
+
+    @given(id_sets)
+    @settings(max_examples=50)
+    def test_cardinality_nonnegative(self, ids):
+        bf = BloomFilter.from_ids(ids, num_bits=512, num_hashes=3)
+        assert bf.estimate_cardinality() >= 0.0
+
+
+class TestMipsProperties:
+    @given(id_sets, id_sets)
+    @settings(max_examples=50)
+    def test_union_is_mips_of_union(self, a, b):
+        make = lambda s: MinWisePermutations.from_ids(s, num_permutations=16)
+        assert make(a).union(make(b)) == make(a | b)
+
+    @given(id_sets, id_sets)
+    @settings(max_examples=50)
+    def test_resemblance_in_unit_interval(self, a, b):
+        make = lambda s: MinWisePermutations.from_ids(s, num_permutations=16)
+        assert 0.0 <= make(a).estimate_resemblance(make(b)) <= 1.0
+
+    @given(nonempty_id_sets)
+    @settings(max_examples=50)
+    def test_self_resemblance_is_one(self, ids):
+        mips = MinWisePermutations.from_ids(ids, num_permutations=16)
+        assert mips.estimate_resemblance(mips) == 1.0
+
+    @given(id_sets, id_sets)
+    @settings(max_examples=50)
+    def test_intersect_positionwise_max(self, a, b):
+        make = lambda s: MinWisePermutations.from_ids(s, num_permutations=16)
+        ma, mb = make(a), make(b)
+        inter = ma.intersect(mb)
+        assert inter.minima == tuple(
+            max(x, y) for x, y in zip(ma.minima, mb.minima)
+        )
+
+    @given(nonempty_id_sets, st.integers(min_value=1, max_value=64))
+    @settings(max_examples=50)
+    def test_prefix_stability_across_lengths(self, ids, n):
+        """Any two lengths agree on their common prefix (Section 5.3)."""
+        short = MinWisePermutations.from_ids(ids, num_permutations=n)
+        long = MinWisePermutations.from_ids(ids, num_permutations=64)
+        assert long.minima[: short.num_permutations] == short.minima[:64]
+
+
+class TestHashSketchProperties:
+    @given(id_sets, id_sets)
+    @settings(max_examples=50)
+    def test_union_is_sketch_of_union(self, a, b):
+        make = lambda s: HashSketch.from_ids(s, num_bitmaps=8, bitmap_length=32)
+        assert make(a).union(make(b)) == make(a | b)
+
+    @given(id_sets)
+    @settings(max_examples=50)
+    def test_cardinality_nonnegative(self, ids):
+        sketch = HashSketch.from_ids(ids, num_bitmaps=8, bitmap_length=32)
+        assert sketch.estimate_cardinality() >= 0.0
+
+    @given(id_sets, id_sets)
+    @settings(max_examples=50)
+    def test_union_estimate_at_least_each_operand(self, a, b):
+        make = lambda s: HashSketch.from_ids(s, num_bitmaps=8, bitmap_length=32)
+        union_est = make(a).union(make(b)).estimate_cardinality()
+        assert union_est >= make(a).estimate_cardinality() - 1e-9
+        assert union_est >= make(b).estimate_cardinality() - 1e-9
+
+
+class TestSpecProperties:
+    @given(
+        st.sampled_from(["mips", "bloom", "hash-sketch"]),
+        st.integers(min_value=64, max_value=8192),
+    )
+    def test_budget_respected(self, kind, budget):
+        spec = SynopsisSpec.for_budget(kind, budget)
+        assert 0 < spec.size_in_bits <= budget
+
+    @given(st.sets(st.integers(min_value=0, max_value=1 << 30), max_size=100))
+    @settings(max_examples=30)
+    def test_build_empty_iff_no_ids(self, ids):
+        spec = SynopsisSpec.parse("mips-8")
+        assert spec.build(ids).is_empty == (len(ids) == 0)

@@ -1,0 +1,58 @@
+"""Smoke checks on the example scripts.
+
+Full example runs take minutes; the test suite verifies that every
+example compiles and that its imports resolve (the drift that actually
+breaks examples), plus runs the two fastest end to end.
+"""
+
+import pathlib
+import py_compile
+import runpy
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_exist():
+    names = {p.name for p in EXAMPLES}
+    assert "quickstart.py" in names
+    assert len(EXAMPLES) >= 3
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_compiles(path):
+    py_compile.compile(str(path), doraise=True)
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_imports_resolve(path):
+    """Import every module the example imports (no main() execution)."""
+    import ast
+    import importlib
+
+    tree = ast.parse(path.read_text())
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                importlib.import_module(alias.name)
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            module = importlib.import_module(node.module)
+            for alias in node.names:
+                assert hasattr(module, alias.name), (
+                    f"{path.name}: {node.module}.{alias.name} missing"
+                )
+
+
+def test_fastest_example_runs_end_to_end(capsys):
+    """real_text_search is seconds-fast; run it for real."""
+    runpy.run_path(str(EXAMPLES_DIR / "real_text_search.py"), run_name="__main__")
+    captured = capsys.readouterr()
+    assert "recall" in captured.out
+
+
+def test_synopsis_tour_runs_end_to_end(capsys):
+    runpy.run_path(str(EXAMPLES_DIR / "synopsis_tour.py"), run_name="__main__")
+    captured = capsys.readouterr()
+    assert "Figure 1" in captured.out

@@ -1,0 +1,103 @@
+"""End-to-end integration tests over the full stack.
+
+These exercise the complete pipeline — corpus generation, placement,
+directory publication over the Chord ring, routing, execution, merging,
+recall — and assert the paper's *qualitative* claims at miniature scale.
+"""
+
+import pytest
+
+from repro import (
+    CoriSelector,
+    IQNRouter,
+    OneShotOverlapSelector,
+    RandomSelector,
+)
+from repro.ir.metrics import micro_average
+from repro.net.cost import MessageKinds
+
+
+class TestFullPipeline:
+    def test_engine_answers_all_queries(self, tiny_engine, tiny_queries):
+        for query in tiny_queries:
+            outcome = tiny_engine.run_query(
+                query, IQNRouter(), max_peers=3, k=20, peer_k=10
+            )
+            assert 0.0 <= outcome.final_recall <= 1.0
+            assert len(outcome.selected) <= 3
+
+    def test_selected_peers_are_real_and_distinct(self, tiny_engine, tiny_queries):
+        outcome = tiny_engine.run_query(
+            tiny_queries[0], IQNRouter(), max_peers=4, k=20
+        )
+        assert len(set(outcome.selected)) == len(outcome.selected)
+        assert set(outcome.selected) <= set(tiny_engine.peers)
+
+    def test_initiator_never_selected(self, tiny_engine, tiny_queries):
+        outcome = tiny_engine.run_query(
+            tiny_queries[0], IQNRouter(), initiator_id="p00", max_peers=5, k=20
+        )
+        assert "p00" not in outcome.selected
+
+    def test_routing_decision_costs_no_query_forwards(
+        self, tiny_engine, tiny_queries
+    ):
+        """Section 1.2: IQN's decision process contacts no remote peers —
+        only DHT directory lookups.  Forwards equal selected peers."""
+        outcome = tiny_engine.run_query(
+            tiny_queries[0], IQNRouter(), max_peers=3, k=20
+        )
+        assert outcome.cost.messages(MessageKinds.QUERY_FORWARD) == len(
+            outcome.selected
+        )
+        assert outcome.cost.messages(MessageKinds.PEERLIST_FETCH) == len(
+            set(tiny_queries[0].terms)
+        )
+
+    def test_merged_results_deduplicated(self, tiny_engine, tiny_queries):
+        outcome = tiny_engine.run_query(
+            tiny_queries[0], CoriSelector(), max_peers=4, k=20
+        )
+        doc_ids = [r.doc_id for r in outcome.merged]
+        assert len(doc_ids) == len(set(doc_ids))
+
+
+class TestPaperClaims:
+    @pytest.fixture(scope="class")
+    def recall_by_method(self, tiny_engine, tiny_queries):
+        methods = {
+            "iqn": IQNRouter(),
+            "oneshot": OneShotOverlapSelector(),
+            "cori": CoriSelector(),
+            "random": RandomSelector(seed=4),
+        }
+        recalls = {}
+        for name, selector in methods.items():
+            recalls[name] = micro_average(
+                [
+                    tiny_engine.run_query(
+                        q, selector, max_peers=3, k=30, peer_k=10
+                    ).final_recall
+                    for q in tiny_queries
+                ]
+            )
+        return recalls
+
+    def test_overlap_awareness_beats_quality_only(self, recall_by_method):
+        """Every novelty-aware method should match or beat CORI at a
+        small peer budget on overlapping collections."""
+        assert recall_by_method["iqn"] >= recall_by_method["cori"] - 0.02
+
+    def test_iqn_at_least_one_shot(self, recall_by_method):
+        assert recall_by_method["iqn"] >= recall_by_method["oneshot"] - 0.05
+
+    def test_everything_beats_nothing(self, recall_by_method):
+        assert all(v > 0.0 for v in recall_by_method.values())
+
+
+class TestDeterminism:
+    def test_identical_runs_identical_outcomes(self, tiny_engine, tiny_queries):
+        a = tiny_engine.run_query(tiny_queries[1], IQNRouter(), max_peers=3, k=20)
+        b = tiny_engine.run_query(tiny_queries[1], IQNRouter(), max_peers=3, k=20)
+        assert a.selected == b.selected
+        assert a.recall_at == b.recall_at

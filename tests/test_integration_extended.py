@@ -1,0 +1,167 @@
+"""Extended end-to-end scenarios: conjunctive queries, alternative
+synopsis families, BM25 scoring, replication — full-stack combinations
+the figure experiments do not cover."""
+
+import pytest
+
+from repro import (
+    CoriSelector,
+    Document,
+    Corpus,
+    IQNRouter,
+    MinervaEngine,
+    Query,
+    SynopsisSpec,
+)
+from repro.core.aggregation import PerTermAggregation
+from repro.ir.scoring import BM25Scorer
+
+
+def overlapping_collections():
+    """Five collections over docs with terms 'forest' and 'fire'.
+
+    Docs 0-19 contain both terms; 20-39 only 'forest'; 40-59 only
+    'fire'.  Collections overlap on the both-terms block.
+    """
+    def doc(i):
+        if i < 20:
+            terms = ["forest", "fire", "fire"]
+        elif i < 40:
+            terms = ["forest", "park"]
+        else:
+            terms = ["fire", "safety"]
+        return Document.from_terms(i, terms)
+
+    blocks = [
+        list(range(0, 30)),
+        list(range(10, 45)),
+        list(range(0, 20)) + list(range(40, 60)),
+        list(range(20, 50)),
+        list(range(5, 25)) + list(range(50, 60)),
+    ]
+    return [Corpus.from_documents(doc(i) for i in block) for block in blocks]
+
+
+QUERY = Query(0, ("forest", "fire"))
+
+
+def make_engine(spec_label, **kwargs):
+    engine = MinervaEngine(
+        overlapping_collections(), spec=SynopsisSpec.parse(spec_label), **kwargs
+    )
+    engine.publish({"forest", "fire"})
+    return engine
+
+
+class TestConjunctiveEndToEnd:
+    def test_conjunctive_results_match_all_terms(self):
+        engine = make_engine("mips-32")
+        outcome = engine.run_query(
+            QUERY, IQNRouter(), max_peers=3, k=30, conjunctive=True
+        )
+        reference = engine.reference_index
+        for result in outcome.merged:
+            document = reference.corpus.get(result.doc_id)
+            assert "forest" in document and "fire" in document
+
+    def test_conjunctive_reference_is_conjunctive(self):
+        engine = make_engine("mips-32")
+        ref = engine.reference_topk(QUERY, k=30, conjunctive=True)
+        assert ref <= frozenset(range(20))
+
+    def test_conjunctive_full_coverage(self):
+        engine = make_engine("mips-32")
+        outcome = engine.run_query(
+            QUERY, IQNRouter(), max_peers=4, k=30, conjunctive=True
+        )
+        assert outcome.final_recall == 1.0
+
+    def test_per_term_strategy_conjunctive(self):
+        engine = make_engine("hs-16")  # no intersection support needed
+        selector = IQNRouter(PerTermAggregation())
+        outcome = engine.run_query(
+            QUERY, selector, max_peers=3, k=30, conjunctive=True
+        )
+        assert outcome.final_recall > 0.5
+
+
+@pytest.mark.parametrize("spec_label", ["mips-32", "bf-4096", "hs-16", "ll-128"])
+class TestAllSynopsisFamiliesEndToEnd:
+    def test_routing_and_execution(self, spec_label):
+        engine = make_engine(spec_label)
+        outcome = engine.run_query(QUERY, IQNRouter(), max_peers=3, k=30)
+        assert len(outcome.selected) == 3
+        assert outcome.final_recall > 0.5
+
+    def test_posts_carry_family(self, spec_label):
+        engine = make_engine(spec_label)
+        post = engine.directory.peer_list("forest").top_by_quality(1)[0]
+        assert post.synopsis is not None
+        assert type(post.synopsis).__name__ == type(
+            SynopsisSpec.parse(spec_label).empty()
+        ).__name__
+
+
+class TestBm25EndToEnd:
+    def test_engine_with_bm25(self):
+        engine = MinervaEngine(
+            overlapping_collections(),
+            spec=SynopsisSpec.parse("mips-32"),
+            scorer=BM25Scorer(),
+        )
+        engine.publish({"forest", "fire"})
+        outcome = engine.run_query(QUERY, CoriSelector(), max_peers=3, k=30)
+        assert outcome.final_recall > 0.5
+
+    def test_reference_uses_same_scorer(self):
+        scorer = BM25Scorer()
+        engine = MinervaEngine(
+            overlapping_collections(),
+            spec=SynopsisSpec.parse("mips-32"),
+            scorer=scorer,
+        )
+        assert engine.reference_index.scorer is scorer
+
+
+class TestReplicatedEngine:
+    def test_replicas_double_post_bits(self):
+        single = make_engine("mips-32")
+        double = make_engine("mips-32", replicas=2)
+        assert double.cost.snapshot().bits("post") == 2 * single.cost.snapshot().bits(
+            "post"
+        )
+
+    def test_queries_identical_under_replication(self):
+        single = make_engine("mips-32")
+        double = make_engine("mips-32", replicas=2)
+        a = single.run_query(QUERY, IQNRouter(), max_peers=3, k=30)
+        b = double.run_query(QUERY, IQNRouter(), max_peers=3, k=30)
+        assert a.selected == b.selected
+        assert a.recall_at == b.recall_at
+
+
+class TestWeightedMergeEndToEnd:
+    def test_recall_unchanged_ranking_may_differ(self):
+        engine = make_engine("mips-32")
+        plain = engine.run_query(QUERY, CoriSelector(), max_peers=3, k=30)
+        weighted = engine.run_query(
+            QUERY, CoriSelector(), max_peers=3, k=30, cori_weighted_merge=True
+        )
+        assert weighted.recall_at == plain.recall_at
+        assert {r.doc_id for r in weighted.merged} == {
+            r.doc_id for r in plain.merged
+        }
+
+    def test_weighted_scores_bounded_by_cori_weight(self):
+        engine = make_engine("mips-32")
+        outcome = engine.run_query(
+            QUERY, CoriSelector(), max_peers=3, k=30, cori_weighted_merge=True
+        )
+        # CORI scores are <= 1, so weighted scores never exceed the best
+        # raw local score.
+        raw_max = max(
+            (r.score for results in outcome.per_peer_results.values() for r in results),
+            default=0.0,
+        )
+        local_max = max((r.score for r in outcome.merged), default=0.0)
+        assert local_max <= max(raw_max, local_max)

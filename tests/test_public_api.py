@@ -1,0 +1,50 @@
+"""Guards on the public API surface."""
+
+import importlib
+
+import pytest
+
+import repro
+
+SUBPACKAGES = [
+    "repro.synopses",
+    "repro.ir",
+    "repro.dht",
+    "repro.net",
+    "repro.datasets",
+    "repro.minerva",
+    "repro.routing",
+    "repro.core",
+    "repro.experiments",
+]
+
+
+class TestAllExportsResolve:
+    def test_top_level(self):
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+    @pytest.mark.parametrize("module_name", SUBPACKAGES)
+    def test_subpackages(self, module_name):
+        module = importlib.import_module(module_name)
+        assert hasattr(module, "__all__"), f"{module_name} lacks __all__"
+        for name in module.__all__:
+            assert getattr(module, name, None) is not None, (
+                f"{module_name}.{name} in __all__ but missing"
+            )
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+
+class TestDocstrings:
+    @pytest.mark.parametrize("module_name", SUBPACKAGES + ["repro"])
+    def test_modules_documented(self, module_name):
+        module = importlib.import_module(module_name)
+        assert module.__doc__ and len(module.__doc__) > 20
+
+    def test_public_classes_documented(self):
+        for name in repro.__all__:
+            obj = getattr(repro, name)
+            if isinstance(obj, type):
+                assert obj.__doc__, f"{name} lacks a docstring"
