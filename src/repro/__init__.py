@@ -9,6 +9,8 @@ The package implements the paper's full stack:
   merging, relative recall;
 - :mod:`repro.dht` -- the simulated Chord ring under the directory;
 - :mod:`repro.net` -- message/byte cost accounting;
+- :mod:`repro.simnet` -- discrete-event network simulation: virtual
+  clock, fault injection, retrying RPC, networked query execution;
 - :mod:`repro.datasets` -- synthetic overlap sets, the GOV-like corpus,
   the paper's two placement strategies, and the query workload;
 - :mod:`repro.minerva` -- peers, Posts/PeerLists, the distributed
@@ -67,6 +69,15 @@ from .routing import (
     RandomSelector,
     RoutingContext,
 )
+from .simnet import (
+    ChurnEvent,
+    FaultPlan,
+    NetworkedQueryOutcome,
+    RetryPolicy,
+    SimClock,
+    SimNetExecutor,
+    Transport,
+)
 from .synopses import (
     BloomFilter,
     HashSketch,
@@ -121,4 +132,12 @@ __all__ = [
     "PerPeerAggregation",
     "PerTermAggregation",
     "estimate_novelty",
+    # simnet
+    "SimClock",
+    "Transport",
+    "FaultPlan",
+    "ChurnEvent",
+    "RetryPolicy",
+    "SimNetExecutor",
+    "NetworkedQueryOutcome",
 ]

@@ -10,6 +10,7 @@ from .ablations import (
     quality_novelty_ablation,
 )
 from .load import LoadReport, measure_load
+from .netload import NetLoadPoint, simnet_load_sweep
 from .reposting import DEFAULT_POLICIES, RepostingRound, reposting_experiment
 from .fig2 import (
     DEFAULT_SPECS,
@@ -60,6 +61,8 @@ __all__ = [
     "PeerListFetchTrial",
     "LoadReport",
     "measure_load",
+    "NetLoadPoint",
+    "simnet_load_sweep",
     "RepostingRound",
     "reposting_experiment",
     "DEFAULT_POLICIES",

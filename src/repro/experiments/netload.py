@@ -1,0 +1,124 @@
+"""Throughput/latency vs. offered load and loss rate on the simulated net.
+
+Section 8.2's closing claim — "response times are a highly superlinear
+function of load" — stated as a measurement: drive the same workload
+through :class:`~repro.simnet.executor.SimNetExecutor` at increasing
+offered load (queries per second) and message-loss rates, and record
+what happens to per-query virtual latency, retries, timeouts, and
+recall.  At low load queries barely interact; as offered load grows
+their messages share links and the M/M/1 queueing factor inflates every
+response superlinearly, while loss converts directly into retry traffic
+and (past the retry budget) into partial results.
+
+Everything is deterministic under a fixed seed, so a sweep is exactly
+reproducible run to run.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from ..datasets.queries import Query
+from ..minerva.engine import MinervaEngine
+from ..net.latency import LatencyProfile
+from ..routing.base import PeerSelector
+from ..simnet.executor import NetworkedQueryOutcome, SimNetExecutor
+from ..simnet.faults import FaultPlan
+from ..simnet.rpc import RetryPolicy
+
+__all__ = ["NetLoadPoint", "simnet_load_sweep"]
+
+
+@dataclass(frozen=True)
+class NetLoadPoint:
+    """Aggregate behavior of one (offered load, loss rate) cell."""
+
+    offered_qps: float
+    loss_rate: float
+    num_queries: int
+    mean_latency_ms: float
+    p95_latency_ms: float
+    max_latency_ms: float
+    mean_recall: float
+    timed_out_contacts: int
+    forward_retries: int
+    degraded_queries: int
+
+    @classmethod
+    def from_outcomes(
+        cls,
+        offered_qps: float,
+        loss_rate: float,
+        outcomes: Sequence[NetworkedQueryOutcome],
+    ) -> "NetLoadPoint":
+        """Reduce a cell's per-query outcomes to one summary row."""
+        if not outcomes:
+            raise ValueError("cannot summarize an empty outcome list")
+        latencies = sorted(outcome.latency_ms for outcome in outcomes)
+        p95_index = max(0, math.ceil(0.95 * len(latencies)) - 1)
+        return cls(
+            offered_qps=offered_qps,
+            loss_rate=loss_rate,
+            num_queries=len(outcomes),
+            mean_latency_ms=sum(latencies) / len(latencies),
+            p95_latency_ms=latencies[p95_index],
+            max_latency_ms=latencies[-1],
+            mean_recall=sum(outcome.final_recall for outcome in outcomes)
+            / len(outcomes),
+            timed_out_contacts=sum(
+                len(outcome.timed_out_peers) for outcome in outcomes
+            ),
+            forward_retries=sum(outcome.forward_retries for outcome in outcomes),
+            degraded_queries=sum(1 for outcome in outcomes if outcome.degraded),
+        )
+
+
+def simnet_load_sweep(
+    engine: MinervaEngine,
+    queries: Sequence[Query],
+    make_selector: Callable[[], PeerSelector],
+    *,
+    offered_qps: Sequence[float] = (2.0, 10.0, 50.0),
+    loss_rates: Sequence[float] = (0.0, 0.1),
+    seed: int = 0,
+    max_peers: int = 5,
+    k: int = 50,
+    peer_k: int | None = None,
+    profile: LatencyProfile | None = None,
+    policy: RetryPolicy | None = None,
+) -> list[NetLoadPoint]:
+    """Run the workload at every (offered load, loss rate) combination.
+
+    Each cell gets a fresh executor (fresh virtual clock, transport,
+    and seeded RNG — the same ``seed`` for every cell, so cells differ
+    only in the swept parameters) and a fresh selector from
+    ``make_selector`` (protects against stateful selectors leaking
+    between cells).  Returns one :class:`NetLoadPoint` per cell, in
+    sweep order (loss-major, load-minor).
+    """
+    if not queries:
+        raise ValueError("a sweep needs at least one query")
+    points = []
+    for loss_rate in loss_rates:
+        for qps in offered_qps:
+            if qps <= 0:
+                raise ValueError(f"offered_qps must be positive, got {qps}")
+            executor = SimNetExecutor(
+                engine,
+                faults=FaultPlan(loss_rate=loss_rate),
+                profile=profile,
+                policy=policy,
+                seed=seed,
+            )
+            outcomes = executor.run_workload(
+                queries,
+                make_selector(),
+                interarrival_ms=1000.0 / qps,
+                max_peers=max_peers,
+                k=k,
+                peer_k=peer_k,
+            )
+            points.append(NetLoadPoint.from_outcomes(qps, loss_rate, outcomes))
+    return points

@@ -457,6 +457,51 @@ class MinervaEngine:
             per_peer_results=per_peer,
         )
 
+    def run_query_networked(
+        self,
+        query: Query,
+        selector: PeerSelector,
+        *,
+        faults=None,
+        profile=None,
+        policy=None,
+        seed: int = 0,
+        initiator_id: str | None = None,
+        max_peers: int = 10,
+        k: int = 50,
+        peer_k: int | None = None,
+        conjunctive: bool = False,
+    ):
+        """Run one query over the simulated network (:mod:`repro.simnet`).
+
+        The three query phases — PeerList fetch over DHT hops, routing,
+        forward+merge — execute as messages on a discrete-event
+        transport, subject to ``faults`` (a
+        :class:`~repro.simnet.faults.FaultPlan`), the wire ``profile``
+        (a :class:`~repro.net.latency.LatencyProfile`), and the retry
+        ``policy`` (a :class:`~repro.simnet.rpc.RetryPolicy`).  Returns
+        a :class:`~repro.simnet.executor.NetworkedQueryOutcome`; with no
+        faults its merged document ids equal :meth:`run_query`'s.  For
+        concurrent workloads build a
+        :class:`~repro.simnet.executor.SimNetExecutor` directly and
+        reuse it across queries.
+        """
+        from ..simnet.executor import SimNetExecutor
+
+        executor = SimNetExecutor(
+            self, faults=faults, profile=profile, policy=policy, seed=seed
+        )
+        executor.submit(
+            query,
+            selector,
+            initiator_id=initiator_id,
+            max_peers=max_peers,
+            k=k,
+            peer_k=peer_k,
+            conjunctive=conjunctive,
+        )
+        return executor.run()[0]
+
     # -- helpers ------------------------------------------------------------------
 
     def _ensure_published(self, query: Query) -> None:

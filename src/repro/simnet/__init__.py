@@ -1,0 +1,33 @@
+"""Discrete-event network simulation for the MINERVA testbed.
+
+Turns the passive cost model into an actual transport: a virtual clock
+(:class:`SimClock`), typed message delivery with load-dependent M/M/1
+latency (:class:`Transport`), fault injection (:class:`FaultPlan` —
+loss, crashes, slowdowns, scheduled churn), an RPC layer with timeouts
+and exponential-backoff retry (:class:`RetryPolicy`), and a
+:class:`SimNetExecutor` that runs engine queries as concurrent message
+flows so load, loss, and overlap-in-time become observable.
+"""
+
+from .clock import SimClock, SimFuture, gather, spawn
+from .executor import NetworkedQueryOutcome, SimNetExecutor
+from .faults import ChurnEvent, FaultPlan
+from .rpc import RetryPolicy, RpcLayer, RpcResult
+from .transport import Message, Transport, TransportStats
+
+__all__ = [
+    "SimClock",
+    "SimFuture",
+    "spawn",
+    "gather",
+    "Message",
+    "Transport",
+    "TransportStats",
+    "ChurnEvent",
+    "FaultPlan",
+    "RetryPolicy",
+    "RpcLayer",
+    "RpcResult",
+    "SimNetExecutor",
+    "NetworkedQueryOutcome",
+]

@@ -1,0 +1,94 @@
+"""Fault injection plans: loss, crashes, slowdowns, scheduled churn.
+
+Section 1.1 motivates the P2P architecture with "resilience to failures
+and churn"; the engine-level churn API (:meth:`MinervaEngine.add_peer` /
+``remove_peer``) covers the *directory* consequences, while a
+:class:`FaultPlan` covers the *transport* consequences: messages that
+vanish, peers that stop answering mid-run, and peers that answer slowly
+enough to trip timeouts.
+
+A plan is pure data — the :class:`~repro.simnet.transport.Transport`
+interprets it: ``loss_rate`` is applied per transmitted message (seeded
+RNG), ``slowdowns`` scale a peer's service and transmission times, and
+``churn`` events are scheduled on the virtual clock when the transport
+is built.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+__all__ = ["ChurnEvent", "FaultPlan"]
+
+#: Valid ChurnEvent kinds.
+CHURN_KINDS = ("crash", "recover")
+
+
+@dataclass(frozen=True)
+class ChurnEvent:
+    """One scheduled membership change at a virtual time.
+
+    ``crash`` makes the peer drop every message from then on (sent *and*
+    received — including messages already in flight toward it);
+    ``recover`` brings it back.  A crash is abrupt: the peer's directory
+    Posts stay where they are, so routers keep selecting it and queries
+    observe timeouts — the stale-post failure mode of Section 1.1.
+    """
+
+    at_ms: float
+    peer_id: str
+    kind: str = "crash"
+
+    def __post_init__(self) -> None:
+        if self.at_ms < 0:
+            raise ValueError(f"at_ms must be >= 0, got {self.at_ms}")
+        if self.kind not in CHURN_KINDS:
+            raise ValueError(
+                f"kind must be one of {CHURN_KINDS}, got {self.kind!r}"
+            )
+        if not self.peer_id:
+            raise ValueError("peer_id must be non-empty")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """What goes wrong, and when.
+
+    - ``loss_rate`` — probability in ``[0, 1)`` that any single
+      transmitted message silently disappears;
+    - ``slowdowns`` — per-peer multiplicative factors (> 1 = slower)
+      applied to that peer's link transmission and service times,
+      modeling overloaded or thin-pipe peers;
+    - ``churn`` — scheduled :class:`ChurnEvent` crashes/recoveries.
+
+    The default plan injects nothing, which is the parity case: a
+    networked query under ``FaultPlan()`` returns exactly the documents
+    the in-process engine returns.
+    """
+
+    loss_rate: float = 0.0
+    slowdowns: Mapping[str, float] = field(default_factory=dict)
+    churn: tuple[ChurnEvent, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.loss_rate < 1.0:
+            raise ValueError(
+                f"loss_rate must be in [0, 1), got {self.loss_rate}"
+            )
+        for peer_id, factor in self.slowdowns.items():
+            if factor <= 0:
+                raise ValueError(
+                    f"slowdown factor for {peer_id!r} must be > 0, got {factor}"
+                )
+        # Normalize arbitrary iterables to a tuple for hashability.
+        object.__setattr__(self, "churn", tuple(self.churn))
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the plan injects no fault of any kind."""
+        return not (self.loss_rate or self.slowdowns or self.churn)
+
+    def slowdown(self, peer_id: str) -> float:
+        """The service/transmission multiplier for ``peer_id`` (1.0 = none)."""
+        return self.slowdowns.get(peer_id, 1.0)

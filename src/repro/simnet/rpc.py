@@ -1,0 +1,205 @@
+"""Request/response with timeouts and exponential-backoff retry.
+
+The transport is fire-and-forget; this layer makes it usable for the
+query pipeline.  A *server* registers a handler per ``(peer, kind)``;
+a *client* issues :meth:`RpcLayer.call`, which
+
+- routes the request (optionally via DHT hops), waits ``timeout_ms``,
+  and retries with exponential backoff while attempts remain;
+- resolves to an :class:`RpcResult` either way — ``ok=False`` after the
+  final timeout is a *result*, not an exception, so callers degrade
+  gracefully (a query completes with partial results and reports which
+  peers timed out rather than raising).
+
+A reply that arrives after a retry was already sent still completes the
+call (first answer wins); duplicate replies are ignored.  Retries are
+real messages: they are charged to the transport's cost model and add
+load to the already-struggling link, which is exactly how timeout storms
+behave on real networks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from .clock import SimFuture
+from .transport import Message, Transport
+
+__all__ = ["RetryPolicy", "RpcResult", "RpcLayer"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Timeout and exponential-backoff configuration for one RPC class.
+
+    Attempt ``i`` (0-based) waits ``timeout_ms * backoff**i`` before
+    giving up, capped at ``max_timeout_ms``; after ``max_attempts``
+    unanswered attempts the call fails.  ``max_attempts=1`` means no
+    retries at all.
+    """
+
+    timeout_ms: float = 500.0
+    max_attempts: int = 3
+    backoff: float = 2.0
+    max_timeout_ms: float = 8000.0
+
+    def __post_init__(self) -> None:
+        if self.timeout_ms <= 0:
+            raise ValueError(f"timeout_ms must be positive, got {self.timeout_ms}")
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.backoff < 1.0:
+            raise ValueError(f"backoff must be >= 1, got {self.backoff}")
+        if self.max_timeout_ms < self.timeout_ms:
+            raise ValueError("max_timeout_ms must be >= timeout_ms")
+
+    def timeout_for(self, attempt: int) -> float:
+        """Timeout for the given 0-based attempt index."""
+        if attempt < 0:
+            raise ValueError(f"attempt must be >= 0, got {attempt}")
+        return min(self.max_timeout_ms, self.timeout_ms * self.backoff**attempt)
+
+
+@dataclass(frozen=True)
+class RpcResult:
+    """Outcome of one call: a reply, or a final timeout.
+
+    ``attempts`` counts requests actually sent (1 = no retry needed);
+    ``latency_ms`` spans first request to reply (or to giving up).
+    """
+
+    ok: bool
+    value: Any
+    peer_id: str
+    attempts: int
+    latency_ms: float
+
+    @property
+    def timed_out(self) -> bool:
+        return not self.ok
+
+    @property
+    def retries(self) -> int:
+        """Requests sent beyond the first."""
+        return self.attempts - 1
+
+
+#: A server handler: payload -> (reply_payload, reply_bits, service_ms),
+#: or None to silently drop the request (the client will time out).
+RpcHandler = Callable[[Any], "tuple[Any, int, float] | None"]
+
+
+class RpcLayer:
+    """Client/server plumbing over a :class:`Transport`."""
+
+    def __init__(self, transport: Transport, *, policy: RetryPolicy | None = None):
+        self.transport = transport
+        self.clock = transport.clock
+        self.policy = policy or RetryPolicy()
+        self._handlers: dict[tuple[str, str], RpcHandler] = {}
+
+    def serve(self, peer_id: str, kind: str, handler: RpcHandler) -> None:
+        """Register ``handler`` for ``kind`` requests addressed to ``peer_id``.
+
+        The handler runs at request-delivery time and returns
+        ``(reply_payload, reply_bits, service_ms)``; the reply leaves
+        the server ``service_ms`` (scaled by the peer's fault-plan
+        slowdown) after the request arrived.
+        """
+        key = (peer_id, kind)
+        if key in self._handlers:
+            raise ValueError(f"handler for {key} already registered")
+        self._handlers[key] = handler
+
+    def call(
+        self,
+        src: str,
+        dst: str,
+        kind: str,
+        *,
+        payload: Any = None,
+        request_bits: int = 0,
+        reply_kind: str | None = None,
+        via: Sequence[str] = (),
+        policy: RetryPolicy | None = None,
+    ) -> SimFuture:
+        """Issue one reliable(ish) request; resolves to an :class:`RpcResult`.
+
+        ``via`` lists intermediate peers the request routes through
+        (DHT lookup hops); the reply always returns directly — the
+        server learned the client's address from the request.  A
+        destination with no handler for ``kind`` (departed peer, stale
+        Post) is a black hole: every attempt times out and the call
+        resolves ``ok=False``.
+        """
+        policy = policy or self.policy
+        reply_kind = reply_kind or f"{kind}_reply"
+        future = SimFuture()
+        started = self.clock.now
+        state = {"attempts": 0}
+
+        def finish(ok: bool, value: Any) -> None:
+            if future.done:
+                return  # late reply after giving up, or duplicate reply
+            future.resolve(
+                RpcResult(
+                    ok=ok,
+                    value=value,
+                    peer_id=dst,
+                    attempts=state["attempts"],
+                    latency_ms=self.clock.now - started,
+                )
+            )
+
+        def on_request(message: Message) -> None:
+            handler = self._handlers.get((dst, kind))
+            if handler is None:
+                return  # black hole: the client's timer handles it
+            response = handler(message.payload)
+            if response is None:
+                return  # the server declined to answer: same as a black hole
+            reply_payload, reply_bits, service_ms = response
+            service_ms *= self.transport.slowdown(dst)
+
+            def deliver_reply() -> bool:
+                finish(True, reply_payload)
+                return True
+
+            def send_reply() -> None:
+                self.transport._transmit(
+                    reply_kind, dst, src, reply_bits, deliver_reply
+                )
+
+            self.clock.schedule(service_ms, send_reply)
+
+        def attempt() -> None:
+            index = state["attempts"]
+            state["attempts"] += 1
+            self.transport.send_via(
+                kind,
+                src,
+                dst,
+                via=via,
+                bits=request_bits,
+                payload=payload,
+                on_deliver=on_request,
+            )
+
+            def on_timeout() -> None:
+                if future.done:
+                    return
+                if state["attempts"] >= policy.max_attempts:
+                    finish(False, None)
+                else:
+                    attempt()
+
+            self.clock.schedule(policy.timeout_for(index), on_timeout)
+
+        attempt()
+        return future
+
+    def __repr__(self) -> str:
+        return f"RpcLayer(handlers={len(self._handlers)}, policy={self.policy})"

@@ -1,0 +1,73 @@
+"""Tests for the offered-load / loss-rate sweep harness."""
+
+import pytest
+
+from repro.core.iqn import IQNRouter
+from repro.experiments.netload import NetLoadPoint, simnet_load_sweep
+
+
+@pytest.fixture(scope="module")
+def sweep_points(tiny_engine, tiny_queries):
+    return simnet_load_sweep(
+        tiny_engine,
+        tiny_queries,
+        IQNRouter,
+        offered_qps=(2.0, 200.0),
+        loss_rates=(0.0, 0.25),
+        max_peers=3,
+        k=20,
+        seed=9,
+    )
+
+
+class TestSweep:
+    def test_one_point_per_cell_in_sweep_order(self, sweep_points):
+        cells = [(p.loss_rate, p.offered_qps) for p in sweep_points]
+        assert cells == [(0.0, 2.0), (0.0, 200.0), (0.25, 2.0), (0.25, 200.0)]
+        assert all(p.num_queries == 4 for p in sweep_points)
+
+    def test_lossless_cells_are_clean(self, sweep_points):
+        for point in sweep_points:
+            if point.loss_rate == 0.0:
+                assert point.forward_retries == 0
+                assert point.timed_out_contacts == 0
+                assert point.degraded_queries == 0
+
+    def test_loss_costs_retries_or_degradation(self, sweep_points):
+        lossy = [p for p in sweep_points if p.loss_rate > 0]
+        assert any(
+            p.forward_retries > 0 or p.degraded_queries > 0 for p in lossy
+        )
+        clean_mean = min(
+            p.mean_latency_ms for p in sweep_points if p.loss_rate == 0.0
+        )
+        assert max(p.mean_latency_ms for p in lossy) > clean_mean
+
+    def test_latency_stats_are_ordered(self, sweep_points):
+        for point in sweep_points:
+            assert 0 < point.mean_latency_ms <= point.max_latency_ms
+            assert point.p95_latency_ms <= point.max_latency_ms
+            assert 0.0 <= point.mean_recall <= 1.0
+
+    def test_sweep_is_reproducible(self, tiny_engine, tiny_queries, sweep_points):
+        again = simnet_load_sweep(
+            tiny_engine,
+            tiny_queries,
+            IQNRouter,
+            offered_qps=(2.0, 200.0),
+            loss_rates=(0.0, 0.25),
+            max_peers=3,
+            k=20,
+            seed=9,
+        )
+        assert again == list(sweep_points)
+
+    def test_validation(self, tiny_engine, tiny_queries):
+        with pytest.raises(ValueError):
+            simnet_load_sweep(tiny_engine, [], IQNRouter)
+        with pytest.raises(ValueError):
+            simnet_load_sweep(
+                tiny_engine, tiny_queries, IQNRouter, offered_qps=(0.0,)
+            )
+        with pytest.raises(ValueError):
+            NetLoadPoint.from_outcomes(1.0, 0.0, [])

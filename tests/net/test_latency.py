@@ -33,6 +33,16 @@ class TestLatencyProfile:
     def test_validation(self):
         with pytest.raises(ValueError):
             LatencyProfile(per_message_ms=-1)
+        with pytest.raises(ValueError):
+            LatencyProfile(per_kilobit_ms=-0.5)
+        with pytest.raises(ValueError):
+            LatencyProfile(per_message_ms=-1, per_kilobit_ms=-1)
+
+    def test_zero_cost_profile_is_legal(self):
+        profile = LatencyProfile(per_message_ms=0.0, per_kilobit_ms=0.0)
+        snap = snapshot_with({"post": (10, 50_000)})
+        assert profile.estimate_ms(snap) == 0.0
+        assert profile.estimate_ms_by_kind(snap) == {"post": 0.0}
 
     def test_real_query_estimate(self, tiny_engine, tiny_queries):
         from repro.core.iqn import IQNRouter
@@ -60,10 +70,26 @@ class TestMm1:
         at_45 = mm1_response_time(10.0, 0.45)
         assert at_90 / at_45 > 2.0
 
-    def test_validation(self):
+    def test_diverges_as_utilization_approaches_one(self):
+        """T = S/(1-rho) blows up smoothly: each step toward rho=1 costs
+        strictly more than the last."""
+        times = [
+            mm1_response_time(10.0, rho)
+            for rho in (0.0, 0.5, 0.9, 0.99, 0.999, 0.999999)
+        ]
+        assert times == sorted(times)
+        deltas = [b - a for a, b in zip(times, times[1:])]
+        assert deltas == sorted(deltas)
+        assert times[-1] == pytest.approx(10.0 / (1.0 - 0.999999))
+        assert times[-1] > 1e6  # milliseconds: effectively unbounded
+
+    def test_rejects_saturated_or_negative_utilization(self):
+        for utilization in (1.0, 1.0 + 1e-12, 1.5, 100.0, -0.1, -1.0):
+            with pytest.raises(ValueError):
+                mm1_response_time(10.0, utilization)
+
+    def test_rejects_nonpositive_service_time(self):
         with pytest.raises(ValueError):
             mm1_response_time(0.0, 0.5)
         with pytest.raises(ValueError):
-            mm1_response_time(10.0, 1.0)
-        with pytest.raises(ValueError):
-            mm1_response_time(10.0, -0.1)
+            mm1_response_time(-10.0, 0.5)

@@ -1,0 +1,212 @@
+"""Tests for message delivery, the M/M/1 link model, and fault injection."""
+
+import pytest
+
+from repro.net.latency import LatencyProfile, mm1_response_time
+from repro.simnet.clock import SimClock
+from repro.simnet.faults import ChurnEvent, FaultPlan
+from repro.simnet.transport import Transport
+
+
+PROFILE = LatencyProfile(per_message_ms=10.0, per_kilobit_ms=1.0)
+
+
+def make_transport(**kwargs):
+    clock = SimClock()
+    kwargs.setdefault("profile", PROFILE)
+    return clock, Transport(clock, **kwargs)
+
+
+class TestDelivery:
+    def test_message_arrives_with_modeled_latency(self):
+        clock, transport = make_transport()
+        inbox = []
+        transport.register("b", inbox.append)
+        transport.send("query_forward", "a", "b", bits=1000, payload="hi")
+        clock.run()
+        assert len(inbox) == 1
+        message = inbox[0]
+        assert message.payload == "hi"
+        assert message.src == "a" and message.dst == "b"
+        # Service time 10 + 1 ms; a single arrival in the 1000 ms window
+        # gives utilization 11/1000.
+        expected = mm1_response_time(11.0, 11.0 / 1000.0)
+        assert clock.now == pytest.approx(expected)
+
+    def test_unknown_endpoint_is_a_black_hole(self):
+        clock, transport = make_transport()
+        transport.send("query_forward", "a", "nobody", bits=0)
+        clock.run()
+        assert transport.stats.dropped_unknown == 1
+        assert transport.stats.delivered == 0
+
+    def test_duplicate_registration_rejected(self):
+        _, transport = make_transport()
+        transport.register("a", lambda m: None)
+        with pytest.raises(ValueError):
+            transport.register("a", lambda m: None)
+
+    def test_cost_charged_even_for_lost_messages(self):
+        clock, transport = make_transport(
+            faults=FaultPlan(loss_rate=0.999), seed=1
+        )
+        transport.register("b", lambda m: None)
+        for _ in range(50):
+            transport.send("post", "a", "b", bits=100)
+        clock.run()
+        snapshot = transport.cost.snapshot()
+        assert snapshot.messages("post") == 50
+        assert snapshot.bits("post") == 5000
+        assert transport.stats.lost > 0
+
+    def test_loss_is_deterministic_under_a_seed(self):
+        def run(seed):
+            clock, transport = make_transport(
+                faults=FaultPlan(loss_rate=0.5), seed=seed
+            )
+            transport.register("b", lambda m: None)
+            for _ in range(40):
+                transport.send("post", "a", "b", bits=0)
+            clock.run()
+            return transport.stats.delivered
+
+        assert run(3) == run(3)
+        assert 0 < run(3) < 40
+
+
+class TestQueueing:
+    def test_burst_inflates_latency_superlinearly(self):
+        clock, transport = make_transport()
+        arrivals = []
+        transport.register("b", lambda m: arrivals.append(clock.now))
+        first = transport.link_delay_ms("b", 0)
+        for _ in range(80):
+            transport._transmit("post", "a", "b", 0, lambda: True)
+        loaded = transport.link_delay_ms("b", 0)
+        # 80 queued arrivals push utilization far up the M/M/1 curve.
+        assert loaded > first * 2
+
+    def test_utilization_clamped(self):
+        _, transport = make_transport(max_utilization=0.9)
+        for _ in range(10_000):
+            transport.link_delay_ms("b", 0)
+        assert transport.link_utilization("b") == pytest.approx(0.9)
+
+    def test_window_forgets_old_arrivals(self):
+        clock, transport = make_transport(queue_window_ms=100.0)
+        busy = 0.0
+        for _ in range(50):
+            busy = transport.link_delay_ms("b", 0)
+        clock.schedule(5000.0, lambda: None)
+        clock.run()
+        # Far in the future the window is empty again.
+        assert transport.link_delay_ms("b", 0) < busy
+
+
+class TestFaults:
+    def test_crashed_destination_drops_messages(self):
+        clock, transport = make_transport()
+        inbox = []
+        transport.register("b", inbox.append)
+        transport.crash("b")
+        transport.send("post", "a", "b", bits=0)
+        clock.run()
+        assert inbox == []
+        assert transport.stats.dropped_crashed == 1
+        transport.recover("b")
+        transport.send("post", "a", "b", bits=0)
+        clock.run()
+        assert len(inbox) == 1
+
+    def test_crashed_sender_sends_nothing(self):
+        clock, transport = make_transport()
+        inbox = []
+        transport.register("b", inbox.append)
+        transport.crash("a")
+        transport.send("post", "a", "b", bits=0)
+        clock.run()
+        assert inbox == []
+
+    def test_crash_kills_in_flight_messages(self):
+        clock, transport = make_transport(
+            faults=FaultPlan(churn=(ChurnEvent(at_ms=5.0, peer_id="b"),))
+        )
+        inbox = []
+        transport.register("b", inbox.append)
+        # Sent before the crash, delivered (service >= 10 ms) after it.
+        transport.send("post", "a", "b", bits=0)
+        clock.run()
+        assert inbox == []
+        assert transport.is_down("b")
+
+    def test_scheduled_recovery(self):
+        clock, transport = make_transport(
+            faults=FaultPlan(
+                churn=(
+                    ChurnEvent(at_ms=0.0, peer_id="b"),
+                    ChurnEvent(at_ms=50.0, peer_id="b", kind="recover"),
+                )
+            )
+        )
+        inbox = []
+        transport.register("b", inbox.append)
+        clock.schedule(60.0, lambda: transport.send("post", "a", "b", bits=0))
+        clock.run()
+        assert len(inbox) == 1
+
+    def test_slowdown_scales_service_time(self):
+        _, transport = make_transport(
+            faults=FaultPlan(slowdowns={"slow": 3.0})
+        )
+        assert transport.service_time_ms("slow", 1000) == pytest.approx(
+            3 * transport.service_time_ms("fast", 1000)
+        )
+
+
+class TestSendVia:
+    def test_hops_are_charged_and_payload_arrives(self):
+        clock, transport = make_transport()
+        inbox = []
+        transport.register("d", inbox.append)
+        transport.send_via(
+            "peerlist_fetch", "a", "d", via=["b", "c"], bits=500, payload="term"
+        )
+        clock.run()
+        assert len(inbox) == 1
+        assert inbox[0].payload == "term"
+        snapshot = transport.cost.snapshot()
+        assert snapshot.messages("dht_hop") == 2
+        assert snapshot.bits("dht_hop") == 0
+        assert snapshot.bits("peerlist_fetch") == 500
+
+    def test_crashed_intermediate_kills_the_route(self):
+        clock, transport = make_transport()
+        inbox = []
+        transport.register("d", inbox.append)
+        transport.crash("b")
+        transport.send_via("peerlist_fetch", "a", "d", via=["b"], bits=0)
+        clock.run()
+        assert inbox == []
+
+
+class TestValidation:
+    def test_fault_plan_validation(self):
+        with pytest.raises(ValueError):
+            FaultPlan(loss_rate=1.0)
+        with pytest.raises(ValueError):
+            FaultPlan(loss_rate=-0.1)
+        with pytest.raises(ValueError):
+            FaultPlan(slowdowns={"p": 0.0})
+        with pytest.raises(ValueError):
+            ChurnEvent(at_ms=-1.0, peer_id="p")
+        with pytest.raises(ValueError):
+            ChurnEvent(at_ms=0.0, peer_id="p", kind="explode")
+        assert FaultPlan().is_empty
+        assert not FaultPlan(loss_rate=0.1).is_empty
+
+    def test_transport_validation(self):
+        clock = SimClock()
+        with pytest.raises(ValueError):
+            Transport(clock, queue_window_ms=0.0)
+        with pytest.raises(ValueError):
+            Transport(clock, max_utilization=1.0)

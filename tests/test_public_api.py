@@ -16,7 +16,28 @@ SUBPACKAGES = [
     "repro.routing",
     "repro.core",
     "repro.experiments",
+    "repro.simnet",
 ]
+
+
+class TestSimnetSurface:
+    """The simulator's public names are re-exported at the top level."""
+
+    def test_top_level_exports(self):
+        for name in (
+            "SimClock",
+            "Transport",
+            "FaultPlan",
+            "ChurnEvent",
+            "RetryPolicy",
+            "SimNetExecutor",
+            "NetworkedQueryOutcome",
+        ):
+            assert name in repro.__all__, name
+            assert getattr(repro, name, None) is not None, name
+
+    def test_engine_exposes_networked_mode(self):
+        assert callable(getattr(repro.MinervaEngine, "run_query_networked"))
 
 
 class TestAllExportsResolve:
