@@ -47,6 +47,7 @@ from .core import (
     IQNSelection,
     PerPeerAggregation,
     PerTermAggregation,
+    RoutingStats,
     estimate_novelty,
 )
 from .datasets import (
@@ -131,6 +132,7 @@ __all__ = [
     "IQNSelection",
     "PerPeerAggregation",
     "PerTermAggregation",
+    "RoutingStats",
     "estimate_novelty",
     # simnet
     "SimClock",

@@ -9,6 +9,7 @@ from .aggregation import (
     PerTermState,
 )
 from .correlations import CorrelationAwarePerTerm, estimate_distinct_mass
+from .fastpath import FastPathUnsupported, RoutingStats, fast_rank_detailed
 from .budget import (
     allocate_budget,
     benefit_list_length,
@@ -38,6 +39,9 @@ from .stopping import (
 __all__ = [
     "IQNRouter",
     "IQNSelection",
+    "RoutingStats",
+    "FastPathUnsupported",
+    "fast_rank_detailed",
     "estimate_novelty",
     "AggregationStrategy",
     "PerPeerAggregation",

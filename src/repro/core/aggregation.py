@@ -99,14 +99,16 @@ class PerPeerAggregation(AggregationStrategy):
 
     # -- candidate-side combination -----------------------------------------
 
-    def _combine(
+    def combine(
         self, state: PerPeerState, candidate: CandidatePeer
     ) -> tuple[SetSynopsis | None, float]:
         """Combined query synopsis and cardinality estimate for a peer.
 
         Returns ``(None, 0.0)`` when the peer cannot contribute (e.g. a
         conjunctive query with a term the peer lacks).  Cached per peer —
-        the combination never changes across IQN iterations.
+        the combination never changes across IQN iterations.  Public
+        because the routing fast path (:mod:`repro.core.fastpath`) packs
+        these combined synopses into its batched kernels.
         """
         cached = state.combined_cache.get(candidate.peer_id)
         if cached is not None:
@@ -166,8 +168,11 @@ class PerPeerAggregation(AggregationStrategy):
 
     # -- strategy interface ----------------------------------------------------
 
+    # Backwards-compatible alias for the pre-fast-path private name.
+    _combine = combine
+
     def novelty(self, state: PerPeerState, candidate: CandidatePeer) -> float:
-        combined, cardinality = self._combine(state, candidate)
+        combined, cardinality = self.combine(state, candidate)
         if combined is None or cardinality <= 0.0:
             return 0.0
         return estimate_novelty(
@@ -178,7 +183,7 @@ class PerPeerAggregation(AggregationStrategy):
         )
 
     def absorb(self, state: PerPeerState, candidate: CandidatePeer) -> None:
-        combined, _ = self._combine(state, candidate)
+        combined, _ = self.combine(state, candidate)
         if combined is None:
             return
         gained = self.novelty(state, candidate)

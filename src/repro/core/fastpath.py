@@ -1,0 +1,698 @@
+"""Vectorized + lazy-greedy fast path for IQN's Select-Best-Peer loop.
+
+The naive loop in :mod:`repro.core.iqn` re-estimates novelty for every
+remaining candidate on every iteration — ``O(C)`` synopsis evaluations
+per selected peer, each one fresh big-int / Python work.  This module
+replaces that with two exact fast paths that produce *bit-identical*
+plans (same peers, same novelty/quality floats, same tie-breaks):
+
+**Tier 1 — CELF lazy greedy (Bloom filters).**  Bloom novelty is provably
+monotone non-increasing as the reference grows: absorbing a peer only
+ORs bits into the reference, so ``cand AND NOT ref`` loses bits, its
+popcount ``t`` cannot grow, the linear-counting inversion is increasing
+in ``t``, and the final clamp preserves monotonicity.  Stale scores are
+therefore true upper bounds, and the classic CELF strategy applies: keep
+candidates in a max-heap keyed by stale ``quality * novelty``,
+re-evaluate only the popped top until the top is current.  A defensive
+bound check triggers a full refresh if monotonicity were ever violated
+(it cannot be, for Bloom), so correctness never rests on the proof.
+
+**Tier 2 — exact incremental invalidation (MIPs, hash sketches,
+LogLog).**  These families' novelty estimates are *not* monotone under
+absorb — the tracked reference cardinality and the union estimate drift
+at different rates, so a candidate's novelty can tick *up* after an
+absorb and stale heap bounds are unsound.  Instead we cache each
+candidate's integer sufficient statistic against the reference (MIPs:
+matching-minima count; hash sketch: per-bucket first-zero positions;
+LogLog: merged-register sum and empty count) and, after each absorb,
+detect *exactly* which rows the reference change can affect and
+recompute only those.  Turning statistics into novelty floats is a
+vectorized O(C) pass per round using lookup tables indexed by the
+integer statistic — the tables are filled by the same scalar
+:mod:`math`-based code the synopses use, so no NumPy transcendental
+(whose libm may differ by ULPs) ever touches the value path.
+
+Both tiers drive the *same* aggregation state objects as the naive loop
+(via ``start``/``absorb``), so reference synopses and cardinalities
+evolve identically and stopping criteria see identical inputs.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..routing.base import CandidatePeer, RoutingContext
+from ..synopses.bloom import (
+    BloomFilter,
+    batch_difference_popcounts,
+    pack_bit_row,
+    pack_bit_rows,
+    popcount_cardinality_table,
+)
+from ..synopses.hashsketch import (
+    HashSketch,
+    first_zero_positions,
+    pack_bitmap_row,
+    pack_bitmap_rows,
+    rho_sum_cardinality_table,
+)
+from ..synopses.loglog import (
+    LogLogCounter,
+    pack_register_row,
+    pack_register_rows,
+    register_cardinality_tables,
+)
+from ..synopses.mips import (
+    MIPS_MODULUS,
+    MinWisePermutations,
+    batch_match_counts,
+    pack_minima_row,
+    pack_minima_rows,
+)
+from .aggregation import PerPeerAggregation, PerTermAggregation
+from .stopping import StoppingCriterion
+
+__all__ = ["RoutingStats", "FastPathUnsupported", "fast_rank_detailed"]
+
+
+class FastPathUnsupported(Exception):
+    """The configuration has no exact fast path; use the naive loop."""
+
+
+@dataclass
+class RoutingStats:
+    """Counters surfaced by :class:`~repro.core.iqn.IQNRouter`.
+
+    ``novelty_evaluations`` counts per-candidate synopsis-level novelty
+    computations actually performed (initial batch, lazy re-evaluations,
+    affected-row refreshes, and the absorb-time recompute inside the
+    aggregation strategy).  ``naive_evaluations`` is what the naive loop
+    would have spent on the same plan — the sum of remaining-candidate
+    counts over rounds — so ``naive_evaluations / novelty_evaluations``
+    is the measured savings factor.
+    """
+
+    mode: str
+    candidates: int = 0
+    rounds: int = 0
+    novelty_evaluations: int = 0
+    naive_evaluations: int = 0
+    bound_refreshes: int = 0
+
+    @property
+    def evaluation_savings(self) -> float:
+        """Naive-vs-actual evaluation ratio (1.0 = no savings)."""
+        if self.novelty_evaluations == 0:
+            return 1.0
+        return self.naive_evaluations / self.novelty_evaluations
+
+
+# -- family kernels ----------------------------------------------------------
+#
+# One "column" tracks every candidate's synopsis against one reference
+# synopsis: the per-peer strategy uses a single column over combined
+# query synopses, the per-term strategy one column per query term.
+# Constructors raise FastPathUnsupported for anything the vectorized
+# kernels cannot represent exactly (foreign synopsis types, mismatched
+# parameters, heterogeneous MIPs lengths, >64-bit sketch bitmaps); the
+# router then falls back to the naive loop, which handles — or raises
+# on — those cases with the reference semantics.
+
+
+class _BloomColumn:
+    """Packed-bit Bloom novelty kernel (CELF tier)."""
+
+    def __init__(self, synopses, cards, active, reference):
+        if type(reference) is not BloomFilter:
+            raise FastPathUnsupported("reference is not a plain BloomFilter")
+        self._m = reference.num_bits
+        params = (reference.num_bits, reference.num_hashes, reference.seed)
+        bits: list[int] = []
+        for synopsis, ok in zip(synopses, active):
+            if not ok:
+                bits.append(0)
+                continue
+            if type(synopsis) is not BloomFilter or (
+                synopsis.num_bits,
+                synopsis.num_hashes,
+                synopsis.seed,
+            ) != params:
+                raise FastPathUnsupported("heterogeneous Bloom parameters")
+            bits.append(synopsis.raw_bits)
+        self._bits = bits
+        self._cards = np.asarray(cards, dtype=np.float64)
+        self._active = active
+        self._table = popcount_cardinality_table(
+            reference.num_bits, reference.num_hashes
+        )
+        self._ref_bits = reference.raw_bits
+        self._mask = (1 << self._m) - 1
+
+    def batch(self) -> np.ndarray:
+        rows = pack_bit_rows(self._bits, self._m)
+        reference_row = pack_bit_row(self._ref_bits, self._m)
+        popcounts = batch_difference_popcounts(rows, reference_row)
+        novelty = np.minimum(np.maximum(0.0, self._table[popcounts]), self._cards)
+        novelty[~self._active] = 0.0
+        return novelty
+
+    def eval_one(self, index: int) -> float:
+        if not self._active[index]:
+            return 0.0
+        popcount = (self._bits[index] & ~self._ref_bits & self._mask).bit_count()
+        estimate = float(self._table[popcount])
+        return min(max(0.0, estimate), float(self._cards[index]))
+
+    def refresh_reference(self, reference) -> None:
+        self._ref_bits = reference.raw_bits
+
+
+class _MipsColumn:
+    """Minima-matrix MIPs novelty kernel (incremental tier)."""
+
+    def __init__(self, synopses, cards, active, reference):
+        if type(reference) is not MinWisePermutations:
+            raise FastPathUnsupported("reference is not a plain MIPs synopsis")
+        length = reference.num_permutations
+        packable = []
+        for synopsis, ok in zip(synopses, active):
+            if not ok:
+                packable.append(None)
+                continue
+            if (
+                type(synopsis) is not MinWisePermutations
+                or synopsis.seed != reference.seed
+                or synopsis.num_permutations != length
+            ):
+                raise FastPathUnsupported("heterogeneous MIPs vectors")
+            packable.append(synopsis)
+        self._rows = pack_minima_rows(packable, length)
+        self._common = length
+        self._reference_row = pack_minima_row(reference)
+        self._matches = batch_match_counts(self._rows, self._reference_row)
+        self._cards = np.asarray(cards, dtype=np.float64)
+        self._active = active
+        self._cand_empty = (self._rows == MIPS_MODULUS).all(axis=1)
+        self._ref_empty = bool((self._reference_row == MIPS_MODULUS).all())
+        self._maintained = active & ~self._cand_empty
+
+    def refresh_reference(self, reference) -> np.ndarray:
+        new_row = pack_minima_row(reference)
+        changed = np.nonzero(new_row != self._reference_row)[0]
+        if changed.size == 0:
+            return np.zeros(len(self._rows), dtype=bool)
+        # A row's match count can only change at positions where the
+        # reference minimum changed: either a previous match was
+        # destroyed (row value equals the old non-sentinel minimum) or a
+        # new one was created (row value equals the new minimum, which
+        # is always below the sentinel — reference minima only sink).
+        sub = self._rows[:, changed]
+        old_values = self._reference_row[changed]
+        new_values = new_row[changed]
+        affected = (
+            ((sub == old_values) & (old_values != MIPS_MODULUS))
+            | (sub == new_values)
+        ).any(axis=1)
+        affected &= self._maintained
+        if affected.any():
+            self._matches[affected] = batch_match_counts(
+                self._rows[affected], new_row
+            )
+        self._reference_row = new_row
+        self._ref_empty = bool((new_row == MIPS_MODULUS).all())
+        return affected
+
+    def rescore(self, reference_cardinality: float) -> np.ndarray:
+        if self._ref_empty:
+            novelty = self._cards.copy()
+        else:
+            resemblance = self._matches / self._common
+            overlap = (
+                resemblance
+                * (reference_cardinality + self._cards)
+                / (resemblance + 1.0)
+            )
+            overlap = np.minimum(
+                np.maximum(overlap, 0.0),
+                np.minimum(reference_cardinality, self._cards),
+            )
+            novelty = np.maximum(0.0, self._cards - overlap)
+        novelty = np.where(self._cand_empty, 0.0, novelty)
+        novelty[~self._active] = 0.0
+        return novelty
+
+
+class _HashSketchColumn:
+    """First-zero-position hash-sketch kernel (incremental tier)."""
+
+    def __init__(self, synopses, cards, active, reference):
+        if type(reference) is not HashSketch:
+            raise FastPathUnsupported("reference is not a plain HashSketch")
+        if reference.bitmap_length > 64:
+            raise FastPathUnsupported("sketch bitmaps exceed one machine word")
+        params = (reference.num_bitmaps, reference.bitmap_length, reference.seed)
+        packable = []
+        for synopsis, ok in zip(synopses, active):
+            if not ok:
+                packable.append(None)
+                continue
+            if type(synopsis) is not HashSketch or (
+                synopsis.num_bitmaps,
+                synopsis.bitmap_length,
+                synopsis.seed,
+            ) != params:
+                raise FastPathUnsupported("heterogeneous hash-sketch parameters")
+            packable.append(synopsis)
+        self._length = reference.bitmap_length
+        self._rows = pack_bitmap_rows(packable, reference.num_bitmaps)
+        self._reference_row = pack_bitmap_row(reference)
+        self._first_zero = first_zero_positions(
+            self._rows | self._reference_row, self._length
+        )
+        self._rho_sums = self._first_zero.sum(axis=1)
+        self._table = rho_sum_cardinality_table(
+            reference.num_bitmaps, reference.bitmap_length
+        )
+        self._cards = np.asarray(cards, dtype=np.float64)
+        self._active = active
+        self._cand_empty = (self._rows == 0).all(axis=1)
+        self._maintained = active & ~self._cand_empty
+
+    def refresh_reference(self, reference) -> np.ndarray:
+        new_row = pack_bitmap_row(reference)
+        touched = np.zeros(len(self._rows), dtype=bool)
+        changed = np.nonzero(new_row != self._reference_row)[0]
+        for bucket in changed.tolist():
+            new_bits = int(new_row[bucket]) & ~int(self._reference_row[bucket])
+            # A row's R statistic moves iff some new reference bit lands
+            # exactly on its current first zero; bits below are already
+            # set in the merge, bits above leave the first zero alone.
+            affected = np.zeros(len(self._rows), dtype=bool)
+            remaining = new_bits
+            while remaining:
+                lowest = remaining & -remaining
+                affected |= self._first_zero[:, bucket] == lowest.bit_length() - 1
+                remaining ^= lowest
+            affected &= self._maintained
+            if affected.any():
+                merged = self._rows[affected, bucket] | new_row[bucket]
+                positions = first_zero_positions(merged, self._length)
+                self._rho_sums[affected] += (
+                    positions - self._first_zero[affected, bucket]
+                )
+                self._first_zero[affected, bucket] = positions
+                touched |= affected
+        self._reference_row = new_row
+        return touched
+
+    def rescore(self, reference_cardinality: float) -> np.ndarray:
+        estimate = self._table[self._rho_sums]
+        novelty = np.minimum(
+            np.maximum(0.0, estimate - reference_cardinality), self._cards
+        )
+        novelty = np.where(self._cand_empty, 0.0, novelty)
+        novelty[~self._active] = 0.0
+        return novelty
+
+
+class _LogLogColumn:
+    """Merged-register LogLog kernel (incremental tier)."""
+
+    def __init__(self, synopses, cards, active, reference):
+        if type(reference) is not LogLogCounter:
+            raise FastPathUnsupported("reference is not a plain LogLogCounter")
+        buckets = reference.num_buckets
+        packable = []
+        for synopsis, ok in zip(synopses, active):
+            if not ok:
+                packable.append(None)
+                continue
+            if (
+                type(synopsis) is not LogLogCounter
+                or synopsis.seed != reference.seed
+                or synopsis.num_buckets != buckets
+            ):
+                raise FastPathUnsupported("heterogeneous LogLog parameters")
+            packable.append(synopsis)
+        rows = pack_register_rows(packable, buckets)
+        self._reference_row = pack_register_row(reference)
+        self._merged = np.maximum(rows, self._reference_row)
+        self._zero_counts = (self._merged == 0).sum(axis=1)
+        self._register_sums = self._merged.sum(axis=1, dtype=np.int64)
+        self._linear_table, self._extrapolation_table = (
+            register_cardinality_tables(buckets)
+        )
+        self._threshold = buckets * 0.3
+        self._cards = np.asarray(cards, dtype=np.float64)
+        self._active = active
+        self._cand_empty = (rows == 0).all(axis=1)
+        self._maintained = active & ~self._cand_empty
+
+    def refresh_reference(self, reference) -> np.ndarray:
+        new_row = pack_register_row(reference)
+        touched = np.zeros(len(self._merged), dtype=bool)
+        changed = np.nonzero(new_row > self._reference_row)[0]
+        for bucket in changed.tolist():
+            value = new_row[bucket]
+            column = self._merged[:, bucket]
+            affected = (column < value) & self._maintained
+            if affected.any():
+                old_values = column[affected].astype(np.int64)
+                self._register_sums[affected] += int(value) - old_values
+                self._zero_counts[affected] -= old_values == 0
+                self._merged[affected, bucket] = value
+                touched |= affected
+        self._reference_row = new_row
+        return touched
+
+    def rescore(self, reference_cardinality: float) -> np.ndarray:
+        estimate = np.where(
+            self._zero_counts > self._threshold,
+            self._linear_table[self._zero_counts],
+            self._extrapolation_table[self._register_sums],
+        )
+        novelty = np.minimum(
+            np.maximum(0.0, estimate - reference_cardinality), self._cards
+        )
+        novelty = np.where(self._cand_empty, 0.0, novelty)
+        novelty[~self._active] = 0.0
+        return novelty
+
+
+_CELF_COLUMNS = (_BloomColumn,)
+
+_COLUMN_TYPES = {
+    BloomFilter: _BloomColumn,
+    MinWisePermutations: _MipsColumn,
+    HashSketch: _HashSketchColumn,
+    LogLogCounter: _LogLogColumn,
+}
+
+
+def _make_column(synopses, cards, active, reference):
+    column_type = _COLUMN_TYPES.get(type(reference))
+    if column_type is None:
+        raise FastPathUnsupported(
+            f"no vectorized kernel for {type(reference).__name__}"
+        )
+    return column_type(synopses, cards, active, reference)
+
+
+# -- strategy adapters -------------------------------------------------------
+
+
+class _PerPeerAdapter:
+    """Single column over per-candidate combined query synopses."""
+
+    def __init__(self, aggregation: PerPeerAggregation, context: RoutingContext,
+                 candidates: list[CandidatePeer]):
+        self.aggregation = aggregation
+        self.state = aggregation.start(context)
+        synopses, cards, active = [], [], []
+        for candidate in candidates:
+            combined, cardinality = aggregation.combine(self.state, candidate)
+            ok = combined is not None and cardinality > 0.0
+            synopses.append(combined if ok else None)
+            cards.append(cardinality if ok else 0.0)
+            active.append(ok)
+        if any(card < 0.0 for card in cards):
+            raise FastPathUnsupported("negative candidate cardinality")
+        active_mask = np.asarray(active, dtype=bool)
+        self.columns = [
+            _make_column(synopses, cards, active_mask, self.state.reference)
+        ]
+
+    def references(self):
+        return [self.state.reference]
+
+    def reference_cardinalities(self):
+        return [self.state.reference_cardinality]
+
+    def absorb(self, candidate: CandidatePeer) -> None:
+        self.aggregation.absorb(self.state, candidate)
+
+    def coverage(self) -> float:
+        return self.aggregation.estimated_coverage(self.state)
+
+
+class _PerTermAdapter:
+    """One column per query term over the posted term synopses."""
+
+    def __init__(self, aggregation: PerTermAggregation, context: RoutingContext,
+                 candidates: list[CandidatePeer]):
+        self.aggregation = aggregation
+        self.state = aggregation.start(context)
+        self.terms = list(context.query.terms)
+        self.columns = []
+        for term in self.terms:
+            synopses, cards, active = [], [], []
+            for candidate in candidates:
+                post = candidate.post(term)
+                ok = (
+                    post is not None
+                    and post.synopsis is not None
+                    and post.cdf != 0
+                )
+                synopses.append(post.synopsis if ok else None)
+                cards.append(float(post.cdf) if ok else 0.0)
+                active.append(ok)
+            if any(card < 0.0 for card in cards):
+                raise FastPathUnsupported("negative candidate cardinality")
+            self.columns.append(
+                _make_column(
+                    synopses,
+                    cards,
+                    np.asarray(active, dtype=bool),
+                    self.state.references[term],
+                )
+            )
+
+    def references(self):
+        return [self.state.references[term] for term in self.terms]
+
+    def reference_cardinalities(self):
+        return [self.state.reference_cardinalities[term] for term in self.terms]
+
+    def absorb(self, candidate: CandidatePeer) -> None:
+        self.aggregation.absorb(self.state, candidate)
+
+    def coverage(self) -> float:
+        return self.aggregation.estimated_coverage(self.state)
+
+
+# -- drivers -----------------------------------------------------------------
+
+
+class _ReversedStr:
+    """Inverts string ordering so a *min*-heap pops the *largest* peer id.
+
+    The naive loop breaks full ties by the largest peer id (the third
+    tuple component under strict ``>``); negating the float components
+    and reversing the string component makes heap order match exactly.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: str):
+        self.value = value
+
+    def __lt__(self, other: "_ReversedStr") -> bool:
+        return other.value < self.value
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _ReversedStr) and self.value == other.value
+
+
+def _eval_one(columns, index: int) -> float:
+    total = 0.0
+    for column in columns:
+        total += column.eval_one(index)
+    return total
+
+
+def _run_celf(adapter, candidates, qualities_array, peer_ids, stopping,
+              max_peers, stats):
+    columns = adapter.columns
+    novelty = columns[0].batch()
+    for column in columns[1:]:
+        novelty = novelty + column.batch()
+    count = len(candidates)
+    stats.novelty_evaluations += count
+    round_no = 0
+    heap = [
+        (
+            -(qualities_array[i] * novelty[i]),
+            -qualities_array[i],
+            _ReversedStr(peer_ids[i]),
+            i,
+            round_no,
+            float(novelty[i]),
+        )
+        for i in range(count)
+    ]
+    heapq.heapify(heap)
+    plan: list[tuple[str, float, float]] = []
+    while heap and len(plan) < max_peers:
+        stats.rounds += 1
+        stats.naive_evaluations += len(heap)
+        while True:
+            entry = heap[0]
+            if entry[4] == round_no:
+                break
+            heapq.heappop(heap)
+            index = entry[3]
+            value = _eval_one(columns, index)
+            stats.novelty_evaluations += 1
+            if value > entry[5]:
+                # Monotonicity bound violated — provably impossible for
+                # Bloom, but correctness must not rest on the proof:
+                # refresh every stale entry and re-heapify.
+                stats.bound_refreshes += 1
+                fresh = [(index, value)]
+                while heap:
+                    stale = heapq.heappop(heap)
+                    other = stale[3]
+                    fresh_value = (
+                        _eval_one(columns, other)
+                        if stale[4] != round_no
+                        else stale[5]
+                    )
+                    if stale[4] != round_no:
+                        stats.novelty_evaluations += 1
+                    fresh.append((other, fresh_value))
+                for other, fresh_value in fresh:
+                    heapq.heappush(
+                        heap,
+                        (
+                            -(qualities_array[other] * fresh_value),
+                            -qualities_array[other],
+                            _ReversedStr(peer_ids[other]),
+                            other,
+                            round_no,
+                            fresh_value,
+                        ),
+                    )
+                continue
+            heapq.heappush(
+                heap,
+                (
+                    -(qualities_array[index] * value),
+                    -qualities_array[index],
+                    _ReversedStr(peer_ids[index]),
+                    index,
+                    round_no,
+                    value,
+                ),
+            )
+        _, _, _, best, _, best_novelty = heapq.heappop(heap)
+        plan.append((peer_ids[best], float(qualities_array[best]), best_novelty))
+        adapter.absorb(candidates[best])
+        stats.novelty_evaluations += 1  # absorb's internal gain recompute
+        for column, reference in zip(adapter.columns, adapter.references()):
+            column.refresh_reference(reference)
+        round_no += 1
+        if stopping.should_stop(
+            selected_count=len(plan),
+            estimated_coverage=adapter.coverage(),
+            last_novelty=best_novelty,
+        ):
+            break
+    return plan
+
+
+def _total_novelty(columns, reference_cardinalities) -> np.ndarray:
+    total = columns[0].rescore(reference_cardinalities[0])
+    for column, cardinality in zip(columns[1:], reference_cardinalities[1:]):
+        total = total + column.rescore(cardinality)
+    return total
+
+
+def _argmax_with_ties(scores, qualities_array, peer_ids, alive) -> int:
+    masked = np.where(alive, scores, -np.inf)
+    top = masked.max()
+    tied = np.nonzero(alive & (masked == top))[0]
+    if tied.size == 1:
+        return int(tied[0])
+    return max(
+        tied.tolist(), key=lambda i: (qualities_array[i], peer_ids[i])
+    )
+
+
+def _run_incremental(adapter, candidates, qualities_array, peer_ids, stopping,
+                     max_peers, stats):
+    columns = adapter.columns
+    count = len(candidates)
+    alive = np.ones(count, dtype=bool)
+    novelty = _total_novelty(columns, adapter.reference_cardinalities())
+    stats.novelty_evaluations += count
+    plan: list[tuple[str, float, float]] = []
+    while len(plan) < max_peers and alive.any():
+        stats.rounds += 1
+        stats.naive_evaluations += int(alive.sum())
+        scores = qualities_array * novelty
+        best = _argmax_with_ties(scores, qualities_array, peer_ids, alive)
+        best_novelty = float(novelty[best])
+        plan.append((peer_ids[best], float(qualities_array[best]), best_novelty))
+        alive[best] = False
+        adapter.absorb(candidates[best])
+        stats.novelty_evaluations += 1  # absorb's internal gain recompute
+        touched = np.zeros(count, dtype=bool)
+        for column, reference in zip(columns, adapter.references()):
+            touched |= column.refresh_reference(reference)
+        touched &= alive
+        stats.novelty_evaluations += int(touched.sum())
+        novelty = _total_novelty(columns, adapter.reference_cardinalities())
+        if stopping.should_stop(
+            selected_count=len(plan),
+            estimated_coverage=adapter.coverage(),
+            last_novelty=best_novelty,
+        ):
+            break
+    return plan
+
+
+# -- entry point -------------------------------------------------------------
+
+
+def fast_rank_detailed(
+    context: RoutingContext,
+    aggregation,
+    qualities: dict[str, float],
+    stopping: StoppingCriterion,
+    max_peers: int,
+) -> tuple[list[tuple[str, float, float]], RoutingStats]:
+    """Run Select-Best-Peer on the fast path.
+
+    Returns ``(plan, stats)`` where plan entries are
+    ``(peer_id, quality, novelty)`` tuples bit-identical to the naive
+    loop's selections.  Raises :class:`FastPathUnsupported` — always
+    *before* mutating any shared state — when the configuration needs
+    the naive reference implementation (exotic aggregation strategies,
+    mixed synopsis parameters, unsupported families).
+    """
+    aggregation_type = type(aggregation)
+    candidates = context.candidates()
+    if aggregation_type is PerPeerAggregation:
+        adapter = _PerPeerAdapter(aggregation, context, candidates)
+    elif aggregation_type is PerTermAggregation:
+        adapter = _PerTermAdapter(aggregation, context, candidates)
+    else:
+        raise FastPathUnsupported(
+            f"no fast path for aggregation strategy {aggregation_type.__name__}"
+        )
+    celf = isinstance(adapter.columns[0], _CELF_COLUMNS)
+    stats = RoutingStats(
+        mode="celf" if celf else "incremental", candidates=len(candidates)
+    )
+    peer_ids = [candidate.peer_id for candidate in candidates]
+    qualities_array = np.array(
+        [qualities[peer_id] for peer_id in peer_ids], dtype=np.float64
+    )
+    driver = _run_celf if celf else _run_incremental
+    plan = driver(
+        adapter, candidates, qualities_array, peer_ids, stopping, max_peers, stats
+    )
+    return plan, stats

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from ..routing.base import PeerSelector, RoutingContext
 from ..routing.cori import CORI_ALPHA, cori_scores
 from .aggregation import AggregationStrategy, PerPeerAggregation
+from .fastpath import FastPathUnsupported, RoutingStats, fast_rank_detailed
 from .stopping import MaxPeers, StoppingCriterion
 
 __all__ = ["IQNSelection", "IQNRouter"]
@@ -59,6 +60,17 @@ class IQNRouter(PeerSelector):
         simplicity, best refers to highest novelty here").
     alpha:
         CORI's default-belief parameter for the quality component.
+    fast_path:
+        Use the vectorized + lazy-greedy Select-Best-Peer implementation
+        (:mod:`repro.core.fastpath`) when the configuration supports it,
+        falling back to the naive loop otherwise.  Plans are bit-identical
+        either way; disable only to benchmark or debug against the naive
+        reference implementation.
+
+    After every :meth:`rank_detailed` call, :attr:`last_stats` holds a
+    :class:`~repro.core.fastpath.RoutingStats` describing the work done
+    (evaluation counts, rounds, which path ran).  It is diagnostic state
+    belonging to the most recent call on this router instance.
     """
 
     def __init__(
@@ -68,11 +80,14 @@ class IQNRouter(PeerSelector):
         stopping: StoppingCriterion | None = None,
         quality_weighted: bool = True,
         alpha: float = CORI_ALPHA,
+        fast_path: bool = True,
     ):
         self.aggregation = aggregation or PerPeerAggregation()
         self.stopping = stopping
         self.quality_weighted = quality_weighted
         self.alpha = alpha
+        self.fast_path = fast_path
+        self.last_stats: RoutingStats | None = None
 
     def rank(self, context: RoutingContext, max_peers: int) -> list[str]:
         return [
@@ -86,17 +101,37 @@ class IQNRouter(PeerSelector):
         self._check_max_peers(max_peers)
         candidates = {c.peer_id: c for c in context.candidates()}
         if not candidates:
+            self.last_stats = RoutingStats(mode="empty", candidates=0)
             return []
         qualities = (
             cori_scores(context, alpha=self.alpha)
             if self.quality_weighted
             else {peer_id: 1.0 for peer_id in candidates}
         )
-        state = self.aggregation.start(context)
         stopping = self.stopping or MaxPeers(max_peers)
+
+        if self.fast_path:
+            try:
+                plan_rows, stats = fast_rank_detailed(
+                    context, self.aggregation, qualities, stopping, max_peers
+                )
+            except FastPathUnsupported:
+                pass  # configurations the kernels can't represent exactly
+            else:
+                self.last_stats = stats
+                return [
+                    IQNSelection(peer_id=peer_id, quality=quality, novelty=novelty)
+                    for peer_id, quality, novelty in plan_rows
+                ]
+
+        stats = RoutingStats(mode="naive", candidates=len(candidates))
+        state = self.aggregation.start(context)
 
         plan: list[IQNSelection] = []
         while candidates and len(plan) < max_peers:
+            stats.rounds += 1
+            stats.novelty_evaluations += len(candidates)
+            stats.naive_evaluations += len(candidates)
             # Select-Best-Peer: maximize quality * novelty; break ties by
             # quality, then peer id, for deterministic plans.
             best_id = None
@@ -127,6 +162,7 @@ class IQNRouter(PeerSelector):
                 last_novelty=best_novelty,
             ):
                 break
+        self.last_stats = stats
         return plan
 
     @property

@@ -20,6 +20,7 @@ forward to the selected peers and merge their local top-k results.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from ..datasets.queries import Query
 from ..dht.hashing import DEFAULT_ID_BITS, chord_id
@@ -36,6 +37,9 @@ from ..synopses.factory import SynopsisSpec
 from .directory import Directory
 from .peer import Peer
 from .posts import PeerList
+
+if TYPE_CHECKING:  # annotation only — avoids a core/minerva import cycle
+    from ..core.fastpath import RoutingStats
 
 __all__ = ["QueryOutcome", "MinervaEngine"]
 
@@ -66,6 +70,9 @@ class QueryOutcome:
     reference_ids: frozenset[int]
     cost: CostSnapshot
     per_peer_results: dict[str, tuple[ScoredDocument, ...]] = field(repr=False)
+    #: Routing work counters from the selector's last rank call (selectors
+    #: without instrumentation — anything but IQNRouter — leave this None).
+    routing_stats: "RoutingStats | None" = field(default=None, repr=False)
 
     @property
     def final_recall(self) -> float:
@@ -423,6 +430,7 @@ class MinervaEngine:
             peer_list_limit=peer_list_limit,
         )
         selected = selector.rank(context, max_peers)
+        routing_stats = getattr(selector, "last_stats", None)
         per_peer = self.execute(query, selected, k=peer_k, conjunctive=conjunctive)
         cost = self.cost.snapshot() - before
 
@@ -455,6 +463,7 @@ class MinervaEngine:
             reference_ids=reference,
             cost=cost,
             per_peer_results=per_peer,
+            routing_stats=routing_stats,
         )
 
     def run_query_networked(

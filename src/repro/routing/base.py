@@ -58,7 +58,16 @@ class CandidatePeer:
 
 @dataclass
 class RoutingContext:
-    """Everything a selector may use to rank peers for one query."""
+    """Everything a selector may use to rank peers for one query.
+
+    A context is a per-query snapshot: the PeerLists it references are
+    treated as frozen for the context's lifetime, which lets the derived
+    views (:meth:`candidates`, :attr:`average_term_space_size`) be
+    computed once and cached.  Selectors call both repeatedly — the IQN
+    hot path asks for the candidate list and the CORI quality scores on
+    every query — so the caches turn two full PeerList sweeps per call
+    into dictionary-free lookups.
+    """
 
     query: Query
     peer_lists: dict[str, PeerList]
@@ -73,20 +82,26 @@ class RoutingContext:
         missing = set(self.query.terms) - set(self.peer_lists)
         if missing:
             raise ValueError(f"peer_lists missing query terms: {sorted(missing)}")
+        self._candidates_cache: list[CandidatePeer] | None = None
+        self._avg_term_space_cache: float | None = None
 
     def candidates(self) -> list[CandidatePeer]:
         """All peers appearing in any query term's PeerList, minus the
-        initiator (a peer never forwards a query to itself)."""
+        initiator (a peer never forwards a query to itself).  Cached;
+        callers must not mutate the returned list."""
+        if self._candidates_cache is not None:
+            return self._candidates_cache
         posts_by_peer: dict[str, dict[str, Post]] = {}
         for term in self.query.terms:
             for post in self.peer_lists[term]:
                 posts_by_peer.setdefault(post.peer_id, {})[term] = post
         if self.initiator is not None:
             posts_by_peer.pop(self.initiator.peer_id, None)
-        return [
+        self._candidates_cache = [
             CandidatePeer(peer_id=peer_id, posts=posts)
             for peer_id, posts in sorted(posts_by_peer.items())
         ]
+        return self._candidates_cache
 
     def collection_frequency(self, term: str) -> int:
         """CORI's ``cf_t``: number of peers that posted the term."""
@@ -97,15 +112,20 @@ class RoutingContext:
         """CORI's ``|V_avg|`` approximated over the fetched PeerLists.
 
         Section 5.1: "We approximate this value by the average over all
-        collections found in the PeerLists."
+        collections found in the PeerLists."  Cached per context.
         """
+        if self._avg_term_space_cache is not None:
+            return self._avg_term_space_cache
         sizes: dict[str, int] = {}
         for peer_list in self.peer_lists.values():
             for post in peer_list:
                 sizes[post.peer_id] = post.term_space_size
         if not sizes:
-            return 1.0
-        return sum(sizes.values()) / len(sizes)
+            average = 1.0
+        else:
+            average = sum(sizes.values()) / len(sizes)
+        self._avg_term_space_cache = average
+        return average
 
 
 class PeerSelector(abc.ABC):

@@ -31,9 +31,17 @@ from typing import Iterable
 import numpy as np
 
 from .base import IncompatibleSynopsesError, SetSynopsis
-from .hashing import uniform_hash, uniform_hash_array
+from .hashing import ids_to_uint64_array, uniform_hash, uniform_hash_array
 
-__all__ = ["BloomFilter", "optimal_num_hashes"]
+__all__ = [
+    "BloomFilter",
+    "optimal_num_hashes",
+    "cardinality_from_popcount",
+    "popcount_cardinality_table",
+    "pack_bit_row",
+    "pack_bit_rows",
+    "batch_difference_popcounts",
+]
 
 
 def optimal_num_hashes(num_bits: int, expected_items: int) -> int:
@@ -48,6 +56,74 @@ def optimal_num_hashes(num_bits: int, expected_items: int) -> int:
     if expected_items <= 0:
         return 1
     return max(1, round(num_bits / expected_items * math.log(2)))
+
+
+def cardinality_from_popcount(bit_count: int, num_bits: int, num_hashes: int) -> float:
+    """Invert the fill ratio ``t/m`` to a cardinality estimate.
+
+    Single source of truth for the linear-counting inversion: both
+    :meth:`BloomFilter.estimate_cardinality` and the vectorized routing
+    kernels (via :func:`popcount_cardinality_table`) call this scalar, so
+    batched estimates are bit-identical to per-object ones.
+    """
+    t = bit_count
+    m = num_bits
+    if t == 0:
+        return 0.0
+    if t >= m:
+        # Saturated filter: the inversion diverges; report the value
+        # for one unset bit as a finite (huge) upper estimate.
+        t = m - 1
+    return math.log1p(-t / m) / (num_hashes * math.log1p(-1.0 / m))
+
+
+def popcount_cardinality_table(num_bits: int, num_hashes: int) -> np.ndarray:
+    """Cardinality estimates for every possible popcount ``0 .. m``.
+
+    Indexing this table with an integer popcount array vectorizes the
+    inversion without touching transcendental functions in NumPy (whose
+    libm may differ from :mod:`math` by ULPs — the table keeps batched
+    and scalar paths exactly equal).
+    """
+    return np.array(
+        [
+            cardinality_from_popcount(t, num_bits, num_hashes)
+            for t in range(num_bits + 1)
+        ],
+        dtype=np.float64,
+    )
+
+
+def pack_bit_row(bits: int, num_bits: int) -> np.ndarray:
+    """Pack one big-int bit vector into a little-endian ``uint64`` row."""
+    num_words = (num_bits + 63) // 64
+    return np.frombuffer(
+        bits.to_bytes(num_words * 8, "little"), dtype="<u8"
+    ).copy()
+
+
+def pack_bit_rows(bit_vectors, num_bits: int) -> np.ndarray:
+    """Pack big-int bit vectors into a ``(C, ceil(m/64))`` uint64 matrix."""
+    num_words = (num_bits + 63) // 64
+    vectors = list(bit_vectors)
+    if not vectors:
+        return np.zeros((0, num_words), dtype=np.uint64)
+    payload = b"".join(b.to_bytes(num_words * 8, "little") for b in vectors)
+    rows = np.frombuffer(payload, dtype="<u8").reshape(len(vectors), num_words)
+    return rows.copy()
+
+
+def batch_difference_popcounts(rows: np.ndarray, reference_row: np.ndarray) -> np.ndarray:
+    """Popcount of ``row AND NOT reference`` for every packed row.
+
+    One vectorized pass over the candidate matrix replaces C big-int
+    difference constructions — the Bloom novelty hot loop (Section 5.2's
+    ``bf_p AND NOT bf_ref``) reduced to two bitwise ops and a popcount.
+    """
+    diff = rows & ~reference_row
+    if hasattr(np, "bitwise_count"):
+        return np.bitwise_count(diff).sum(axis=1, dtype=np.int64)
+    return np.unpackbits(diff.view(np.uint8), axis=1).sum(axis=1, dtype=np.int64)
 
 
 class BloomFilter(SetSynopsis):
@@ -65,7 +141,7 @@ class BloomFilter(SetSynopsis):
         Hash-family seed; must be shared network-wide.
     """
 
-    __slots__ = ("_num_bits", "_num_hashes", "_seed", "_bits")
+    __slots__ = ("_num_bits", "_num_hashes", "_seed", "_bits", "_bit_count")
 
     def __init__(self, num_bits: int, num_hashes: int, seed: int = 0, _bits: int = 0):
         if num_bits <= 0:
@@ -78,6 +154,7 @@ class BloomFilter(SetSynopsis):
         self._num_hashes = num_hashes
         self._seed = seed
         self._bits = _bits
+        self._bit_count: int | None = None
 
     # -- construction ----------------------------------------------------
 
@@ -96,9 +173,7 @@ class BloomFilter(SetSynopsis):
         and deduplicated before the bit vector is assembled, identical
         bit-for-bit to inserting ids one at a time.
         """
-        id_array = np.fromiter(
-            (i & ((1 << 64) - 1) for i in ids), dtype=np.uint64
-        )
+        id_array = ids_to_uint64_array(ids)
         if id_array.size == 0:
             return cls(num_bits, num_hashes, seed, 0)
         positions: set[int] = set()
@@ -138,15 +213,9 @@ class BloomFilter(SetSynopsis):
     # -- estimation ------------------------------------------------------
 
     def estimate_cardinality(self) -> float:
-        t = self.bit_count
-        m = self._num_bits
-        if t == 0:
-            return 0.0
-        if t >= m:
-            # Saturated filter: the inversion diverges; report the value
-            # for one unset bit as a finite (huge) upper estimate.
-            t = m - 1
-        return math.log1p(-t / m) / (self._num_hashes * math.log1p(-1.0 / m))
+        return cardinality_from_popcount(
+            self.bit_count, self._num_bits, self._num_hashes
+        )
 
     def estimate_resemblance(self, other: SetSynopsis) -> float:
         self.check_compatible(other)
@@ -211,9 +280,16 @@ class BloomFilter(SetSynopsis):
         return self._seed
 
     @property
+    def raw_bits(self) -> int:
+        """The bit vector as a non-negative integer (bit ``i`` = slot ``i``)."""
+        return self._bits
+
+    @property
     def bit_count(self) -> int:
-        """Number of set bits ``t`` in the vector."""
-        return self._bits.bit_count()
+        """Number of set bits ``t`` in the vector (cached — immutable)."""
+        if self._bit_count is None:
+            self._bit_count = self._bits.bit_count()
+        return self._bit_count
 
     @property
     def fill_fraction(self) -> float:

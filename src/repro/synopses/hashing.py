@@ -21,6 +21,7 @@ import numpy as np
 
 __all__ = [
     "MERSENNE_PRIME_61",
+    "ids_to_uint64_array",
     "splitmix64",
     "splitmix64_array",
     "uniform_hash",
@@ -35,6 +36,38 @@ __all__ = [
 MERSENNE_PRIME_61 = (1 << 61) - 1
 
 _MASK64 = (1 << 64) - 1
+
+
+def ids_to_uint64_array(ids) -> np.ndarray:
+    """Convert an iterable of integer ids to a ``uint64`` array, mod 2^64.
+
+    Shared by every synopsis ``from_ids`` constructor so the wrap-around
+    semantics (``id & (2^64 - 1)``) are defined in exactly one place.
+    The common case — ids that already fit in 64 bits — converts through
+    a single bulk ``np.array`` call instead of a per-element Python
+    generator; arbitrary-precision or negative ids fall back to the
+    explicit masked path with identical results.
+    """
+    if isinstance(ids, np.ndarray):
+        if ids.dtype == np.uint64:
+            return ids
+        if ids.dtype.kind in "iu":
+            return ids.astype(np.uint64)
+        ids = ids.tolist()
+    id_list = ids if isinstance(ids, (list, tuple)) else list(ids)
+    if not id_list:
+        return np.empty(0, dtype=np.uint64)
+    try:
+        array = np.asarray(id_list)
+    except OverflowError:
+        array = None
+    if array is not None and array.dtype.kind in "iu":
+        return array.astype(np.uint64)
+    # Arbitrary-precision ids (object dtype) wrap explicitly; non-integer
+    # inputs raise TypeError from the bitwise mask, as before.
+    return np.fromiter(
+        (i & _MASK64 for i in id_list), dtype=np.uint64, count=len(id_list)
+    )
 
 
 def splitmix64(x: int) -> int:

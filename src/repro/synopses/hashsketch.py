@@ -37,12 +37,81 @@ from .base import (
     SetSynopsis,
     UnsupportedOperationError,
 )
-from .hashing import uniform_hash_array
+from .hashing import ids_to_uint64_array, uniform_hash_array
 
-__all__ = ["HashSketch", "PCSA_PHI"]
+__all__ = [
+    "HashSketch",
+    "PCSA_PHI",
+    "cardinality_from_rho_sum",
+    "rho_sum_cardinality_table",
+    "pack_bitmap_row",
+    "pack_bitmap_rows",
+    "first_zero_positions",
+]
 
 #: Flajolet–Martin bias correction constant.
 PCSA_PHI = 0.77351
+
+
+def cardinality_from_rho_sum(rho_sum: int, num_bitmaps: int) -> float:
+    """PCSA estimate from the *sum* of per-bucket ``R`` statistics.
+
+    Same arithmetic as :meth:`HashSketch.estimate_cardinality` (which
+    calls this), factored out so the vectorized routing kernels can
+    tabulate it per integer ``ΣR`` and stay bit-identical to the scalar
+    path.  Callers must handle the empty-sketch case themselves.
+    """
+    mean_r = rho_sum / num_bitmaps
+    return (num_bitmaps / PCSA_PHI) * (2.0**mean_r)
+
+
+def rho_sum_cardinality_table(num_bitmaps: int, bitmap_length: int) -> np.ndarray:
+    """Estimates for every possible ``ΣR`` in ``0 .. m * L``."""
+    return np.array(
+        [
+            cardinality_from_rho_sum(total, num_bitmaps)
+            for total in range(num_bitmaps * bitmap_length + 1)
+        ],
+        dtype=np.float64,
+    )
+
+
+def pack_bitmap_row(synopsis: "HashSketch") -> np.ndarray:
+    """One sketch's bucket bitmaps as a ``uint64`` row (requires L <= 64)."""
+    return np.fromiter(
+        synopsis._bitmaps, dtype=np.uint64, count=synopsis._num_bitmaps
+    )
+
+
+def pack_bitmap_rows(synopses, num_bitmaps: int) -> np.ndarray:
+    """Stack sketches into a ``(C, m)`` uint64 bitmap matrix.
+
+    ``None`` entries become all-zero rows (the empty sketch) so row
+    indices stay aligned with the candidate list.
+    """
+    rows = np.zeros((len(synopses), num_bitmaps), dtype=np.uint64)
+    for index, synopsis in enumerate(synopses):
+        if synopsis is not None:
+            rows[index] = pack_bitmap_row(synopsis)
+    return rows
+
+
+def first_zero_positions(bitmaps: np.ndarray, bitmap_length: int) -> np.ndarray:
+    """Vectorized :meth:`HashSketch._first_zero` over a bitmap array.
+
+    The lowest unset bit of ``b`` is the lowest set bit of ``~b``;
+    isolating it with ``x & -x`` gives an exact power of two whose
+    ``log2`` (exact in float64 up to 2^63) is the position.  All-ones
+    bitmaps yield ``bitmap_length``, matching the scalar cap.
+    """
+    mask = np.uint64((1 << bitmap_length) - 1)
+    inverted = ~bitmaps & mask
+    positions = np.full(bitmaps.shape, bitmap_length, dtype=np.int64)
+    nonzero = inverted != 0
+    lowest = inverted[nonzero]
+    lowest = lowest & (np.uint64(0) - lowest)
+    positions[nonzero] = np.log2(lowest.astype(np.float64)).astype(np.int64)
+    return positions
 
 
 def _rho(value: int, limit: int) -> int:
@@ -69,7 +138,7 @@ class HashSketch(SetSynopsis):
         Hash seed shared network-wide.
     """
 
-    __slots__ = ("_num_bitmaps", "_bitmap_length", "_seed", "_bitmaps")
+    __slots__ = ("_num_bitmaps", "_bitmap_length", "_seed", "_bitmaps", "_cardinality")
 
     def __init__(
         self,
@@ -96,6 +165,7 @@ class HashSketch(SetSynopsis):
         self._bitmap_length = bitmap_length
         self._seed = seed
         self._bitmaps = tuple(int(b) for b in bitmaps)
+        self._cardinality: float | None = None
 
     # -- construction ----------------------------------------------------
 
@@ -115,9 +185,7 @@ class HashSketch(SetSynopsis):
         result is bit-identical to scalar insertion via
         ``uniform_hash``/:func:`_rho`.
         """
-        id_array = np.fromiter(
-            (i & ((1 << 64) - 1) for i in ids), dtype=np.uint64
-        )
+        id_array = ids_to_uint64_array(ids)
         bitmaps = [0] * num_bitmaps
         if id_array.size:
             hashed = uniform_hash_array(id_array, seed)
@@ -152,10 +220,15 @@ class HashSketch(SetSynopsis):
         return r
 
     def estimate_cardinality(self) -> float:
+        if self._cardinality is not None:
+            return self._cardinality
         if self.is_empty:
-            return 0.0
-        mean_r = sum(self._first_zero(b) for b in self._bitmaps) / self._num_bitmaps
-        return (self._num_bitmaps / PCSA_PHI) * (2.0**mean_r)
+            estimate = 0.0
+        else:
+            rho_sum = sum(self._first_zero(b) for b in self._bitmaps)
+            estimate = cardinality_from_rho_sum(rho_sum, self._num_bitmaps)
+        self._cardinality = estimate
+        return estimate
 
     def estimate_resemblance(self, other: SetSynopsis) -> float:
         """Inclusion–exclusion resemblance from cardinality estimates."""

@@ -27,6 +27,8 @@ from __future__ import annotations
 import math
 from typing import Iterable, Sequence
 
+import numpy as np
+
 from .base import (
     IncompatibleSynopsesError,
     SetSynopsis,
@@ -34,7 +36,15 @@ from .base import (
 )
 from .hashing import uniform_hash
 
-__all__ = ["LogLogCounter", "LOGLOG_ALPHA", "REGISTER_BITS"]
+__all__ = [
+    "LogLogCounter",
+    "LOGLOG_ALPHA",
+    "REGISTER_BITS",
+    "cardinality_from_register_stats",
+    "register_cardinality_tables",
+    "pack_register_row",
+    "pack_register_rows",
+]
 
 #: Asymptotic bias-correction constant of the LogLog estimator.
 LOGLOG_ALPHA = 0.39701
@@ -49,10 +59,73 @@ _MAX_RHO = (1 << REGISTER_BITS) - 1
 _TRUNCATION = 0.7
 
 
+def cardinality_from_register_stats(
+    empty_count: int, register_sum: int, num_buckets: int
+) -> float:
+    """LogLog estimate from the register histogram's sufficient statistics.
+
+    ``empty_count`` drives the small-range linear-counting branch,
+    ``register_sum`` the ``2^mean`` extrapolation — exactly the
+    arithmetic of :meth:`LogLogCounter.estimate_cardinality` (which
+    calls this).  Callers handle the all-empty case themselves.
+    """
+    if empty_count > num_buckets * 0.3:
+        return num_buckets * math.log(num_buckets / empty_count)
+    mean_register = register_sum / num_buckets
+    return LOGLOG_ALPHA * num_buckets * (2.0**mean_register)
+
+
+def register_cardinality_tables(num_buckets: int) -> tuple[np.ndarray, np.ndarray]:
+    """``(linear_counting, extrapolation)`` lookup tables for batching.
+
+    ``linear_counting[e]`` is the small-range estimate for ``e`` empty
+    registers (``e = 0`` is a placeholder — that branch never fires for
+    it); ``extrapolation[s]`` the ``2^mean`` estimate for register sum
+    ``s``.  Tabulating the scalar function keeps vectorized selection
+    bit-identical to per-object estimation.
+    """
+    linear = np.array(
+        [np.inf]
+        + [
+            cardinality_from_register_stats(e, 0, num_buckets)
+            for e in range(1, num_buckets + 1)
+        ],
+        dtype=np.float64,
+    )
+    extrapolation = np.array(
+        [
+            cardinality_from_register_stats(0, s, num_buckets)
+            for s in range(num_buckets * _MAX_RHO + 1)
+        ],
+        dtype=np.float64,
+    )
+    return linear, extrapolation
+
+
+def pack_register_row(synopsis: "LogLogCounter") -> np.ndarray:
+    """One counter's registers as a ``uint8`` row."""
+    return np.fromiter(
+        synopsis._registers, dtype=np.uint8, count=synopsis._num_buckets
+    )
+
+
+def pack_register_rows(synopses, num_buckets: int) -> np.ndarray:
+    """Stack counters into a ``(C, m)`` uint8 register matrix.
+
+    ``None`` entries become all-zero rows (the empty counter) so row
+    indices stay aligned with the candidate list.
+    """
+    rows = np.zeros((len(synopses), num_buckets), dtype=np.uint8)
+    for index, synopsis in enumerate(synopses):
+        if synopsis is not None:
+            rows[index] = pack_register_row(synopsis)
+    return rows
+
+
 class LogLogCounter(SetSynopsis):
     """Immutable (super-)LogLog cardinality sketch."""
 
-    __slots__ = ("_num_buckets", "_seed", "_registers")
+    __slots__ = ("_num_buckets", "_seed", "_registers", "_cardinality")
 
     def __init__(
         self,
@@ -74,6 +147,7 @@ class LogLogCounter(SetSynopsis):
         self._num_buckets = num_buckets
         self._seed = seed
         self._registers = tuple(int(r) for r in registers)
+        self._cardinality: float | None = None
 
     # -- construction ----------------------------------------------------
 
@@ -106,17 +180,22 @@ class LogLogCounter(SetSynopsis):
     # -- estimation ------------------------------------------------------
 
     def estimate_cardinality(self) -> float:
-        """Plain LogLog estimate with small-range linear counting."""
+        """Plain LogLog estimate with small-range linear counting.
+
+        With many untouched buckets, linear counting on the "bucket hit"
+        pattern is far more accurate than the ``2^mean`` extrapolation;
+        :func:`cardinality_from_register_stats` picks the branch.
+        """
+        if self._cardinality is not None:
+            return self._cardinality
         if self.is_empty:
-            return 0.0
-        empty = self._registers.count(0)
-        # Small-range correction: with many untouched buckets, linear
-        # counting on the "bucket hit" pattern is far more accurate than
-        # the 2^mean extrapolation.
-        if empty > self._num_buckets * 0.3:
-            return self._num_buckets * math.log(self._num_buckets / empty)
-        mean_register = sum(self._registers) / self._num_buckets
-        return LOGLOG_ALPHA * self._num_buckets * (2.0**mean_register)
+            estimate = 0.0
+        else:
+            estimate = cardinality_from_register_stats(
+                self._registers.count(0), sum(self._registers), self._num_buckets
+            )
+        self._cardinality = estimate
+        return estimate
 
     def estimate_cardinality_super(self) -> float:
         """Super-LogLog: average the smallest 70% of registers only."""

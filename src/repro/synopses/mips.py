@@ -40,9 +40,16 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from .base import IncompatibleSynopsesError, SetSynopsis
-from .hashing import LinearHashFamily
+from .hashing import LinearHashFamily, ids_to_uint64_array
 
-__all__ = ["MinWisePermutations", "MIPS_MODULUS", "BITS_PER_POSITION"]
+__all__ = [
+    "MinWisePermutations",
+    "MIPS_MODULUS",
+    "BITS_PER_POSITION",
+    "pack_minima_row",
+    "pack_minima_rows",
+    "batch_match_counts",
+]
 
 #: Modulus of the MIPs permutation family: the Mersenne prime 2^31 - 1.
 MIPS_MODULUS = (1 << 31) - 1
@@ -68,6 +75,38 @@ def _family(seed: int) -> LinearHashFamily:
     return family
 
 
+def pack_minima_row(synopsis: "MinWisePermutations") -> np.ndarray:
+    """One MIPs vector as an ``int64`` row (sentinel ``p`` for empties)."""
+    return np.fromiter(
+        synopsis._minima, dtype=np.int64, count=len(synopsis._minima)
+    )
+
+
+def pack_minima_rows(synopses, num_permutations: int) -> np.ndarray:
+    """Stack MIPs vectors into a ``(C, N)`` int64 matrix.
+
+    ``None`` entries become all-sentinel rows (the empty synopsis), so
+    row indices stay aligned with the candidate list.
+    """
+    rows = np.full((len(synopses), num_permutations), MIPS_MODULUS, dtype=np.int64)
+    for index, synopsis in enumerate(synopses):
+        if synopsis is not None:
+            rows[index] = pack_minima_row(synopsis)
+    return rows
+
+
+def batch_match_counts(rows: np.ndarray, reference_row: np.ndarray) -> np.ndarray:
+    """Per-row count of positions matching the reference (sentinels excluded).
+
+    Vectorized core of :meth:`MinWisePermutations.estimate_resemblance`:
+    ``matches / N`` is the resemblance estimate, so one pass over the
+    matrix replaces C Python-level zip loops.
+    """
+    return ((rows == reference_row) & (reference_row != MIPS_MODULUS)).sum(
+        axis=1, dtype=np.int64
+    )
+
+
 def _scramble_to_31_bits(ids: np.ndarray) -> np.ndarray:
     """SplitMix64-mix ``ids`` (uint64) and keep the top 31 bits."""
     x = ids + np.uint64(0x9E3779B97F4A7C15)
@@ -80,7 +119,7 @@ def _scramble_to_31_bits(ids: np.ndarray) -> np.ndarray:
 class MinWisePermutations(SetSynopsis):
     """Immutable MIPs vector of ``num_permutations`` minima."""
 
-    __slots__ = ("_minima", "_seed")
+    __slots__ = ("_minima", "_seed", "_cardinality")
 
     def __init__(self, minima: Sequence[int], seed: int = 0):
         if len(minima) == 0:
@@ -90,6 +129,7 @@ class MinWisePermutations(SetSynopsis):
             raise ValueError(f"minima out of range [0, {MIPS_MODULUS}]: {bad[:3]}")
         self._minima = tuple(int(m) for m in minima)
         self._seed = seed
+        self._cardinality: float | None = None
 
     # -- construction ----------------------------------------------------
 
@@ -106,7 +146,7 @@ class MinWisePermutations(SetSynopsis):
             raise ValueError(
                 f"num_permutations must be positive, got {num_permutations}"
             )
-        id_array = np.fromiter((i & ((1 << 64) - 1) for i in ids), dtype=np.uint64)
+        id_array = ids_to_uint64_array(ids)
         if id_array.size == 0:
             return cls([MIPS_MODULUS] * num_permutations, seed)
         keys = _scramble_to_31_bits(id_array)
@@ -146,12 +186,19 @@ class MinWisePermutations(SetSynopsis):
         than the resemblance estimator — MINERVA posts carry exact index
         list lengths — but available when only the synopsis survives.
         """
+        if self._cardinality is not None:
+            return self._cardinality
         if self.is_empty:
-            return 0.0
-        total = sum(m / MIPS_MODULUS for m in self._minima)
-        if total <= 0.0:
-            return float("inf")
-        return max(0.0, len(self._minima) / total - 1.0)
+            estimate = 0.0
+        else:
+            total = sum(m / MIPS_MODULUS for m in self._minima)
+            estimate = (
+                float("inf")
+                if total <= 0.0
+                else max(0.0, len(self._minima) / total - 1.0)
+            )
+        self._cardinality = estimate
+        return estimate
 
     @property
     def distinct_fraction(self) -> float:

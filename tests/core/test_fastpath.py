@@ -1,0 +1,331 @@
+"""Tests for the vectorized + lazy-greedy routing fast path.
+
+The contract is strict: for every supported configuration the fast path
+must produce plans *bit-identical* to the naive Select-Best-Peer loop —
+same peers in the same order with equal quality and novelty floats —
+while performing strictly fewer novelty evaluations.  Unsupported
+configurations must fall back to the naive loop transparently.
+"""
+
+import random
+
+import pytest
+
+from repro.core.aggregation import PerPeerAggregation, PerTermAggregation
+from repro.core.correlations import CorrelationAwarePerTerm
+from repro.core.fastpath import FastPathUnsupported, RoutingStats, fast_rank_detailed
+from repro.core.histogram_routing import HistogramAggregation
+from repro.core.iqn import IQNRouter
+from repro.core.stopping import AnyOf, CoverageTarget, MaxPeers, MinimumNoveltyGain
+from repro.datasets.queries import Query
+from repro.minerva.posts import PeerList, Post
+from repro.routing.base import LocalView, RoutingContext
+from repro.synopses.factory import SynopsisSpec
+
+SPEC_LABELS = ("mips-32", "bf-1024", "hs-16", "ll-64")
+AGGREGATIONS = (PerPeerAggregation, PerTermAggregation)
+TERMS = ("apple", "pear")
+
+
+def make_context(
+    seed,
+    *,
+    spec_label="mips-32",
+    conjunctive=False,
+    num_peers=30,
+    universe=2500,
+    terms=TERMS,
+):
+    """A synthetic directory snapshot with clustered, overlapping peers.
+
+    Peers draw most documents from a per-peer hot region plus a uniform
+    tail, so collections overlap heavily — the regime where the
+    reference-synopsis discount actually reorders the plan and any
+    divergence between the two implementations would surface.
+    """
+    rng = random.Random(seed)
+    spec = SynopsisSpec.parse(spec_label)
+    peer_lists = {term: PeerList(term=term) for term in terms}
+    for i in range(num_peers):
+        peer_id = f"p{i:03d}"
+        base = rng.randrange(0, universe)
+        size = rng.randrange(10, 200)
+        doc_ids = set()
+        for _ in range(size):
+            if rng.random() < 0.6:
+                doc_ids.add((base + rng.randrange(0, 250)) % universe)
+            else:
+                doc_ids.add(rng.randrange(0, universe))
+        for term in terms:
+            if rng.random() < 0.85:
+                term_ids = {d for d in doc_ids if rng.random() < 0.7}
+                if not term_ids:
+                    continue
+                peer_lists[term].add(
+                    Post(
+                        peer_id=peer_id,
+                        term=term,
+                        cdf=len(term_ids),
+                        max_score=rng.random(),
+                        avg_score=rng.random() / 2,
+                        term_space_size=rng.randrange(50, 400),
+                        synopsis=spec.build(term_ids),
+                    )
+                )
+    seed_ids = frozenset(rng.randrange(0, universe) for _ in range(80))
+    initiator = LocalView(
+        peer_id="me",
+        result_doc_ids=seed_ids,
+        doc_ids_by_term={
+            term: frozenset(x for x in seed_ids if rng.random() < 0.6)
+            for term in terms
+        },
+    )
+    return RoutingContext(
+        query=Query(0, terms),
+        peer_lists=peer_lists,
+        num_peers=num_peers + 1,
+        spec=spec,
+        initiator=initiator,
+        conjunctive=conjunctive,
+    )
+
+
+def plan_rows(selections):
+    return [(s.peer_id, s.quality, s.novelty) for s in selections]
+
+
+def rank_both(context_args, router_args, max_peers=10):
+    """Rank the same scenario with the naive loop and the fast path."""
+    naive = IQNRouter(fast_path=False, **router_args)
+    fast = IQNRouter(**router_args)
+    plan_naive = naive.rank_detailed(make_context(**context_args), max_peers)
+    plan_fast = fast.rank_detailed(make_context(**context_args), max_peers)
+    return plan_naive, plan_fast, naive.last_stats, fast.last_stats
+
+
+class TestPlanEquivalence:
+    """Fast plans must equal naive plans bit for bit."""
+
+    @pytest.mark.parametrize("spec_label", SPEC_LABELS)
+    @pytest.mark.parametrize("aggregation_cls", AGGREGATIONS)
+    @pytest.mark.parametrize("conjunctive", (False, True))
+    @pytest.mark.parametrize("seed", (0, 1, 2))
+    def test_matrix(self, spec_label, aggregation_cls, conjunctive, seed):
+        plan_naive, plan_fast, _, fast_stats = rank_both(
+            dict(seed=seed, spec_label=spec_label, conjunctive=conjunctive),
+            dict(aggregation=aggregation_cls()),
+        )
+        assert plan_rows(plan_fast) == plan_rows(plan_naive)
+        assert fast_stats.mode in ("celf", "incremental")
+
+    @pytest.mark.parametrize("spec_label", SPEC_LABELS)
+    def test_novelty_only_ranking(self, spec_label):
+        plan_naive, plan_fast, _, _ = rank_both(
+            dict(seed=3, spec_label=spec_label),
+            dict(quality_weighted=False),
+        )
+        assert plan_rows(plan_fast) == plan_rows(plan_naive)
+
+    @pytest.mark.parametrize(
+        "stopping",
+        [
+            CoverageTarget(300.0),
+            MinimumNoveltyGain(5.0),
+            AnyOf(MaxPeers(4), MinimumNoveltyGain(2.0)),
+        ],
+        ids=lambda s: type(s).__name__,
+    )
+    @pytest.mark.parametrize("spec_label", ("bf-1024", "mips-32"))
+    def test_stopping_criteria(self, stopping, spec_label):
+        plan_naive, plan_fast, _, _ = rank_both(
+            dict(seed=4, spec_label=spec_label),
+            dict(stopping=stopping),
+        )
+        assert plan_rows(plan_fast) == plan_rows(plan_naive)
+
+    @pytest.mark.parametrize("spec_label", SPEC_LABELS)
+    def test_single_term_query(self, spec_label):
+        plan_naive, plan_fast, _, _ = rank_both(
+            dict(seed=5, spec_label=spec_label, terms=("apple",)),
+            dict(aggregation=PerTermAggregation()),
+        )
+        assert plan_rows(plan_fast) == plan_rows(plan_naive)
+
+    @pytest.mark.parametrize("max_peers", (1, 3, 30))
+    def test_plan_length_sweep(self, max_peers):
+        plan_naive, plan_fast, _, _ = rank_both(
+            dict(seed=6, spec_label="bf-1024"),
+            dict(),
+            max_peers=max_peers,
+        )
+        assert plan_rows(plan_fast) == plan_rows(plan_naive)
+
+    def test_no_initiator(self):
+        context_naive = make_context(7)
+        context_fast = make_context(7)
+        context_naive = RoutingContext(
+            query=context_naive.query,
+            peer_lists=context_naive.peer_lists,
+            num_peers=context_naive.num_peers,
+            spec=context_naive.spec,
+            initiator=None,
+        )
+        context_fast = RoutingContext(
+            query=context_fast.query,
+            peer_lists=context_fast.peer_lists,
+            num_peers=context_fast.num_peers,
+            spec=context_fast.spec,
+            initiator=None,
+        )
+        naive = IQNRouter(fast_path=False)
+        fast = IQNRouter()
+        assert plan_rows(fast.rank_detailed(context_fast, 8)) == plan_rows(
+            naive.rank_detailed(context_naive, 8)
+        )
+
+
+class TestFallback:
+    """Unsupported configurations transparently use the naive loop."""
+
+    def test_unknown_strategy_falls_back(self):
+        class ConstantNovelty(PerPeerAggregation):
+            # Not PerPeerAggregation *exactly*, so no fast path applies.
+            def novelty(self, state, candidate):
+                return 1.0
+
+        context = make_context(0, spec_label="mips-32")
+        router = IQNRouter(ConstantNovelty())
+        plan = router.rank(context, 5)
+        assert router.last_stats.mode == "naive"
+        assert len(plan) == 5
+
+    def test_correlation_aware_falls_back(self):
+        context = make_context(0, spec_label="mips-32")
+        router = IQNRouter(CorrelationAwarePerTerm())
+        router.rank(context, 5)
+        assert router.last_stats.mode == "naive"
+
+    def test_correlation_aware_matches_its_naive_self(self):
+        # Subclasses of supported strategies must not silently get the
+        # parent's fast path: their overridden novelty would be ignored.
+        plan_naive, plan_fast, _, fast_stats = rank_both(
+            dict(seed=1, spec_label="mips-32"),
+            dict(aggregation=CorrelationAwarePerTerm()),
+        )
+        assert fast_stats.mode == "naive"
+        assert plan_rows(plan_fast) == plan_rows(plan_naive)
+
+    def test_fast_rank_detailed_raises_for_unknown_strategy(self):
+        context = make_context(0)
+        qualities = {c.peer_id: 1.0 for c in context.candidates()}
+        with pytest.raises(FastPathUnsupported):
+            fast_rank_detailed(
+                context, HistogramAggregation(), qualities, MaxPeers(5), 5
+            )
+
+    def test_mixed_synopsis_parameters_fall_back(self):
+        context = make_context(8, spec_label="mips-32")
+        other_spec = SynopsisSpec.parse("mips-16")
+        term = TERMS[0]
+        peer_list = context.peer_lists[term]
+        post = next(iter(peer_list.posts.values()))
+        peer_list.add(
+            Post(
+                peer_id=post.peer_id,
+                term=term,
+                cdf=post.cdf,
+                max_score=post.max_score,
+                avg_score=post.avg_score,
+                term_space_size=post.term_space_size,
+                synopsis=other_spec.build(range(10)),
+            )
+        )
+        router = IQNRouter()
+        plan = router.rank(context, 5)
+        assert router.last_stats.mode == "naive"
+        assert plan  # the naive loop still ranks the mixed directory
+
+    def test_fast_path_disabled_by_flag(self):
+        context = make_context(0, spec_label="bf-1024")
+        router = IQNRouter(fast_path=False)
+        router.rank(context, 5)
+        assert router.last_stats.mode == "naive"
+
+
+class TestRoutingStats:
+    def test_modes_by_family(self):
+        for spec_label, expected in [
+            ("bf-1024", "celf"),
+            ("mips-32", "incremental"),
+            ("hs-16", "incremental"),
+            ("ll-64", "incremental"),
+        ]:
+            router = IQNRouter()
+            router.rank(make_context(0, spec_label=spec_label), 5)
+            assert router.last_stats.mode == expected, spec_label
+
+    def test_empty_candidates(self):
+        context = RoutingContext(
+            query=Query(0, ("apple",)),
+            peer_lists={"apple": PeerList(term="apple")},
+            num_peers=3,
+            spec=SynopsisSpec.parse("mips-8"),
+        )
+        router = IQNRouter()
+        assert router.rank_detailed(context, 5) == []
+        assert router.last_stats.mode == "empty"
+        assert router.last_stats.candidates == 0
+
+    def test_bloom_bounds_never_violated(self):
+        # Bloom novelty is provably monotone; the defensive full-refresh
+        # branch must never fire.
+        router = IQNRouter()
+        router.rank(make_context(9, spec_label="bf-1024", num_peers=60), 20)
+        stats = router.last_stats
+        assert stats.mode == "celf"
+        assert stats.bound_refreshes == 0
+
+    def test_celf_saves_evaluations(self):
+        naive = IQNRouter(fast_path=False)
+        fast = IQNRouter()
+        args = dict(seed=10, spec_label="bf-1024", num_peers=80, universe=8000)
+        naive.rank(make_context(**args), 25)
+        fast.rank(make_context(**args), 25)
+        assert fast.last_stats.mode == "celf"
+        assert (
+            fast.last_stats.novelty_evaluations
+            < naive.last_stats.novelty_evaluations
+        )
+        # Both report the same hypothetical naive workload.
+        assert (
+            fast.last_stats.naive_evaluations
+            == naive.last_stats.naive_evaluations
+        )
+        assert fast.last_stats.evaluation_savings > 1.0
+
+    def test_incremental_counts_touched_rows(self):
+        naive = IQNRouter(fast_path=False)
+        fast = IQNRouter()
+        args = dict(seed=10, spec_label="mips-32", num_peers=80, universe=8000)
+        naive.rank(make_context(**args), 25)
+        fast.rank(make_context(**args), 25)
+        assert fast.last_stats.mode == "incremental"
+        assert (
+            fast.last_stats.novelty_evaluations
+            < naive.last_stats.novelty_evaluations
+        )
+
+    def test_naive_stats_shape(self):
+        router = IQNRouter(fast_path=False)
+        context = make_context(0)
+        plan = router.rank_detailed(context, 5)
+        stats = router.last_stats
+        assert stats.mode == "naive"
+        assert stats.candidates == len(context.candidates())
+        assert stats.rounds == len(plan)
+        assert stats.novelty_evaluations == stats.naive_evaluations
+        assert stats.evaluation_savings == 1.0
+
+    def test_savings_defined_without_evaluations(self):
+        assert RoutingStats(mode="empty").evaluation_savings == 1.0

@@ -154,3 +154,65 @@ class TestSeedDiscount:
         )
         plan = IQNRouter(PerPeerAggregation()).rank(context, 1)
         assert plan == ["fresh"]
+
+
+class TestFastPathEquivalence:
+    @given(peer_blueprints, st.booleans())
+    @settings(max_examples=40, deadline=None)
+    def test_fast_plan_matches_naive(self, blueprints, conjunctive):
+        """The vectorized fast path is an *exact* reimplementation: for
+        arbitrary networks the plans agree peer for peer, float for
+        float."""
+        naive = IQNRouter(fast_path=False)
+        fast = IQNRouter()
+        plan_naive = naive.rank_detailed(build_context(blueprints, conjunctive=conjunctive), 6)
+        plan_fast = fast.rank_detailed(build_context(blueprints, conjunctive=conjunctive), 6)
+        assert [(s.peer_id, s.quality, s.novelty) for s in plan_fast] == [
+            (s.peer_id, s.quality, s.novelty) for s in plan_naive
+        ]
+
+
+class TestNoveltyMonotonicity:
+    """The lazy-greedy (CELF) tier is sound only because stale novelty
+    scores stay upper bounds.  That holds for exact sets trivially and
+    for Bloom estimates provably; both facts are pinned here."""
+
+    absorb_sequences = st.lists(
+        st.sets(st.integers(min_value=0, max_value=2_000), max_size=150),
+        min_size=1,
+        max_size=6,
+    )
+    candidate_sets = st.sets(
+        st.integers(min_value=0, max_value=2_000), min_size=1, max_size=150
+    )
+
+    @given(candidate_sets, absorb_sequences)
+    @settings(max_examples=50, deadline=None)
+    def test_exact_set_novelty_non_increasing(self, candidate, absorbed):
+        reference = set()
+        previous = len(candidate)
+        for addition in absorbed:
+            reference |= addition
+            novelty = len(candidate - reference)
+            assert novelty <= previous
+            previous = novelty
+
+    @given(candidate_sets, absorb_sequences)
+    @settings(max_examples=50, deadline=None)
+    def test_bloom_novelty_non_increasing(self, candidate, absorbed):
+        from repro.core.novelty import estimate_novelty
+        from repro.synopses.factory import SynopsisSpec as _Spec
+
+        spec = _Spec.parse("bf-512")
+        candidate_synopsis = spec.build(candidate)
+        reference_ids = set()
+        previous = float("inf")
+        for addition in absorbed:
+            reference_ids |= addition
+            novelty = estimate_novelty(
+                candidate_synopsis,
+                spec.build(reference_ids),
+                candidate_cardinality=float(len(candidate)),
+            )
+            assert novelty <= previous
+            previous = novelty

@@ -159,6 +159,18 @@ class TestRunQuery:
         with pytest.raises(ValueError):
             engine.run_query(QUERY, CoriSelector(), max_peers=1, k=5, peer_k=0)
 
+    def test_routing_stats_surfaced_for_iqn(self, engine):
+        outcome = engine.run_query(QUERY, IQNRouter(), max_peers=2, k=8)
+        stats = outcome.routing_stats
+        assert stats is not None
+        assert stats.mode in ("celf", "incremental", "naive")
+        assert stats.novelty_evaluations > 0
+        assert stats.rounds == len(outcome.selected)
+
+    def test_routing_stats_absent_for_plain_selectors(self, engine):
+        outcome = engine.run_query(QUERY, CoriSelector(), max_peers=2, k=8)
+        assert outcome.routing_stats is None
+
     def test_cost_delta_isolated_per_query(self, engine):
         out1 = engine.run_query(QUERY, CoriSelector(), max_peers=1, k=5)
         out2 = engine.run_query(QUERY, CoriSelector(), max_peers=1, k=5)

@@ -102,3 +102,29 @@ class TestStatistics:
             spec=SPEC,
         )
         assert context.average_term_space_size == 1.0
+
+
+class TestCaching:
+    """Contexts are per-query snapshots; derived views are built once."""
+
+    def test_candidates_cached(self):
+        context = make_context()
+        first = context.candidates()
+        assert context.candidates() is first
+
+    def test_average_term_space_cached(self):
+        context = make_context()
+        first = context.average_term_space_size
+        assert context.average_term_space_size == first
+        assert context._avg_term_space_cache == first
+
+    def test_caches_are_per_context(self):
+        one = make_context()
+        two = make_context()
+        assert one.candidates() is not two.candidates()
+
+    def test_candidates_cache_respects_initiator(self):
+        context = make_context(initiator=LocalView(peer_id="p2"))
+        ids = {c.peer_id for c in context.candidates()}
+        assert ids == {"p1", "p3"}
+        assert {c.peer_id for c in context.candidates()} == ids

@@ -5,6 +5,7 @@ import pytest
 
 from repro.synopses.hashing import (
     MERSENNE_PRIME_61,
+    ids_to_uint64_array,
     LinearHashFamily,
     LinearPermutation,
     splitmix64,
@@ -120,3 +121,59 @@ class TestLinearHashFamily:
     def test_bad_modulus_rejected(self):
         with pytest.raises(ValueError):
             LinearHashFamily(seed=0, modulus=0)
+
+
+class TestIdsToUint64Array:
+    """The shared id-conversion helper must match the old per-synopsis
+    ``np.fromiter((i & MASK64 for i in ids), ...)`` generators exactly."""
+
+    def masked(self, ids):
+        return [i & ((1 << 64) - 1) for i in ids]
+
+    def test_empty(self):
+        array = ids_to_uint64_array([])
+        assert array.dtype == np.uint64
+        assert array.size == 0
+
+    def test_empty_frozenset(self):
+        assert ids_to_uint64_array(frozenset()).size == 0
+
+    def test_list_and_frozenset(self):
+        ids = [3, 17, 2**40, 0]
+        assert sorted(ids_to_uint64_array(frozenset(ids)).tolist()) == sorted(
+            self.masked(ids)
+        )
+        assert ids_to_uint64_array(ids).tolist() == self.masked(ids)
+
+    def test_range(self):
+        assert ids_to_uint64_array(range(5)).tolist() == [0, 1, 2, 3, 4]
+
+    def test_negative_ids_wrap_like_mask(self):
+        ids = [-1, -2**63, -12345]
+        assert ids_to_uint64_array(ids).tolist() == self.masked(ids)
+
+    def test_high_bit_ids(self):
+        ids = [2**63, 2**64 - 1]
+        assert ids_to_uint64_array(ids).tolist() == self.masked(ids)
+
+    def test_huge_ids_fall_back_to_masking(self):
+        ids = [2**64, 2**80 + 5, 7]
+        assert ids_to_uint64_array(ids).tolist() == self.masked(ids)
+
+    def test_uint64_array_passthrough(self):
+        values = np.array([1, 2, 3], dtype=np.uint64)
+        assert ids_to_uint64_array(values) is values
+
+    def test_int64_array_converted(self):
+        values = np.array([-1, 5], dtype=np.int64)
+        assert ids_to_uint64_array(values).tolist() == self.masked([-1, 5])
+
+    def test_float_ids_rejected(self):
+        # The old generator raised TypeError on floats (the & operator);
+        # the helper must not silently truncate them instead.
+        with pytest.raises(TypeError):
+            ids_to_uint64_array([1.5, 2.0])
+
+    def test_float_array_rejected(self):
+        with pytest.raises(TypeError):
+            ids_to_uint64_array(np.array([1.5, 2.0]))
