@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
+from typing import Any
 
 from ..synopses.base import SetSynopsis, UnsupportedOperationError
 from ..routing.base import CandidatePeer, RoutingContext
@@ -40,20 +41,20 @@ class AggregationStrategy(abc.ABC):
     """Policy for reference-synopsis bookkeeping across IQN iterations."""
 
     @abc.abstractmethod
-    def start(self, context: RoutingContext):
+    def start(self, context: RoutingContext) -> Any:
         """Create the per-query state, seeded from the initiator's local
         knowledge (Select-Best-Peer's reference baseline)."""
 
     @abc.abstractmethod
-    def novelty(self, state, candidate: CandidatePeer) -> float:
+    def novelty(self, state: Any, candidate: CandidatePeer) -> float:
         """Estimated novelty of ``candidate`` against the current state."""
 
     @abc.abstractmethod
-    def absorb(self, state, candidate: CandidatePeer) -> None:
+    def absorb(self, state: Any, candidate: CandidatePeer) -> None:
         """Aggregate-Synopses step: fold the chosen peer into the state."""
 
     @abc.abstractmethod
-    def estimated_coverage(self, state) -> float:
+    def estimated_coverage(self, state: Any) -> float:
         """Current estimate of covered result cardinality (for stopping)."""
 
     @property
@@ -83,7 +84,7 @@ class PerPeerAggregation(AggregationStrategy):
     synopses would drastically degrade".
     """
 
-    def __init__(self, *, crude_conjunctive_fallback: bool = True):
+    def __init__(self, *, crude_conjunctive_fallback: bool = True) -> None:
         self.crude_conjunctive_fallback = crude_conjunctive_fallback
 
     def start(self, context: RoutingContext) -> PerPeerState:

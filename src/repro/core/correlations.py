@@ -55,6 +55,8 @@ def estimate_distinct_mass(candidate: CandidatePeer, terms: tuple[str, ...]) -> 
         return total
     pairwise_overlap = 0.0
     for a, b in combinations(posts, 2):
+        if a.synopsis is None or b.synopsis is None:
+            continue
         try:
             res = a.synopsis.estimate_resemblance(b.synopsis)
         except IncompatibleSynopsesError:

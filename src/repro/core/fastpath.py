@@ -41,6 +41,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
+from typing import Any, Sequence
 
 import numpy as np
 
@@ -125,7 +126,13 @@ class RoutingStats:
 class _BloomColumn:
     """Packed-bit Bloom novelty kernel (CELF tier)."""
 
-    def __init__(self, synopses, cards, active, reference):
+    def __init__(
+        self,
+        synopses: Sequence[Any],
+        cards: Sequence[float],
+        active: np.ndarray,
+        reference: Any,
+    ) -> None:
         if type(reference) is not BloomFilter:
             raise FastPathUnsupported("reference is not a plain BloomFilter")
         self._m = reference.num_bits
@@ -166,18 +173,24 @@ class _BloomColumn:
         estimate = float(self._table[popcount])
         return min(max(0.0, estimate), float(self._cards[index]))
 
-    def refresh_reference(self, reference) -> None:
+    def refresh_reference(self, reference: Any) -> None:
         self._ref_bits = reference.raw_bits
 
 
 class _MipsColumn:
     """Minima-matrix MIPs novelty kernel (incremental tier)."""
 
-    def __init__(self, synopses, cards, active, reference):
+    def __init__(
+        self,
+        synopses: Sequence[Any],
+        cards: Sequence[float],
+        active: np.ndarray,
+        reference: Any,
+    ) -> None:
         if type(reference) is not MinWisePermutations:
             raise FastPathUnsupported("reference is not a plain MIPs synopsis")
         length = reference.num_permutations
-        packable = []
+        packable: list[MinWisePermutations | None] = []
         for synopsis, ok in zip(synopses, active):
             if not ok:
                 packable.append(None)
@@ -199,7 +212,7 @@ class _MipsColumn:
         self._ref_empty = bool((self._reference_row == MIPS_MODULUS).all())
         self._maintained = active & ~self._cand_empty
 
-    def refresh_reference(self, reference) -> np.ndarray:
+    def refresh_reference(self, reference: Any) -> np.ndarray:
         new_row = pack_minima_row(reference)
         changed = np.nonzero(new_row != self._reference_row)[0]
         if changed.size == 0:
@@ -248,13 +261,19 @@ class _MipsColumn:
 class _HashSketchColumn:
     """First-zero-position hash-sketch kernel (incremental tier)."""
 
-    def __init__(self, synopses, cards, active, reference):
+    def __init__(
+        self,
+        synopses: Sequence[Any],
+        cards: Sequence[float],
+        active: np.ndarray,
+        reference: Any,
+    ) -> None:
         if type(reference) is not HashSketch:
             raise FastPathUnsupported("reference is not a plain HashSketch")
         if reference.bitmap_length > 64:
             raise FastPathUnsupported("sketch bitmaps exceed one machine word")
         params = (reference.num_bitmaps, reference.bitmap_length, reference.seed)
-        packable = []
+        packable: list[HashSketch | None] = []
         for synopsis, ok in zip(synopses, active):
             if not ok:
                 packable.append(None)
@@ -281,7 +300,7 @@ class _HashSketchColumn:
         self._cand_empty = (self._rows == 0).all(axis=1)
         self._maintained = active & ~self._cand_empty
 
-    def refresh_reference(self, reference) -> np.ndarray:
+    def refresh_reference(self, reference: Any) -> np.ndarray:
         new_row = pack_bitmap_row(reference)
         touched = np.zeros(len(self._rows), dtype=bool)
         changed = np.nonzero(new_row != self._reference_row)[0]
@@ -321,11 +340,17 @@ class _HashSketchColumn:
 class _LogLogColumn:
     """Merged-register LogLog kernel (incremental tier)."""
 
-    def __init__(self, synopses, cards, active, reference):
+    def __init__(
+        self,
+        synopses: Sequence[Any],
+        cards: Sequence[float],
+        active: np.ndarray,
+        reference: Any,
+    ) -> None:
         if type(reference) is not LogLogCounter:
             raise FastPathUnsupported("reference is not a plain LogLogCounter")
         buckets = reference.num_buckets
-        packable = []
+        packable: list[LogLogCounter | None] = []
         for synopsis, ok in zip(synopses, active):
             if not ok:
                 packable.append(None)
@@ -351,7 +376,7 @@ class _LogLogColumn:
         self._cand_empty = (rows == 0).all(axis=1)
         self._maintained = active & ~self._cand_empty
 
-    def refresh_reference(self, reference) -> np.ndarray:
+    def refresh_reference(self, reference: Any) -> np.ndarray:
         new_row = pack_register_row(reference)
         touched = np.zeros(len(self._merged), dtype=bool)
         changed = np.nonzero(new_row > self._reference_row)[0]
@@ -392,7 +417,12 @@ _COLUMN_TYPES = {
 }
 
 
-def _make_column(synopses, cards, active, reference):
+def _make_column(
+    synopses: Sequence[Any],
+    cards: Sequence[float],
+    active: np.ndarray,
+    reference: Any,
+) -> Any:
     column_type = _COLUMN_TYPES.get(type(reference))
     if column_type is None:
         raise FastPathUnsupported(
@@ -407,11 +437,17 @@ def _make_column(synopses, cards, active, reference):
 class _PerPeerAdapter:
     """Single column over per-candidate combined query synopses."""
 
-    def __init__(self, aggregation: PerPeerAggregation, context: RoutingContext,
-                 candidates: list[CandidatePeer]):
+    def __init__(
+        self,
+        aggregation: PerPeerAggregation,
+        context: RoutingContext,
+        candidates: list[CandidatePeer],
+    ) -> None:
         self.aggregation = aggregation
         self.state = aggregation.start(context)
-        synopses, cards, active = [], [], []
+        synopses: list[Any] = []
+        cards: list[float] = []
+        active: list[bool] = []
         for candidate in candidates:
             combined, cardinality = aggregation.combine(self.state, candidate)
             ok = combined is not None and cardinality > 0.0
@@ -425,10 +461,10 @@ class _PerPeerAdapter:
             _make_column(synopses, cards, active_mask, self.state.reference)
         ]
 
-    def references(self):
+    def references(self) -> list[Any]:
         return [self.state.reference]
 
-    def reference_cardinalities(self):
+    def reference_cardinalities(self) -> list[float]:
         return [self.state.reference_cardinality]
 
     def absorb(self, candidate: CandidatePeer) -> None:
@@ -441,14 +477,20 @@ class _PerPeerAdapter:
 class _PerTermAdapter:
     """One column per query term over the posted term synopses."""
 
-    def __init__(self, aggregation: PerTermAggregation, context: RoutingContext,
-                 candidates: list[CandidatePeer]):
+    def __init__(
+        self,
+        aggregation: PerTermAggregation,
+        context: RoutingContext,
+        candidates: list[CandidatePeer],
+    ) -> None:
         self.aggregation = aggregation
         self.state = aggregation.start(context)
         self.terms = list(context.query.terms)
-        self.columns = []
+        self.columns: list[Any] = []
         for term in self.terms:
-            synopses, cards, active = [], [], []
+            synopses: list[Any] = []
+            cards: list[float] = []
+            active: list[bool] = []
             for candidate in candidates:
                 post = candidate.post(term)
                 ok = (
@@ -470,10 +512,10 @@ class _PerTermAdapter:
                 )
             )
 
-    def references(self):
+    def references(self) -> list[Any]:
         return [self.state.references[term] for term in self.terms]
 
-    def reference_cardinalities(self):
+    def reference_cardinalities(self) -> list[float]:
         return [self.state.reference_cardinalities[term] for term in self.terms]
 
     def absorb(self, candidate: CandidatePeer) -> None:
@@ -496,7 +538,7 @@ class _ReversedStr:
 
     __slots__ = ("value",)
 
-    def __init__(self, value: str):
+    def __init__(self, value: str) -> None:
         self.value = value
 
     def __lt__(self, other: "_ReversedStr") -> bool:
@@ -506,15 +548,22 @@ class _ReversedStr:
         return isinstance(other, _ReversedStr) and self.value == other.value
 
 
-def _eval_one(columns, index: int) -> float:
+def _eval_one(columns: Sequence[Any], index: int) -> float:
     total = 0.0
     for column in columns:
         total += column.eval_one(index)
     return total
 
 
-def _run_celf(adapter, candidates, qualities_array, peer_ids, stopping,
-              max_peers, stats):
+def _run_celf(
+    adapter: Any,
+    candidates: list[CandidatePeer],
+    qualities_array: np.ndarray,
+    peer_ids: list[str],
+    stopping: StoppingCriterion,
+    max_peers: int,
+    stats: RoutingStats,
+) -> list[tuple[str, float, float]]:
     columns = adapter.columns
     novelty = columns[0].batch()
     for column in columns[1:]:
@@ -603,14 +652,21 @@ def _run_celf(adapter, candidates, qualities_array, peer_ids, stopping,
     return plan
 
 
-def _total_novelty(columns, reference_cardinalities) -> np.ndarray:
+def _total_novelty(
+    columns: Sequence[Any], reference_cardinalities: Sequence[float]
+) -> np.ndarray:
     total = columns[0].rescore(reference_cardinalities[0])
     for column, cardinality in zip(columns[1:], reference_cardinalities[1:]):
         total = total + column.rescore(cardinality)
     return total
 
 
-def _argmax_with_ties(scores, qualities_array, peer_ids, alive) -> int:
+def _argmax_with_ties(
+    scores: np.ndarray,
+    qualities_array: np.ndarray,
+    peer_ids: list[str],
+    alive: np.ndarray,
+) -> int:
     masked = np.where(alive, scores, -np.inf)
     top = masked.max()
     tied = np.nonzero(alive & (masked == top))[0]
@@ -621,8 +677,15 @@ def _argmax_with_ties(scores, qualities_array, peer_ids, alive) -> int:
     )
 
 
-def _run_incremental(adapter, candidates, qualities_array, peer_ids, stopping,
-                     max_peers, stats):
+def _run_incremental(
+    adapter: Any,
+    candidates: list[CandidatePeer],
+    qualities_array: np.ndarray,
+    peer_ids: list[str],
+    stopping: StoppingCriterion,
+    max_peers: int,
+    stats: RoutingStats,
+) -> list[tuple[str, float, float]]:
     columns = adapter.columns
     count = len(candidates)
     alive = np.ones(count, dtype=bool)
@@ -659,7 +722,7 @@ def _run_incremental(adapter, candidates, qualities_array, peer_ids, stopping,
 
 def fast_rank_detailed(
     context: RoutingContext,
-    aggregation,
+    aggregation: Any,
     qualities: dict[str, float],
     stopping: StoppingCriterion,
     max_peers: int,
@@ -675,6 +738,7 @@ def fast_rank_detailed(
     """
     aggregation_type = type(aggregation)
     candidates = context.candidates()
+    adapter: _PerPeerAdapter | _PerTermAdapter
     if aggregation_type is PerPeerAggregation:
         adapter = _PerPeerAdapter(aggregation, context, candidates)
     elif aggregation_type is PerTermAggregation:

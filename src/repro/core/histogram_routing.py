@@ -58,7 +58,7 @@ def per_cell_novelties(
     the summed overlap from the cell's cardinality, clamping at 0.
     """
     candidate.check_compatible(reference)
-    novelties = []
+    novelties: list[float] = []
     for i, cand_cell in enumerate(candidate.cells):
         card_cand = candidate.cell_cardinalities[i]
         if card_cand <= 0.0 or cand_cell.is_empty:
@@ -114,7 +114,7 @@ class HistogramAggregation(AggregationStrategy):
     conjunctive contexts are rejected).
     """
 
-    def __init__(self, *, weights: WeightFunction = cell_midpoint_weights):
+    def __init__(self, *, weights: WeightFunction = cell_midpoint_weights) -> None:
         self.weights = weights
 
     def start(self, context: RoutingContext) -> HistogramState:
@@ -145,9 +145,8 @@ class HistogramAggregation(AggregationStrategy):
     def _combine(
         self, state: HistogramState, candidate: CandidatePeer
     ) -> ScoreHistogramSynopsis | None:
-        cached = state.combined_cache.get(candidate.peer_id, _MISSING)
-        if cached is not _MISSING:
-            return cached
+        if candidate.peer_id in state.combined_cache:
+            return state.combined_cache[candidate.peer_id]
         histograms = [
             post.histogram
             for term in state.context.query.terms
@@ -187,7 +186,3 @@ class HistogramAggregation(AggregationStrategy):
 
     def estimated_coverage(self, state: HistogramState) -> float:
         return state.reference.total_cardinality
-
-
-#: Cache sentinel distinguishing "not computed" from "computed as None".
-_MISSING = object()

@@ -81,7 +81,7 @@ class IQNRouter(PeerSelector):
         quality_weighted: bool = True,
         alpha: float = CORI_ALPHA,
         fast_path: bool = True,
-    ):
+    ) -> None:
         self.aggregation = aggregation or PerPeerAggregation()
         self.stopping = stopping
         self.quality_weighted = quality_weighted

@@ -43,7 +43,7 @@ class StoppingCriterion(abc.ABC):
 class MaxPeers(StoppingCriterion):
     """Stop after a fixed number of peers — the paper's primary budget."""
 
-    def __init__(self, limit: int):
+    def __init__(self, limit: int) -> None:
         if limit <= 0:
             raise ValueError(f"limit must be positive, got {limit}")
         self.limit = limit
@@ -57,7 +57,7 @@ class MaxPeers(StoppingCriterion):
 class CoverageTarget(StoppingCriterion):
     """Stop once the estimated combined result reaches ``target`` documents."""
 
-    def __init__(self, target: float):
+    def __init__(self, target: float) -> None:
         if target <= 0:
             raise ValueError(f"target must be positive, got {target}")
         self.target = target
@@ -76,7 +76,7 @@ class MinimumNoveltyGain(StoppingCriterion):
     novelty falls below ``threshold``, further peers mostly duplicate.
     """
 
-    def __init__(self, threshold: float):
+    def __init__(self, threshold: float) -> None:
         if threshold < 0:
             raise ValueError(f"threshold must be >= 0, got {threshold}")
         self.threshold = threshold
@@ -90,7 +90,7 @@ class MinimumNoveltyGain(StoppingCriterion):
 class AnyOf(StoppingCriterion):
     """Stop as soon as any member criterion fires."""
 
-    def __init__(self, *criteria: StoppingCriterion):
+    def __init__(self, *criteria: StoppingCriterion) -> None:
         if not criteria:
             raise ValueError("AnyOf needs at least one criterion")
         self.criteria = criteria

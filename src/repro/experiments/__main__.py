@@ -41,6 +41,8 @@ from .report import (
     format_recall_curves,
 )
 
+__all__ = ["TARGETS", "run_target", "main"]
+
 TARGETS = (
     "fig2-left",
     "fig2-right",

@@ -15,7 +15,7 @@ two synopses at a time, so a small, pure API suffices.
 from __future__ import annotations
 
 import abc
-from typing import Iterable
+from typing import Any, Iterable
 
 __all__ = [
     "SynopsisError",
@@ -59,7 +59,7 @@ class SetSynopsis(abc.ABC):
 
     @classmethod
     @abc.abstractmethod
-    def from_ids(cls, ids: Iterable[int], **params) -> "SetSynopsis":
+    def from_ids(cls, ids: Iterable[int], **params: Any) -> "SetSynopsis":
         """Build a synopsis summarizing ``ids``."""
 
     @abc.abstractmethod

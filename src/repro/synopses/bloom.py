@@ -102,7 +102,7 @@ def pack_bit_row(bits: int, num_bits: int) -> np.ndarray:
     ).copy()
 
 
-def pack_bit_rows(bit_vectors, num_bits: int) -> np.ndarray:
+def pack_bit_rows(bit_vectors: Iterable[int], num_bits: int) -> np.ndarray:
     """Pack big-int bit vectors into a ``(C, ceil(m/64))`` uint64 matrix."""
     num_words = (num_bits + 63) // 64
     vectors = list(bit_vectors)
@@ -143,7 +143,9 @@ class BloomFilter(SetSynopsis):
 
     __slots__ = ("_num_bits", "_num_hashes", "_seed", "_bits", "_bit_count")
 
-    def __init__(self, num_bits: int, num_hashes: int, seed: int = 0, _bits: int = 0):
+    def __init__(
+        self, num_bits: int, num_hashes: int, seed: int = 0, _bits: int = 0
+    ) -> None:
         if num_bits <= 0:
             raise ValueError(f"num_bits must be positive, got {num_bits}")
         if num_hashes <= 0:
@@ -159,7 +161,7 @@ class BloomFilter(SetSynopsis):
     # -- construction ----------------------------------------------------
 
     @classmethod
-    def from_ids(
+    def from_ids(  # type: ignore[override]
         cls,
         ids: Iterable[int],
         *,

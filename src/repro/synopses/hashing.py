@@ -16,6 +16,7 @@ avalanche behaviour, implemented in pure Python.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable
 
 import numpy as np
 
@@ -38,7 +39,7 @@ MERSENNE_PRIME_61 = (1 << 61) - 1
 _MASK64 = (1 << 64) - 1
 
 
-def ids_to_uint64_array(ids) -> np.ndarray:
+def ids_to_uint64_array(ids: Iterable[int] | np.ndarray) -> np.ndarray:
     """Convert an iterable of integer ids to a ``uint64`` array, mod 2^64.
 
     Shared by every synopsis ``from_ids`` constructor so the wrap-around
@@ -57,6 +58,7 @@ def ids_to_uint64_array(ids) -> np.ndarray:
     id_list = ids if isinstance(ids, (list, tuple)) else list(ids)
     if not id_list:
         return np.empty(0, dtype=np.uint64)
+    array: np.ndarray | None
     try:
         array = np.asarray(id_list)
     except OverflowError:
@@ -146,7 +148,7 @@ class LinearHashFamily:
     still comparable on their common prefix (Section 5.3).
     """
 
-    def __init__(self, seed: int = 0, modulus: int = MERSENNE_PRIME_61):
+    def __init__(self, seed: int = 0, modulus: int = MERSENNE_PRIME_61) -> None:
         if modulus <= 1:
             raise ValueError(f"modulus must be > 1, got {modulus}")
         self.seed = seed

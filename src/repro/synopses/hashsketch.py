@@ -83,7 +83,9 @@ def pack_bitmap_row(synopsis: "HashSketch") -> np.ndarray:
     )
 
 
-def pack_bitmap_rows(synopses, num_bitmaps: int) -> np.ndarray:
+def pack_bitmap_rows(
+    synopses: Sequence["HashSketch | None"], num_bitmaps: int
+) -> np.ndarray:
     """Stack sketches into a ``(C, m)`` uint64 bitmap matrix.
 
     ``None`` entries become all-zero rows (the empty sketch) so row
@@ -146,7 +148,7 @@ class HashSketch(SetSynopsis):
         bitmap_length: int,
         seed: int = 0,
         bitmaps: Sequence[int] | None = None,
-    ):
+    ) -> None:
         if num_bitmaps <= 0:
             raise ValueError(f"num_bitmaps must be positive, got {num_bitmaps}")
         if bitmap_length <= 0:
@@ -170,7 +172,7 @@ class HashSketch(SetSynopsis):
     # -- construction ----------------------------------------------------
 
     @classmethod
-    def from_ids(
+    def from_ids(  # type: ignore[override]
         cls,
         ids: Iterable[int],
         *,

@@ -109,7 +109,9 @@ def pack_register_row(synopsis: "LogLogCounter") -> np.ndarray:
     )
 
 
-def pack_register_rows(synopses, num_buckets: int) -> np.ndarray:
+def pack_register_rows(
+    synopses: Sequence["LogLogCounter | None"], num_buckets: int
+) -> np.ndarray:
     """Stack counters into a ``(C, m)`` uint8 register matrix.
 
     ``None`` entries become all-zero rows (the empty counter) so row
@@ -132,7 +134,7 @@ class LogLogCounter(SetSynopsis):
         num_buckets: int,
         seed: int = 0,
         registers: Sequence[int] | None = None,
-    ):
+    ) -> None:
         if num_buckets <= 0:
             raise ValueError(f"num_buckets must be positive, got {num_buckets}")
         if registers is None:
@@ -152,7 +154,7 @@ class LogLogCounter(SetSynopsis):
     # -- construction ----------------------------------------------------
 
     @classmethod
-    def from_ids(
+    def from_ids(  # type: ignore[override]
         cls, ids: Iterable[int], *, num_buckets: int = 64, seed: int = 0
     ) -> "LogLogCounter":
         """Build a counter over ``ids``.

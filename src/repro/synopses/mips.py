@@ -82,7 +82,9 @@ def pack_minima_row(synopsis: "MinWisePermutations") -> np.ndarray:
     )
 
 
-def pack_minima_rows(synopses, num_permutations: int) -> np.ndarray:
+def pack_minima_rows(
+    synopses: Sequence["MinWisePermutations | None"], num_permutations: int
+) -> np.ndarray:
     """Stack MIPs vectors into a ``(C, N)`` int64 matrix.
 
     ``None`` entries become all-sentinel rows (the empty synopsis), so
@@ -121,7 +123,7 @@ class MinWisePermutations(SetSynopsis):
 
     __slots__ = ("_minima", "_seed", "_cardinality")
 
-    def __init__(self, minima: Sequence[int], seed: int = 0):
+    def __init__(self, minima: Sequence[int], seed: int = 0) -> None:
         if len(minima) == 0:
             raise ValueError("a MIPs synopsis needs at least one permutation")
         bad = [m for m in minima if not 0 <= m <= MIPS_MODULUS]
@@ -134,7 +136,7 @@ class MinWisePermutations(SetSynopsis):
     # -- construction ----------------------------------------------------
 
     @classmethod
-    def from_ids(
+    def from_ids(  # type: ignore[override]
         cls,
         ids: Iterable[int],
         *,

@@ -187,7 +187,7 @@ def loads(data: bytes) -> "SetSynopsis | ScoreHistogramSynopsis":
         num_cells, offset = _read_uvarint(data, offset)
         if num_cells == 0:
             raise WireFormatError("histogram must have at least one cell")
-        cells = []
+        cells: list[SetSynopsis] = []
         cardinalities = []
         for _ in range(num_cells):
             chunk = _take(data, offset, 8)
@@ -196,9 +196,12 @@ def loads(data: bytes) -> "SetSynopsis | ScoreHistogramSynopsis":
             length, offset = _read_uvarint(data, offset)
             payload = _take(data, offset, length)
             offset += length
-            cells.append(loads(payload))
+            cell = loads(payload)
+            if isinstance(cell, ScoreHistogramSynopsis):
+                raise WireFormatError("histogram cells cannot nest histograms")
+            cells.append(cell)
         spec = SynopsisSpec.of(cells[0])
-        return ScoreHistogramSynopsis(  # type: ignore[return-value]
+        return ScoreHistogramSynopsis(
             cells=tuple(cells),
             cell_cardinalities=tuple(cardinalities),
             spec=spec,

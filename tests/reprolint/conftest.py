@@ -1,0 +1,15 @@
+"""Make the uninstalled ``tools/reprolint`` package importable.
+
+The linter lives in ``tools/`` (it is development tooling, not part of
+the ``repro`` distribution), so its tests add that directory to
+``sys.path`` the same way the CLI invocation does with
+``PYTHONPATH=tools``.
+"""
+
+import sys
+from pathlib import Path
+
+TOOLS_DIR = Path(__file__).resolve().parents[2] / "tools"
+
+if str(TOOLS_DIR) not in sys.path:
+    sys.path.insert(0, str(TOOLS_DIR))

@@ -1,0 +1,144 @@
+"""End-to-end CLI tests: ``python -m reprolint`` as CI runs it.
+
+Each test shells out with ``PYTHONPATH=tools`` from the repo root —
+the exact invocation documented in the README — and asserts on exit
+codes, text output, and the JSON report schema.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+CLEAN_MODULE = 'GREETING = "hello"\n'
+
+# RPRL001 is scope-free, so it fires even on files under pytest's
+# tmp_path (the scoped rules only match repo-layout fragments such as
+# ``src/repro``).
+DIRTY_MODULE = '''\
+class Sketch:
+    __slots__ = ("_registers", "_cardinality")
+
+    def merge(self, other):
+        self._registers = other._registers
+'''
+
+
+def run_reprolint(*args, cwd=REPO_ROOT):
+    env = {**os.environ, "PYTHONPATH": str(REPO_ROOT / "tools")}
+    return subprocess.run(
+        [sys.executable, "-m", "reprolint", *args],
+        cwd=cwd,
+        env=env,
+        capture_output=True,
+        text=True,
+    )
+
+
+@pytest.fixture
+def clean_file(tmp_path):
+    path = tmp_path / "clean.py"
+    path.write_text(CLEAN_MODULE, encoding="utf-8")
+    return path
+
+
+@pytest.fixture
+def dirty_file(tmp_path):
+    path = tmp_path / "dirty.py"
+    path.write_text(DIRTY_MODULE, encoding="utf-8")
+    return path
+
+
+class TestExitCodes:
+    def test_clean_file_exits_zero(self, clean_file):
+        result = run_reprolint(str(clean_file))
+        assert result.returncode == 0
+        assert "1 file checked, no findings" in result.stdout
+
+    def test_findings_exit_one(self, dirty_file):
+        result = run_reprolint(str(dirty_file))
+        assert result.returncode == 1
+        assert "RPRL001" in result.stdout
+        assert "1 finding" in result.stdout
+
+    def test_no_paths_is_a_usage_error(self):
+        result = run_reprolint()
+        assert result.returncode == 2
+        assert "no input paths" in result.stderr
+
+    def test_missing_path_is_a_usage_error(self, tmp_path):
+        result = run_reprolint(str(tmp_path / "does_not_exist"))
+        assert result.returncode == 2
+        assert "no such file or directory" in result.stderr
+
+    def test_unknown_select_id_is_a_usage_error(self, clean_file):
+        result = run_reprolint("--select", "RPRL999", str(clean_file))
+        assert result.returncode == 2
+        assert "unknown rule id" in result.stderr
+
+
+class TestTextOutput:
+    def test_finding_line_has_path_location_and_rule(self, dirty_file):
+        result = run_reprolint(str(dirty_file))
+        first = result.stdout.splitlines()[0]
+        assert first.startswith(f"{dirty_file}:4:")
+        assert " RPRL001 " in first
+
+    def test_select_filters_rules(self, dirty_file):
+        result = run_reprolint("--select", "RPRL004", str(dirty_file))
+        assert result.returncode == 0
+        assert "no findings" in result.stdout
+
+    def test_select_is_case_insensitive(self, dirty_file):
+        result = run_reprolint("--select", "rprl001", str(dirty_file))
+        assert result.returncode == 1
+
+
+class TestJsonOutput:
+    def test_clean_report_schema(self, clean_file):
+        result = run_reprolint("--format", "json", str(clean_file))
+        assert result.returncode == 0
+        report = json.loads(result.stdout)
+        assert report == {"files_checked": 1, "findings": []}
+
+    def test_finding_schema(self, dirty_file):
+        result = run_reprolint("--format", "json", str(dirty_file))
+        assert result.returncode == 1
+        report = json.loads(result.stdout)
+        assert report["files_checked"] == 1
+        (finding,) = report["findings"]
+        assert finding["rule"] == "RPRL001"
+        assert finding["path"] == str(dirty_file)
+        assert finding["line"] == 4
+        assert isinstance(finding["col"], int)
+        assert "_cardinality" in finding["message"]
+
+    def test_directory_walk_counts_every_file(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "a.py").write_text(CLEAN_MODULE, encoding="utf-8")
+        (tmp_path / "pkg" / "b.py").write_text(DIRTY_MODULE, encoding="utf-8")
+        (tmp_path / "pkg" / "notes.txt").write_text("not python", encoding="utf-8")
+        result = run_reprolint("--format", "json", str(tmp_path))
+        report = json.loads(result.stdout)
+        assert report["files_checked"] == 2
+        assert len(report["findings"]) == 1
+
+
+class TestListRules:
+    def test_lists_all_rules_and_exits_zero(self):
+        result = run_reprolint("--list-rules")
+        assert result.returncode == 0
+        for rule_id in ("RPRL001", "RPRL002", "RPRL003", "RPRL004", "RPRL005"):
+            assert rule_id in result.stdout
+
+
+class TestRepoIsClean:
+    def test_src_and_tests_have_no_findings(self):
+        """The acceptance gate: the shipped tree lints clean."""
+        result = run_reprolint("src", "tests")
+        assert result.returncode == 0, result.stdout + result.stderr

@@ -1,0 +1,442 @@
+"""Per-rule tests: each rule fires on a minimal violation, stays quiet
+on the compliant twin, and honors inline suppressions.
+
+All fixtures go through :func:`reprolint.engine.check_source` with a
+fake path chosen to match (or miss) the rule's scope fragments, so the
+tests also pin the scoping behavior.
+"""
+
+import textwrap
+
+from reprolint.engine import PARSE_ERROR_ID, check_source
+from reprolint.registry import all_rules, get_rule, rule_ids
+
+
+def lint(source, path, only=None):
+    """Lint dedented ``source`` at ``path``, optionally with one rule.
+
+    Restricting to the rule under test keeps fixtures minimal (a
+    ``src/repro`` fixture without ``__all__`` would otherwise drag
+    RPRL005 into every assertion); scoping still applies because
+    ``check_source`` filters the explicit rule list through
+    ``applies_to``.
+    """
+    rules = None if only is None else [get_rule(only)]
+    return check_source(textwrap.dedent(source), path, rules=rules)
+
+
+def ids(findings):
+    return [f.rule_id for f in findings]
+
+
+IN_SCOPE = {
+    "RPRL001": "scripts/anywhere.py",
+    "RPRL002": "src/repro/experiments/run.py",
+    "RPRL003": "src/repro/simnet/clock.py",
+    "RPRL004": "src/repro/synopses/estimator.py",
+    "RPRL005": "src/repro/util.py",
+}
+
+
+class TestRegistry:
+    def test_five_rules_plus_stable_ids(self):
+        assert rule_ids() == [
+            "RPRL001",
+            "RPRL002",
+            "RPRL003",
+            "RPRL004",
+            "RPRL005",
+        ]
+
+    def test_every_rule_documents_itself(self):
+        for rule in all_rules():
+            assert rule.name
+            assert rule.rationale
+
+    def test_scope_matching_uses_path_fragments(self):
+        rule = get_rule("RPRL004")
+        assert rule.applies_to("src/repro/synopses/bloom.py")
+        assert rule.applies_to("src/repro/core/iqn.py")
+        assert not rule.applies_to("src/repro/simnet/node.py")
+        assert not rule.applies_to("tests/synopses/test_bloom.py")
+
+
+class TestMutatingMethodMustInvalidateCache:
+    """RPRL001 — applies to every file (scope-free)."""
+
+    VIOLATION = """
+        class Sketch:
+            __slots__ = ("_registers", "_cardinality")
+
+            def __init__(self, registers):
+                self._registers = registers
+                self._cardinality = None
+
+            def merge(self, other):
+                self._registers = [max(a, b) for a, b in zip(self._registers, other._registers)]
+        """
+
+    def test_mutation_without_reset_fires(self):
+        findings = lint(self.VIOLATION, IN_SCOPE["RPRL001"])
+        assert ids(findings) == ["RPRL001"]
+        assert "Sketch.merge" in findings[0].message
+        assert "_cardinality" in findings[0].message
+
+    COMPLIANT = """
+        class Sketch:
+            __slots__ = ("_registers", "_cardinality")
+
+            def __init__(self, registers):
+                self._registers = registers
+                self._cardinality = None
+
+            def merge(self, other):
+                self._registers = [max(a, b) for a, b in zip(self._registers, other._registers)]
+                self._cardinality = None
+        """
+
+    def test_mutation_with_reset_is_clean(self):
+        assert lint(self.COMPLIANT, IN_SCOPE["RPRL001"]) == []
+
+    def test_memo_slot_detected_from_init_without_slots(self):
+        source = """
+            class Counter:
+                def __init__(self):
+                    self._buckets = []
+                    self._cardinality = None
+
+                def absorb(self, other):
+                    self._buckets = other._buckets
+            """
+        assert ids(lint(source, IN_SCOPE["RPRL001"])) == ["RPRL001"]
+
+    def test_subscript_store_counts_as_mutation(self):
+        source = """
+            class Counter:
+                __slots__ = ("_buckets", "_cardinality")
+
+                def bump(self, index):
+                    self._buckets[index] += 1
+            """
+        assert ids(lint(source, IN_SCOPE["RPRL001"])) == ["RPRL001"]
+
+    def test_construction_methods_are_exempt(self):
+        source = """
+            class Counter:
+                __slots__ = ("_buckets", "_cardinality")
+
+                def __init__(self, buckets):
+                    self._buckets = buckets
+                    self._cardinality = None
+
+                def __setstate__(self, state):
+                    self._buckets = state["buckets"]
+                    self._cardinality = state["cardinality"]
+            """
+        assert lint(source, IN_SCOPE["RPRL001"]) == []
+
+    def test_class_without_memo_slots_is_ignored(self):
+        source = """
+            class Plain:
+                def update(self, value):
+                    self.value = value
+            """
+        assert lint(source, IN_SCOPE["RPRL001"]) == []
+
+
+class TestNoUnseededRandomness:
+    """RPRL002 — scope src/repro."""
+
+    def test_global_rng_call_fires(self):
+        source = """
+            import random
+
+            def jitter():
+                return random.random()
+            """
+        findings = lint(source, IN_SCOPE["RPRL002"], only="RPRL002")
+        assert ids(findings) == ["RPRL002"]
+        assert "random.random" in findings[0].message
+
+    def test_unseeded_constructor_fires(self):
+        source = """
+            import random
+
+            rng = random.Random()
+            """
+        assert ids(lint(source, IN_SCOPE["RPRL002"], only="RPRL002")) == ["RPRL002"]
+
+    def test_seeded_constructor_is_clean(self):
+        source = """
+            import random
+
+            rng = random.Random(7)
+            """
+        assert lint(source, IN_SCOPE["RPRL002"], only="RPRL002") == []
+
+    def test_numpy_alias_is_resolved(self):
+        source = """
+            import numpy as np
+
+            unseeded = np.random.default_rng()
+            seeded = np.random.default_rng(1234)
+            globals_call = np.random.rand(3)
+            """
+        findings = lint(source, IN_SCOPE["RPRL002"], only="RPRL002")
+        assert ids(findings) == ["RPRL002", "RPRL002"]
+        assert {f.line for f in findings} == {4, 6}
+
+    def test_from_import_binding_is_resolved(self):
+        source = """
+            from random import Random
+
+            rng = Random()
+            """
+        assert ids(lint(source, IN_SCOPE["RPRL002"], only="RPRL002")) == ["RPRL002"]
+
+    def test_out_of_scope_path_is_ignored(self):
+        source = """
+            import random
+
+            value = random.random()
+            """
+        assert lint(source, "benchmarks/bench_setup.py", only="RPRL002") == []
+
+
+class TestNoWallClockInSimnet:
+    """RPRL003 — scope repro/simnet."""
+
+    def test_time_call_fires(self):
+        source = """
+            import time
+
+            def stamp():
+                return time.monotonic()
+            """
+        findings = lint(source, IN_SCOPE["RPRL003"], only="RPRL003")
+        assert ids(findings) == ["RPRL003"]
+        assert "time.monotonic" in findings[0].message
+
+    def test_bare_reference_fires_without_a_call(self):
+        source = """
+            import time
+
+            CLOCK_SOURCE = time.perf_counter
+            """
+        assert ids(lint(source, IN_SCOPE["RPRL003"], only="RPRL003")) == ["RPRL003"]
+
+    def test_from_import_flagged_at_import_site(self):
+        source = """
+            from time import sleep
+            """
+        findings = lint(source, IN_SCOPE["RPRL003"], only="RPRL003")
+        assert ids(findings) == ["RPRL003"]
+        assert findings[0].line == 2
+        assert "from time import sleep" in findings[0].message
+
+    def test_datetime_now_fires(self):
+        source = """
+            import datetime
+
+            def stamp():
+                return datetime.datetime.now()
+            """
+        assert ids(lint(source, IN_SCOPE["RPRL003"], only="RPRL003")) == ["RPRL003"]
+
+    def test_virtual_time_is_clean(self):
+        source = """
+            def stamp(clock):
+                return clock.now()
+            """
+        assert lint(source, IN_SCOPE["RPRL003"], only="RPRL003") == []
+
+    def test_out_of_scope_path_is_ignored(self):
+        source = """
+            import time
+
+            started = time.time()
+            """
+        assert lint(source, "src/repro/experiments/harness.py", only="RPRL003") == []
+
+
+class TestNoFloatEquality:
+    """RPRL004 — scope repro/synopses + repro/core."""
+
+    def test_float_equality_fires(self):
+        source = """
+            def is_quarter(x):
+                return x == 0.25
+            """
+        findings = lint(source, IN_SCOPE["RPRL004"], only="RPRL004")
+        assert ids(findings) == ["RPRL004"]
+        assert "0.25" in findings[0].message
+
+    def test_float_inequality_operator_fires(self):
+        source = """
+            def differs(x):
+                return x != 1.0
+            """
+        assert ids(lint(source, IN_SCOPE["RPRL004"], only="RPRL004")) == ["RPRL004"]
+
+    def test_negative_literal_fires(self):
+        source = """
+            def check(x):
+                return -1.0 == x
+            """
+        assert ids(lint(source, IN_SCOPE["RPRL004"], only="RPRL004")) == ["RPRL004"]
+
+    def test_ordering_comparisons_are_clean(self):
+        source = """
+            def clamp(x):
+                if x <= 0.0:
+                    return 0.0
+                return min(x, 1.0)
+            """
+        assert lint(source, IN_SCOPE["RPRL004"], only="RPRL004") == []
+
+    def test_integer_equality_is_clean(self):
+        source = """
+            def is_empty(count):
+                return count == 0
+            """
+        assert lint(source, IN_SCOPE["RPRL004"], only="RPRL004") == []
+
+    def test_out_of_scope_path_is_ignored(self):
+        source = """
+            def is_quarter(x):
+                return x == 0.25
+            """
+        assert lint(source, "src/repro/routing/greedy.py", only="RPRL004") == []
+
+
+class TestPublicApiHygiene:
+    """RPRL005 — scope src/repro."""
+
+    def test_missing_dunder_all_fires(self):
+        source = """
+            def helper():
+                return 1
+            """
+        findings = lint(source, IN_SCOPE["RPRL005"], only="RPRL005")
+        assert ids(findings) == ["RPRL005"]
+        assert "__all__" in findings[0].message
+
+    def test_declared_and_defined_is_clean(self):
+        source = """
+            __all__ = ["helper"]
+
+            def helper():
+                return 1
+            """
+        assert lint(source, IN_SCOPE["RPRL005"], only="RPRL005") == []
+
+    def test_ghost_entry_fires_with_its_name(self):
+        source = """
+            __all__ = ["helper", "ghost"]
+
+            def helper():
+                return 1
+            """
+        findings = lint(source, IN_SCOPE["RPRL005"], only="RPRL005")
+        assert ids(findings) == ["RPRL005"]
+        assert "'ghost'" in findings[0].message
+
+    def test_reexported_import_satisfies_entry(self):
+        source = """
+            from math import isclose
+
+            __all__ = ["isclose"]
+            """
+        assert lint(source, IN_SCOPE["RPRL005"], only="RPRL005") == []
+
+    def test_dynamic_dunder_all_is_not_guessed_at(self):
+        source = """
+            import math
+
+            __all__ = sorted(["helper"])
+
+            def helper():
+                return 1
+            """
+        assert lint(source, IN_SCOPE["RPRL005"], only="RPRL005") == []
+
+    def test_out_of_scope_path_is_ignored(self):
+        source = """
+            def helper():
+                return 1
+            """
+        assert lint(source, "tools/reprolint/helper.py", only="RPRL005") == []
+
+
+class TestSuppressions:
+    def test_line_directive_suppresses_that_line_only(self):
+        source = """
+            def check(x, y):
+                first = x == 0.25  # reprolint: disable=RPRL004
+                second = y == 0.5
+                return first or second
+            """
+        findings = lint(source, IN_SCOPE["RPRL004"], only="RPRL004")
+        assert ids(findings) == ["RPRL004"]
+        assert findings[0].line == 4
+
+    def test_line_directive_with_all_keyword(self):
+        source = """
+            def check(x):
+                return x == 0.25  # reprolint: disable=all
+            """
+        assert lint(source, IN_SCOPE["RPRL004"], only="RPRL004") == []
+
+    def test_file_directive_suppresses_whole_file(self):
+        source = """
+            # reprolint: disable-file=RPRL005
+
+            def helper():
+                return 1
+            """
+        assert lint(source, IN_SCOPE["RPRL005"], only="RPRL005") == []
+
+    def test_directive_for_other_rule_does_not_suppress(self):
+        source = """
+            def check(x):
+                return x == 0.25  # reprolint: disable=RPRL001
+            """
+        assert ids(lint(source, IN_SCOPE["RPRL004"], only="RPRL004")) == ["RPRL004"]
+
+
+class TestMultipleRules:
+    def test_findings_from_several_rules_sort_by_location(self):
+        source = """
+            def check(x):
+                return x == 0.25
+            """
+        findings = lint(source, "src/repro/core/combined.py")
+        assert ids(findings) == ["RPRL005", "RPRL004"]
+        assert findings[0].line <= findings[1].line
+
+
+class TestParseErrors:
+    def test_syntax_error_yields_rprl000(self):
+        findings = lint("def broken(:\n    pass\n", "src/repro/broken.py")
+        assert ids(findings) == [PARSE_ERROR_ID]
+        assert "syntax error" in findings[0].message
+
+    def test_rprl000_is_not_suppressible(self):
+        source = "# reprolint: disable-file=all\ndef broken(:\n    pass\n"
+        assert ids(lint(source, "src/repro/broken.py")) == [PARSE_ERROR_ID]
+
+
+class TestFindingFormat:
+    def test_text_and_dict_round_trip_the_location(self):
+        source = """
+            def check(x):
+                return x == 0.25
+            """
+        (finding,) = lint(source, IN_SCOPE["RPRL004"], only="RPRL004")
+        assert finding.format_text().startswith(
+            f"{IN_SCOPE['RPRL004']}:{finding.line}:{finding.col}: RPRL004 "
+        )
+        payload = finding.as_dict()
+        assert payload["rule"] == "RPRL004"
+        assert payload["path"] == IN_SCOPE["RPRL004"]
+        assert payload["line"] == finding.line

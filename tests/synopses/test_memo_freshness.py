@@ -1,0 +1,108 @@
+"""Memo-cache freshness properties (hypothesis).
+
+Every synopsis family lazily memoizes a derived statistic on first use
+(``_cardinality`` for MIPs / hash sketches / LogLog, ``_bit_count`` for
+Bloom filters).  Synopses are immutable value objects, so the only way a
+stale memo could ever surface is through a derived object: an operation
+performed *after* the memo was warmed must yield an object whose own
+estimates are indistinguishable from the same operation on cold, freshly
+rebuilt operands.
+
+These tests pin that contract (the invariant reprolint's RPRL001 guards
+statically): warm the memo, derive, and compare bit-for-bit against the
+cold path.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.synopses.bloom import BloomFilter
+from repro.synopses.hashsketch import HashSketch
+from repro.synopses.loglog import LogLogCounter
+from repro.synopses.mips import MinWisePermutations
+
+id_sets = st.sets(st.integers(min_value=0, max_value=1 << 40), max_size=200)
+
+FAMILIES = {
+    "bloom": lambda ids: BloomFilter.from_ids(ids, num_bits=512, num_hashes=3),
+    "mips": lambda ids: MinWisePermutations.from_ids(ids, num_permutations=16),
+    "hash-sketch": lambda ids: HashSketch.from_ids(
+        ids, num_bitmaps=8, bitmap_length=32
+    ),
+    "loglog": lambda ids: LogLogCounter.from_ids(ids, num_buckets=16),
+}
+
+INTERSECTABLE = ("bloom", "mips")
+
+
+def _warmed(build, ids):
+    """A synopsis whose memoized statistics have been populated."""
+    synopsis = build(ids)
+    synopsis.estimate_cardinality()
+    if isinstance(synopsis, BloomFilter):
+        synopsis.bit_count  # warms the _bit_count memo
+    return synopsis
+
+
+class TestUnionFreshness:
+    @given(id_sets, id_sets, st.sampled_from(sorted(FAMILIES)))
+    @settings(max_examples=60)
+    def test_union_after_estimate_matches_cold_union(self, a, b, family):
+        build = FAMILIES[family]
+        warm = _warmed(build, a).union(_warmed(build, b))
+        cold = build(a).union(build(b))
+        assert warm == cold
+        assert warm.estimate_cardinality() == cold.estimate_cardinality()
+
+    @given(id_sets, id_sets, st.sampled_from(sorted(FAMILIES)))
+    @settings(max_examples=60)
+    def test_union_result_memo_is_its_own(self, a, b, family):
+        """The union's first estimate equals its second (memo is stable)
+        and matches a rebuild from the true union of the id sets."""
+        build = FAMILIES[family]
+        union = _warmed(build, a).union(_warmed(build, b))
+        first = union.estimate_cardinality()
+        assert union.estimate_cardinality() == first
+        rebuilt = build(a | b)
+        assert union == rebuilt
+        assert first == rebuilt.estimate_cardinality()
+
+
+class TestIntersectFreshness:
+    @given(id_sets, id_sets, st.sampled_from(INTERSECTABLE))
+    @settings(max_examples=60)
+    def test_intersect_after_estimate_matches_cold_intersect(self, a, b, family):
+        build = FAMILIES[family]
+        warm = _warmed(build, a).intersect(_warmed(build, b))
+        cold = build(a).intersect(build(b))
+        assert warm == cold
+        assert warm.estimate_cardinality() == cold.estimate_cardinality()
+
+
+class TestBloomDerivedOps:
+    @given(id_sets, st.integers(min_value=0, max_value=1 << 40))
+    @settings(max_examples=60)
+    def test_add_after_estimate_matches_cold_build(self, ids, extra):
+        warm = _warmed(FAMILIES["bloom"], ids).add(extra)
+        cold = FAMILIES["bloom"](ids | {extra})
+        assert warm == cold
+        assert warm.bit_count == cold.bit_count
+        assert warm.estimate_cardinality() == cold.estimate_cardinality()
+
+    @given(id_sets, id_sets)
+    @settings(max_examples=60)
+    def test_difference_after_estimate_matches_cold_difference(self, a, b):
+        build = FAMILIES["bloom"]
+        warm = _warmed(build, a).difference(_warmed(build, b))
+        cold = build(a).difference(build(b))
+        assert warm == cold
+        assert warm.estimate_cardinality() == cold.estimate_cardinality()
+
+
+class TestEmptyLikeFreshness:
+    @given(id_sets, st.sampled_from(sorted(FAMILIES)))
+    @settings(max_examples=40)
+    def test_empty_like_of_warmed_synopsis_estimates_zero(self, ids, family):
+        empty = _warmed(FAMILIES[family], ids).empty_like()
+        assert empty.is_empty
+        assert empty.estimate_cardinality() == 0.0

@@ -1,0 +1,42 @@
+"""reprolint — AST-based invariant checker for the IQN reproduction.
+
+The repository's correctness rests on conventions that ordinary linters
+cannot see: synopsis memo caches must be invalidated on mutation (the
+fast-path/naive plan equivalence depends on it), the network simulator
+must never read wall-clock time or unseeded randomness (experiment
+reruns must be bit-reproducible), estimators must never compare floats
+with ``==``, and every ``src/repro`` module must declare its public
+surface.  reprolint machine-enforces those invariants.
+
+Usage::
+
+    PYTHONPATH=tools python -m reprolint src/ tests/
+    PYTHONPATH=tools python -m reprolint --format json src/
+    PYTHONPATH=tools python -m reprolint --list-rules
+
+Findings can be silenced in place with an inline comment on the
+offending line (``# reprolint: disable=RPRL004``) or for a whole file
+(``# reprolint: disable-file=RPRL005`` anywhere in the file).
+"""
+
+from __future__ import annotations
+
+from .engine import Finding, LintReport, check_paths, check_source
+from .registry import Rule, all_rules, get_rule, register_rule
+
+# Importing the rules package registers every built-in rule.
+from . import rules as _rules  # noqa: F401
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Finding",
+    "LintReport",
+    "Rule",
+    "all_rules",
+    "check_paths",
+    "check_source",
+    "get_rule",
+    "register_rule",
+    "__version__",
+]

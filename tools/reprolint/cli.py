@@ -1,0 +1,114 @@
+"""Command-line interface: ``python -m reprolint [options] paths...``.
+
+Exit codes follow the usual linter convention:
+
+- 0 — no findings
+- 1 — at least one finding
+- 2 — usage error (unknown rule id, missing path, no input files)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from .engine import LintReport, check_paths
+from .registry import all_rules
+
+__all__ = ["main", "build_parser"]
+
+EXIT_OK = 0
+EXIT_FINDINGS = 1
+EXIT_USAGE = 2
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="reprolint",
+        description=(
+            "AST-based invariant checker for the IQN reproduction "
+            "(cache invalidation, seeded randomness, virtual time, float "
+            "equality, __all__ hygiene)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (directories are walked recursively)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="IDS",
+        help="comma-separated rule ids to run (default: all registered rules)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the registered rules and exit",
+    )
+    return parser
+
+
+def _print_rules() -> None:
+    for rule in all_rules():
+        scope = ", ".join(rule.scope_fragments) if rule.scope_fragments else "all files"
+        print(f"{rule.rule_id}  {rule.name}  [{scope}]")
+        print(f"    {rule.rationale}")
+
+
+def _emit(report: LintReport, output_format: str) -> None:
+    if output_format == "json":
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+        return
+    for finding in report.findings:
+        print(finding.format_text())
+    noun = "file" if report.files_checked == 1 else "files"
+    if report.ok:
+        print(f"reprolint: {report.files_checked} {noun} checked, no findings")
+    else:
+        count = len(report.findings)
+        noun_f = "finding" if count == 1 else "findings"
+        print(f"reprolint: {report.files_checked} {noun} checked, {count} {noun_f}")
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    options = parser.parse_args(argv)
+
+    if options.list_rules:
+        _print_rules()
+        return EXIT_OK
+
+    if not options.paths:
+        parser.print_usage(sys.stderr)
+        print("reprolint: error: no input paths given", file=sys.stderr)
+        return EXIT_USAGE
+
+    rules = None
+    if options.select:
+        try:
+            rules = all_rules(
+                rule_id.strip().upper()
+                for rule_id in options.select.split(",")
+                if rule_id.strip()
+            )
+        except KeyError as exc:
+            print(f"reprolint: error: {exc.args[0]}", file=sys.stderr)
+            return EXIT_USAGE
+
+    try:
+        report = check_paths(options.paths, rules=rules)
+    except FileNotFoundError as exc:
+        print(f"reprolint: error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+
+    _emit(report, options.format)
+    return EXIT_OK if report.ok else EXIT_FINDINGS

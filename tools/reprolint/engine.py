@@ -1,0 +1,204 @@
+"""Linting engine: parse files, run rules, honor inline suppressions.
+
+The engine is importable independently of the CLI so tests can lint
+in-memory sources (:func:`check_source`) without touching the
+filesystem.  Suppressions are extracted from the token stream rather
+than the AST because comments never reach the AST:
+
+- ``# reprolint: disable=RPRL001,RPRL004`` on a line suppresses those
+  rules for findings anchored to that line (``disable=all`` suppresses
+  every rule).
+- ``# reprolint: disable-file=RPRL005`` anywhere in a file suppresses
+  the rule for the whole file.
+
+A file that fails to parse produces a single ``RPRL000`` finding so a
+syntax error cannot silently pass the lint gate.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+if TYPE_CHECKING:
+    from .registry import Rule
+
+__all__ = [
+    "PARSE_ERROR_ID",
+    "Finding",
+    "LintReport",
+    "Suppressions",
+    "check_paths",
+    "check_source",
+    "iter_python_files",
+]
+
+PARSE_ERROR_ID = "RPRL000"
+
+_DIRECTIVE = re.compile(
+    r"#\s*reprolint:\s*(?P<kind>disable(?:-file)?)\s*=\s*(?P<ids>[A-Za-z0-9_,\s]+)"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    rule_id: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def format_text(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "rule": self.rule_id,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+@dataclass
+class LintReport:
+    """Aggregate result of linting a set of files."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "files_checked": self.files_checked,
+            "findings": [f.as_dict() for f in self.findings],
+        }
+
+
+@dataclass
+class Suppressions:
+    """Inline-comment suppression state for one file."""
+
+    by_line: dict[int, set[str]] = field(default_factory=dict)
+    whole_file: set[str] = field(default_factory=set)
+
+    ALL = "all"
+
+    @classmethod
+    def from_source(cls, source: str) -> "Suppressions":
+        supp = cls()
+        try:
+            tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+            for token in tokens:
+                if token.type != tokenize.COMMENT:
+                    continue
+                match = _DIRECTIVE.search(token.string)
+                if match is None:
+                    continue
+                ids = {
+                    part.strip().upper() if part.strip().lower() != cls.ALL else cls.ALL
+                    for part in match.group("ids").split(",")
+                    if part.strip()
+                }
+                if match.group("kind") == "disable-file":
+                    supp.whole_file |= ids
+                else:
+                    supp.by_line.setdefault(token.start[0], set()).update(ids)
+        except tokenize.TokenError:
+            # Unterminated strings etc. — the parser will report them.
+            pass
+        return supp
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        if self.ALL in self.whole_file or finding.rule_id in self.whole_file:
+            return True
+        line_ids = self.by_line.get(finding.line)
+        if line_ids is None:
+            return False
+        return self.ALL in line_ids or finding.rule_id in line_ids
+
+
+def check_source(
+    source: str,
+    path: str,
+    rules: Iterable["Rule"] | None = None,
+) -> list[Finding]:
+    """Lint a source string as though it lived at ``path``.
+
+    Returns findings sorted by location; suppressed findings are
+    dropped.  A syntax error yields a single :data:`PARSE_ERROR_ID`
+    finding (never suppressible — a broken file must not pass).
+    """
+    from .registry import all_rules
+
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                rule_id=PARSE_ERROR_ID,
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                message=f"syntax error: {exc.msg}",
+            )
+        ]
+
+    suppressions = Suppressions.from_source(source)
+    active = [r for r in (all_rules() if rules is None else rules) if r.applies_to(path)]
+    findings: list[Finding] = []
+    for rule in active:
+        for finding in rule.check(tree, path):
+            if not suppressions.is_suppressed(finding):
+                findings.append(finding)
+    findings.sort(key=lambda f: (f.line, f.col, f.rule_id))
+    return findings
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
+    """Expand files/directories into the ``.py`` files to lint.
+
+    Directories are walked recursively; ``__pycache__`` and hidden
+    directories are skipped.  A missing path raises ``FileNotFoundError``
+    (the CLI maps it to a usage error).
+    """
+    for raw in paths:
+        path = Path(raw)
+        if not path.exists():
+            raise FileNotFoundError(f"no such file or directory: {path}")
+        if path.is_file():
+            if path.suffix == ".py":
+                yield path
+            continue
+        for candidate in sorted(path.rglob("*.py")):
+            parts = candidate.parts
+            if any(p == "__pycache__" or p.startswith(".") for p in parts):
+                continue
+            yield candidate
+
+
+def check_paths(
+    paths: Iterable[str | Path],
+    rules: Iterable["Rule"] | None = None,
+) -> LintReport:
+    """Lint every python file reachable from ``paths``."""
+    rule_list = None if rules is None else list(rules)
+    report = LintReport()
+    for file_path in iter_python_files(paths):
+        source = file_path.read_text(encoding="utf-8")
+        report.files_checked += 1
+        report.findings.extend(
+            check_source(source, str(file_path), rules=rule_list)
+        )
+    return report

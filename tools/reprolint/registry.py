@@ -1,0 +1,104 @@
+"""Rule base class and global rule registry.
+
+Every rule is a subclass of :class:`Rule` decorated with
+:func:`register_rule`.  Rules are stateless: :meth:`Rule.check` receives
+a parsed module and the (posix-normalized) path being checked and yields
+findings.  Path scoping lives in :meth:`Rule.applies_to` so the engine
+can skip whole files cheaply and so tests can probe scoping in
+isolation.
+"""
+
+from __future__ import annotations
+
+import abc
+from pathlib import PurePath
+from typing import TYPE_CHECKING, Iterable, Iterator, Type
+
+if TYPE_CHECKING:
+    import ast
+
+    from .engine import Finding
+
+__all__ = [
+    "Rule",
+    "register_rule",
+    "all_rules",
+    "get_rule",
+    "rule_ids",
+]
+
+
+def normalize_path(path: str) -> str:
+    """Return ``path`` with forward slashes, for fragment matching."""
+    return PurePath(path).as_posix()
+
+
+class Rule(abc.ABC):
+    """One named invariant check over a parsed module.
+
+    Class attributes
+    ----------------
+    rule_id:
+        Stable identifier (``RPRL00x``) used in output and suppressions.
+    name:
+        Short kebab-case summary of the invariant.
+    rationale:
+        One-sentence statement of why the invariant exists; surfaced by
+        ``--list-rules``.
+    scope_fragments:
+        Posix path fragments; the rule runs only on files whose path
+        contains at least one of them.  Empty means "every file".
+    """
+
+    rule_id: str = ""
+    name: str = ""
+    rationale: str = ""
+    scope_fragments: tuple[str, ...] = ()
+
+    def applies_to(self, path: str) -> bool:
+        if not self.scope_fragments:
+            return True
+        posix = normalize_path(path)
+        return any(fragment in posix for fragment in self.scope_fragments)
+
+    @abc.abstractmethod
+    def check(self, tree: "ast.Module", path: str) -> Iterator["Finding"]:
+        """Yield a :class:`Finding` for every violation in ``tree``."""
+
+
+_REGISTRY: dict[str, Type[Rule]] = {}
+
+
+def register_rule(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding ``cls`` to the global registry."""
+    if not cls.rule_id:
+        raise ValueError(f"rule {cls.__name__} has no rule_id")
+    existing = _REGISTRY.get(cls.rule_id)
+    if existing is not None and existing is not cls:
+        raise ValueError(
+            f"duplicate rule id {cls.rule_id}: {existing.__name__} vs {cls.__name__}"
+        )
+    _REGISTRY[cls.rule_id] = cls
+    return cls
+
+
+def all_rules(select: Iterable[str] | None = None) -> list[Rule]:
+    """Instantiate registered rules, optionally restricted to ``select`` ids."""
+    if select is None:
+        ids = sorted(_REGISTRY)
+    else:
+        ids = sorted(set(select))
+        unknown = [i for i in ids if i not in _REGISTRY]
+        if unknown:
+            raise KeyError(f"unknown rule id(s): {', '.join(unknown)}")
+    return [_REGISTRY[i]() for i in ids]
+
+
+def get_rule(rule_id: str) -> Rule:
+    """Instantiate the registered rule with id ``rule_id``."""
+    return _REGISTRY[rule_id]()
+
+
+def rule_ids() -> list[str]:
+    """All registered rule ids, sorted."""
+    return sorted(_REGISTRY)

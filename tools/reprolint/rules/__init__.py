@@ -1,0 +1,30 @@
+"""Built-in reprolint rules.
+
+Importing this package registers every rule with the global registry:
+
+==========  =============================================  ==========================
+id          name                                           scope
+==========  =============================================  ==========================
+RPRL001     mutating-method-must-invalidate-cache          everywhere
+RPRL002     no-unseeded-randomness                         ``src/repro``
+RPRL003     no-wall-clock-in-simnet                        ``repro/simnet``
+RPRL004     no-float-equality                              ``repro/synopses``, ``repro/core``
+RPRL005     public-api-hygiene (``__all__``)               ``src/repro``
+==========  =============================================  ==========================
+"""
+
+from __future__ import annotations
+
+from .caches import MutatingMethodMustInvalidateCache
+from .randomness import NoUnseededRandomness
+from .wallclock import NoWallClockInSimnet
+from .floats import NoFloatEquality
+from .api import PublicApiHygiene
+
+__all__ = [
+    "MutatingMethodMustInvalidateCache",
+    "NoUnseededRandomness",
+    "NoWallClockInSimnet",
+    "NoFloatEquality",
+    "PublicApiHygiene",
+]

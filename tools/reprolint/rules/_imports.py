@@ -1,0 +1,76 @@
+"""Shared import-alias resolution for call-site rules.
+
+RPRL002/RPRL003 need to know, for an expression like ``np.random.rand``
+or ``dt.now``, which *module-level* object it names.  This module builds
+the alias maps from the import statements of a file (wherever they
+appear — function-local imports included, a deliberate over-
+approximation: an alias bound anywhere in the file taints the whole
+file) and resolves attribute chains back to canonical dotted names.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+__all__ = ["ImportMap", "dotted_parts"]
+
+
+def dotted_parts(node: ast.expr) -> tuple[str, ...] | None:
+    """Flatten ``a.b.c`` into ``("a", "b", "c")``; None for non-names."""
+    parts: list[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if not isinstance(current, ast.Name):
+        return None
+    parts.append(current.id)
+    return tuple(reversed(parts))
+
+
+@dataclass
+class ImportMap:
+    """Local-name → canonical dotted-name bindings from import statements."""
+
+    # "np" -> "numpy", "nr" -> "numpy.random", "r" -> "random", ...
+    modules: dict[str, str] = field(default_factory=dict)
+    # "Random" -> "random.Random", "rng" -> "numpy.random.default_rng", ...
+    members: dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def from_tree(cls, tree: ast.Module) -> "ImportMap":
+        imports = cls()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    # ``import a.b`` binds ``a``; ``import a.b as c`` binds c=a.b.
+                    canonical = alias.name if alias.asname else alias.name.split(".")[0]
+                    imports.modules[local] = canonical
+            elif isinstance(node, ast.ImportFrom):
+                if node.level or node.module is None:
+                    continue  # relative imports never name stdlib/numpy
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    imports.members[local] = f"{node.module}.{alias.name}"
+        return imports
+
+    def resolve(self, node: ast.expr) -> str | None:
+        """Canonical dotted name of ``node``, if it is an imported name.
+
+        ``np.random.default_rng`` resolves to
+        ``numpy.random.default_rng`` given ``import numpy as np``;
+        returns None for names with no import binding (locals, builtins).
+        """
+        parts = dotted_parts(node)
+        if parts is None:
+            return None
+        head, rest = parts[0], parts[1:]
+        if head in self.modules:
+            return ".".join((self.modules[head],) + rest)
+        if head in self.members:
+            return ".".join((self.members[head],) + rest)
+        return None

@@ -1,0 +1,139 @@
+"""RPRL005 — public-API hygiene for ``src/repro`` modules.
+
+Every library module must declare ``__all__`` (the public-API test
+suite and the generated docs both key off it) and every ``__all__``
+entry must actually be defined in the module — a stale entry breaks
+``from repro.x import *`` at customer sites and silently lies to the
+doc generator.
+
+Entry-existence checking is conservative: if the module uses
+``import *`` or builds ``__all__`` from non-literal expressions the
+check is skipped rather than guessed at.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..engine import Finding
+from ..registry import Rule, register_rule
+
+__all__ = ["PublicApiHygiene"]
+
+
+def _all_entries(node: ast.expr) -> list[str] | None:
+    """String entries of an ``__all__`` value; None when non-literal."""
+    if isinstance(node, (ast.List, ast.Tuple)):
+        entries: list[str] = []
+        for element in node.elts:
+            if isinstance(element, ast.Constant) and isinstance(element.value, str):
+                entries.append(element.value)
+            else:
+                return None
+        return entries
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Add):
+        left = _all_entries(node.left)
+        right = _all_entries(node.right)
+        if left is None or right is None:
+            return None
+        return left + right
+    return None
+
+
+def _collect_defined(statements: list[ast.stmt], defined: set[str]) -> bool:
+    """Gather top-level bound names; True when ``import *`` is present."""
+    has_star = False
+    for stmt in statements:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            defined.add(stmt.name)
+        elif isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                for name_node in ast.walk(target):
+                    if isinstance(name_node, ast.Name):
+                        defined.add(name_node.id)
+        elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+            if isinstance(stmt.target, ast.Name):
+                defined.add(stmt.target.id)
+        elif isinstance(stmt, ast.Import):
+            for alias in stmt.names:
+                defined.add(alias.asname or alias.name.split(".")[0])
+        elif isinstance(stmt, ast.ImportFrom):
+            for alias in stmt.names:
+                if alias.name == "*":
+                    has_star = True
+                else:
+                    defined.add(alias.asname or alias.name)
+        elif isinstance(stmt, ast.If):
+            has_star |= _collect_defined(stmt.body, defined)
+            has_star |= _collect_defined(stmt.orelse, defined)
+        elif isinstance(stmt, ast.Try):
+            has_star |= _collect_defined(stmt.body, defined)
+            for handler in stmt.handlers:
+                has_star |= _collect_defined(handler.body, defined)
+            has_star |= _collect_defined(stmt.orelse, defined)
+            has_star |= _collect_defined(stmt.finalbody, defined)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            has_star |= _collect_defined(stmt.body, defined)
+    return has_star
+
+
+@register_rule
+class PublicApiHygiene(Rule):
+    rule_id = "RPRL005"
+    name = "public-api-hygiene"
+    rationale = (
+        "src/repro modules must declare __all__, and its entries must exist; "
+        "the public-API tests and doc generator key off it."
+    )
+    scope_fragments = ("src/repro",)
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[Finding]:
+        all_node: ast.Assign | ast.AnnAssign | None = None
+        for stmt in tree.body:
+            if isinstance(stmt, ast.Assign) and any(
+                isinstance(t, ast.Name) and t.id == "__all__" for t in stmt.targets
+            ):
+                all_node = stmt
+            elif (
+                isinstance(stmt, ast.AnnAssign)
+                and isinstance(stmt.target, ast.Name)
+                and stmt.target.id == "__all__"
+            ):
+                all_node = stmt
+
+        if all_node is None:
+            yield Finding(
+                rule_id=self.rule_id,
+                path=path,
+                line=1,
+                col=0,
+                message=(
+                    "module does not declare __all__; every src/repro module "
+                    "must pin its public surface"
+                ),
+            )
+            return
+
+        if all_node.value is None:
+            return
+        entries = _all_entries(all_node.value)
+        if entries is None:
+            return  # dynamically built — don't guess
+
+        defined: set[str] = set()
+        has_star = _collect_defined(tree.body, defined)
+        if has_star:
+            return
+        for entry in entries:
+            if entry not in defined:
+                yield Finding(
+                    rule_id=self.rule_id,
+                    path=path,
+                    line=all_node.lineno,
+                    col=all_node.col_offset,
+                    message=(
+                        f"__all__ entry '{entry}' is not defined at module "
+                        "top level"
+                    ),
+                )

@@ -1,0 +1,73 @@
+"""RPRL004 — no float-literal equality in estimator modules.
+
+Cardinality and novelty estimates are chains of transcendental
+arithmetic; whether ``estimate == 12.0`` holds can depend on libm,
+compiler flags, and vectorization order.  An accidental ``==`` against
+a float literal therefore makes routing decisions platform-dependent —
+the exact failure mode the plan-equivalence suite exists to prevent.
+Estimator code must use inequalities or ``math.isclose``.
+
+Scope is the estimator layers (``repro/synopses``, ``repro/core``).
+Exact-zero guards are still flagged: write ``<= 0.0`` (the codebase
+convention) or suppress the line with an explanatory comment.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..engine import Finding
+from ..registry import Rule, register_rule
+
+__all__ = ["NoFloatEquality"]
+
+
+def _float_literal_value(node: ast.expr) -> float | None:
+    """The value of a float literal (allowing a leading ``+``/``-``)."""
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.UAdd, ast.USub)):
+        inner = _float_literal_value(node.operand)
+        if inner is None:
+            return None
+        return -inner if isinstance(node.op, ast.USub) else inner
+    if isinstance(node, ast.Constant) and type(node.value) is float:
+        return node.value
+    return None
+
+
+@register_rule
+class NoFloatEquality(Rule):
+    rule_id = "RPRL004"
+    name = "no-float-equality"
+    rationale = (
+        "Float == against a literal makes estimator results depend on libm/"
+        "vectorization; use inequalities or math.isclose."
+    )
+    scope_fragments = ("repro/synopses", "repro/core")
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left] + list(node.comparators)
+            for index, op in enumerate(node.ops):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                left, right = operands[index], operands[index + 1]
+                literal = _float_literal_value(left)
+                if literal is None:
+                    literal = _float_literal_value(right)
+                if literal is None:
+                    continue
+                symbol = "==" if isinstance(op, ast.Eq) else "!="
+                yield Finding(
+                    rule_id=self.rule_id,
+                    path=path,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    message=(
+                        f"float equality '{symbol} {literal!r}' is platform-"
+                        "dependent in estimator code; use an inequality or "
+                        "math.isclose"
+                    ),
+                )

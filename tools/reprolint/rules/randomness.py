@@ -1,0 +1,97 @@
+"""RPRL002 — no unseeded or global randomness under ``src/repro``.
+
+The EDBT 2006 reruns are only meaningful if every experiment is exactly
+reproducible from its declared seed.  Global-RNG calls
+(``random.random()``, ``np.random.rand()``) and unseeded constructions
+(``random.Random()``, ``np.random.default_rng()``) make results depend
+on interpreter start-up state and call ordering, so library code must
+thread explicitly seeded ``random.Random`` / ``numpy`` Generator
+instances instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..engine import Finding
+from ..registry import Rule, register_rule
+from ._imports import ImportMap
+
+__all__ = ["NoUnseededRandomness"]
+
+#: Constructors that are fine *when given an explicit seed argument*.
+_SEEDABLE = frozenset(
+    {
+        "random.Random",
+        "numpy.random.default_rng",
+        "numpy.random.SeedSequence",
+        "numpy.random.RandomState",
+        "numpy.random.Generator",
+        "numpy.random.PCG64",
+        "numpy.random.PCG64DXSM",
+        "numpy.random.Philox",
+        "numpy.random.SFC64",
+        "numpy.random.MT19937",
+    }
+)
+
+
+def _is_seeded_call(node: ast.Call) -> bool:
+    """True when the call passes at least one non-None seed argument."""
+    for arg in node.args:
+        if not (isinstance(arg, ast.Constant) and arg.value is None):
+            return True
+    for keyword in node.keywords:
+        if keyword.arg is None:  # **kwargs — assume the caller knows
+            return True
+        if not (isinstance(keyword.value, ast.Constant) and keyword.value.value is None):
+            return True
+    return False
+
+
+@register_rule
+class NoUnseededRandomness(Rule):
+    rule_id = "RPRL002"
+    name = "no-unseeded-randomness"
+    rationale = (
+        "Library code must draw randomness from explicitly seeded generators; "
+        "global-RNG calls and unseeded constructions make experiment reruns "
+        "irreproducible."
+    )
+    scope_fragments = ("src/repro",)
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[Finding]:
+        imports = ImportMap.from_tree(tree)
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            canonical = imports.resolve(node.func)
+            if canonical is None:
+                continue
+            if canonical in _SEEDABLE:
+                if not _is_seeded_call(node):
+                    yield Finding(
+                        rule_id=self.rule_id,
+                        path=path,
+                        line=node.lineno,
+                        col=node.col_offset,
+                        message=(
+                            f"'{canonical}()' without an explicit seed draws "
+                            "entropy from the OS; pass a seed so reruns are "
+                            "reproducible"
+                        ),
+                    )
+            elif canonical.startswith("random.") or canonical.startswith(
+                "numpy.random."
+            ):
+                yield Finding(
+                    rule_id=self.rule_id,
+                    path=path,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    message=(
+                        f"'{canonical}()' uses the process-global RNG; thread a "
+                        "seeded random.Random / numpy Generator instance instead"
+                    ),
+                )
