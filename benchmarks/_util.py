@@ -2,7 +2,12 @@
 
 from __future__ import annotations
 
+import json
 import pathlib
+import statistics
+import time
+from dataclasses import dataclass
+from typing import Any, Callable
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
@@ -13,3 +18,73 @@ def save_result(name: str, text: str) -> None:
     path = RESULTS_DIR / f"{name}.txt"
     path.write_text(text + "\n")
     print(f"\n=== {name} ===\n{text}\n[saved to {path}]")
+
+
+def update_json_result(name: str, key: str, payload: Any) -> pathlib.Path:
+    """Merge ``payload`` under ``key`` into benchmarks/results/<name>.json.
+
+    Benchmark modules run independently (and in any order), so each one
+    contributes its section read-modify-write instead of owning the file.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    document: dict[str, Any] = {}
+    if path.exists():
+        try:
+            document = json.loads(path.read_text())
+        except json.JSONDecodeError:
+            document = {}
+    document[key] = payload
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+@dataclass(frozen=True)
+class Timing:
+    """Median-of-N wall-clock measurement for one unit of work.
+
+    A single sample is hostage to whatever else the machine was doing
+    that instant; warmup runs absorb one-time costs (imports, cache
+    population, branch-predictor warm-up) and the median of the
+    remaining repeats is robust to stragglers — so speedup ratios built
+    from these numbers are stable run to run.
+    """
+
+    median_s: float
+    min_s: float
+    max_s: float
+    repeats: int
+    warmup: int
+
+    def as_dict(self) -> dict[str, float | int]:
+        return {
+            "median_s": self.median_s,
+            "min_s": self.min_s,
+            "max_s": self.max_s,
+            "repeats": self.repeats,
+            "warmup": self.warmup,
+        }
+
+
+def measure(
+    fn: Callable[[], Any], *, warmup: int = 1, repeats: int = 5
+) -> Timing:
+    """Time ``fn`` with warmup iterations and median-of-``repeats``."""
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    if warmup < 0:
+        raise ValueError(f"warmup must be >= 0, got {warmup}")
+    for _ in range(warmup):
+        fn()
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    return Timing(
+        median_s=statistics.median(samples),
+        min_s=min(samples),
+        max_s=max(samples),
+        repeats=repeats,
+        warmup=warmup,
+    )

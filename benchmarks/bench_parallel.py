@@ -1,0 +1,171 @@
+"""PARALLEL — the process-pool + setup-cache experiment engine.
+
+The acceptance scenario for :mod:`repro.parallel`: a fig3-style grid
+(recall curves at several routing budgets over one testbed) executed
+
+- the **pre-PR way**: every cell rebuilds its testbed (exactly what
+  each ``python -m repro.experiments`` invocation did) and runs its
+  (method, query) tasks serially in process;
+- the **pooled way**: the testbed is built once into a content-addressed
+  :class:`~repro.parallel.cache.SetupCache` and every cell fans its
+  tasks out over a :class:`~repro.parallel.pool.TaskPool` at 1/2/4/8
+  workers against the warm cache.
+
+Timings use warmup + median-of-N (:func:`_util.measure`), results are
+asserted bit-identical across all execution modes, and the numbers land
+in ``benchmarks/results/BENCH_parallel.json`` — the machine-readable
+perf trajectory for this engine (the simnet section is contributed by
+``bench_simnet_load.py``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import pickle
+
+import pytest
+
+from repro.experiments.config import SMALL_CORPUS
+from repro.experiments.fig3 import (
+    build_combination_testbed,
+    cached_testbed,
+    run_recall_experiment,
+)
+from repro.parallel import ExperimentRunner, TaskPool
+
+from _util import measure, update_json_result
+
+#: One grid cell per routing budget; all cells share the same testbed,
+#: which is what makes the setup cache the dominant lever.
+GRID_MAX_PEERS = (2, 3, 4, 5, 6, 7)
+WORKER_COUNTS = (1, 2, 4, 8)
+
+CONFIG = dataclasses.replace(SMALL_CORPUS, topic_smear=1.0)
+TESTBED_PARAMS = dict(num_queries=4, query_pool_size=12, query_pool_offset=0)
+K, PEER_K = 30, 10
+
+
+def run_grid_serial_pre_pr():
+    """The pre-PR path: rebuild the testbed for every cell, run serially."""
+    grid = []
+    for max_peers in GRID_MAX_PEERS:
+        testbed = build_combination_testbed(CONFIG, **TESTBED_PARAMS)
+        grid.append(
+            run_recall_experiment(testbed, max_peers=max_peers, k=K, peer_k=PEER_K)
+        )
+    return grid
+
+
+def run_grid_pooled(workers: int, cache_dir) -> tuple[list, ExperimentRunner]:
+    """The pooled path: cached setup + task fan-out, fresh runner per grid."""
+    runner = ExperimentRunner(workers=workers, cache_dir=cache_dir)
+    grid = []
+    for max_peers in GRID_MAX_PEERS:
+        handle = cached_testbed(runner, "combination", CONFIG, **TESTBED_PARAMS)
+        grid.append(
+            run_recall_experiment(
+                handle.value,
+                max_peers=max_peers,
+                k=K,
+                peer_k=PEER_K,
+                runner=runner,
+                testbed_handle=handle,
+            )
+        )
+    return grid, runner
+
+
+@pytest.fixture(scope="module")
+def grid_data(tmp_path_factory):
+    cache_dir = tmp_path_factory.mktemp("parallel-grid-cache")
+
+    # Cold run: populates the cache (1 miss) and gives the baseline grid.
+    cold_grid, cold_runner = run_grid_pooled(1, cache_dir)
+    cold_stats = cold_runner.cache.stats.as_dict()
+
+    serial_grid = run_grid_serial_pre_pr()  # also the serial warmup
+    serial_timing = measure(run_grid_serial_pre_pr, warmup=0, repeats=3)
+
+    pooled = {}
+    warm_grids = {}
+    warm_stats = {}
+    for workers in WORKER_COUNTS:
+        grid, runner = run_grid_pooled(workers, cache_dir)  # warmup
+        warm_grids[workers] = grid
+        warm_stats[workers] = runner.cache.stats.as_dict()
+        pooled[workers] = measure(
+            lambda workers=workers: run_grid_pooled(workers, cache_dir),
+            warmup=0,
+            repeats=3,
+        )
+
+    tasks_per_grid = (
+        len(GRID_MAX_PEERS) * 5 * TESTBED_PARAMS["num_queries"]
+    )  # 5 methods: CORI + four IQN variants
+    speedup_at_8 = serial_timing.median_s / pooled[8].median_s
+    payload = {
+        "cells": len(GRID_MAX_PEERS),
+        "tasks_per_grid": tasks_per_grid,
+        "serial_pre_pr": serial_timing.as_dict(),
+        "serial_tasks_per_sec": tasks_per_grid / serial_timing.median_s,
+        "pooled_warm": {
+            str(workers): timing.as_dict() for workers, timing in pooled.items()
+        },
+        "pooled_tasks_per_sec": {
+            str(workers): tasks_per_grid / timing.median_s
+            for workers, timing in pooled.items()
+        },
+        "speedup_at_8_workers_warm_cache": speedup_at_8,
+        "cache_cold": cold_stats,
+        "cache_warm": warm_stats[8],
+        "identical_across_worker_counts": all(
+            pickle.dumps(warm_grids[workers]) == pickle.dumps(serial_grid)
+            for workers in WORKER_COUNTS
+        ),
+    }
+    update_json_result("BENCH_parallel", "grid", payload)
+    update_json_result(
+        "BENCH_parallel", "machine", {"cpus": os.cpu_count() or 1}
+    )
+    return {
+        "serial_grid": serial_grid,
+        "cold_grid": cold_grid,
+        "warm_grids": warm_grids,
+        "payload": payload,
+    }
+
+
+def test_grid_results_identical_across_execution_modes(grid_data):
+    """Acceptance: byte-identical output serial vs pooled, cold vs warm."""
+    reference = pickle.dumps(grid_data["serial_grid"])
+    assert pickle.dumps(grid_data["cold_grid"]) == reference
+    for workers, grid in grid_data["warm_grids"].items():
+        assert pickle.dumps(grid) == reference, f"workers={workers} diverged"
+
+
+def test_warm_cache_speedup(grid_data):
+    """Acceptance: >= 3x wall-clock at 8 workers against a warm cache."""
+    assert grid_data["payload"]["speedup_at_8_workers_warm_cache"] >= 3.0
+
+
+def test_cache_hits(grid_data):
+    """The grid builds its testbed exactly once, then always hits."""
+    assert grid_data["payload"]["cache_cold"]["misses"] == 1
+    warm = grid_data["payload"]["cache_warm"]
+    assert warm["misses"] == 0
+    assert warm["hits"] == len(GRID_MAX_PEERS)
+
+
+def _echo_task(task, seed):
+    """Trivial entrypoint for measuring raw pool dispatch overhead."""
+    return (task, seed)
+
+
+def test_pool_dispatch_overhead(benchmark):
+    """Real-time cost of fanning 64 trivial tasks over 2 workers."""
+    pool = TaskPool(2)
+    result = benchmark.pedantic(
+        lambda: pool.map(_echo_task, list(range(64))), rounds=3, iterations=1
+    )
+    assert len(result) == 64

@@ -15,9 +15,10 @@ import pytest
 from repro.core.iqn import IQNRouter
 from repro.experiments.netload import simnet_load_sweep
 from repro.experiments.report import format_table
+from repro.parallel import ExperimentRunner
 from repro.simnet.executor import SimNetExecutor
 
-from _util import save_result
+from _util import measure, save_result, update_json_result
 
 SPEC_LABEL = "mips-64"
 OFFERED_QPS = (2.0, 10.0, 50.0, 200.0)
@@ -137,6 +138,50 @@ def test_sweep_is_deterministic_under_the_seed(
         and p.loss_rate in (0.0, LOSS_RATES[-1])
     ]
     assert again == matching
+
+
+def test_pooled_sweep_matches_serial_and_records_throughput(
+    combination_testbed, fig3_params, figure_data
+):
+    """The sweep's cells are independent pool tasks: a pooled run must
+    reproduce the serial sweep exactly, and its cell throughput joins
+    the BENCH_parallel.json perf record."""
+    reduced = dict(
+        offered_qps=(OFFERED_QPS[0], OFFERED_QPS[1]),
+        loss_rates=(0.0, LOSS_RATES[-1]),
+    )
+    serial_timing = measure(
+        lambda: run_sweep(combination_testbed, fig3_params, **reduced),
+        warmup=1,
+        repeats=3,
+    )
+    serial_points = run_sweep(combination_testbed, fig3_params, **reduced)
+
+    runner = ExperimentRunner(workers=2)
+    pooled_timing = measure(
+        lambda: run_sweep(combination_testbed, fig3_params, runner=runner, **reduced),
+        warmup=1,
+        repeats=3,
+    )
+    pooled_points = run_sweep(
+        combination_testbed, fig3_params, runner=runner, **reduced
+    )
+    assert pooled_points == serial_points
+
+    num_cells = len(reduced["offered_qps"]) * len(reduced["loss_rates"])
+    update_json_result(
+        "BENCH_parallel",
+        "simnet",
+        {
+            "cells": num_cells,
+            "workers": 2,
+            "serial": serial_timing.as_dict(),
+            "pooled": pooled_timing.as_dict(),
+            "serial_cells_per_sec": num_cells / serial_timing.median_s,
+            "pooled_cells_per_sec": num_cells / pooled_timing.median_s,
+            "identical_to_serial": pooled_points == serial_points,
+        },
+    )
 
 
 def test_networked_query_speed(benchmark, combination_testbed, fig3_params, figure_data):

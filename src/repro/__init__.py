@@ -20,6 +20,8 @@ The package implements the paper's full stack:
 - :mod:`repro.core` -- the IQN routing method with its aggregation
   strategies, stopping criteria, histogram extension, and the adaptive
   synopsis-length allocator;
+- :mod:`repro.parallel` -- deterministic process-pool execution and the
+  content-addressed setup cache the experiment harnesses run on;
 - :mod:`repro.experiments` -- harnesses regenerating every figure.
 
 Quickstart::
@@ -62,6 +64,7 @@ from .datasets import (
 )
 from .ir import Corpus, Document, InvertedIndex, relative_recall
 from .minerva import Directory, MinervaEngine, Peer, PeerList, Post, QueryOutcome
+from .parallel import ExperimentRunner, SetupCache, TaskPool, derive_seed
 from .routing import (
     CoriSelector,
     LocalView,
@@ -120,6 +123,11 @@ __all__ = [
     "Directory",
     "MinervaEngine",
     "QueryOutcome",
+    # parallel
+    "ExperimentRunner",
+    "SetupCache",
+    "TaskPool",
+    "derive_seed",
     # routing
     "PeerSelector",
     "RoutingContext",

@@ -8,10 +8,18 @@ Usage::
     python -m repro.experiments fig3-right  [--quick]
     python -m repro.experiments matrix
     python -m repro.experiments load        [--quick]
+    python -m repro.experiments netload     [--quick]
     python -m repro.experiments reposting   [--quick]
 
 ``--quick`` shrinks the corpus/workload so a figure renders in seconds
 (for smoke-testing; the bench harness runs the calibrated full scale).
+
+``--workers N`` fans the experiment's independent tasks out over N
+worker processes; results are bit-identical at any worker count.
+``--cache-dir DIR`` persists built setups (corpus + indexes + synopses
++ directory) content-addressed under DIR, so regenerating a figure —
+or a different figure over the same testbed — skips the rebuild;
+``--no-cache`` disables reuse without disabling pooling.
 """
 
 from __future__ import annotations
@@ -20,6 +28,7 @@ import argparse
 import dataclasses
 import sys
 
+from ..parallel import ExperimentRunner
 from .config import (
     FIG3_CORPUS,
     FIG3_NUM_QUERIES,
@@ -30,11 +39,7 @@ from .config import (
     SMALL_CORPUS,
 )
 from .fig2 import error_vs_collection_size, error_vs_overlap
-from .fig3 import (
-    build_combination_testbed,
-    build_sliding_window_testbed,
-    run_recall_experiment,
-)
+from .fig3 import cached_testbed, run_recall_experiment
 from .report import (
     format_capability_matrix,
     format_error_points,
@@ -50,6 +55,7 @@ TARGETS = (
     "fig3-right",
     "matrix",
     "load",
+    "netload",
     "reposting",
 )
 
@@ -68,13 +74,23 @@ def _fig3_setup(quick: bool):
     )
 
 
-def run_target(target: str, *, quick: bool = False, runs: int = 30) -> str:
+def run_target(
+    target: str,
+    *,
+    quick: bool = False,
+    runs: int = 30,
+    runner: ExperimentRunner | None = None,
+) -> str:
     """Regenerate one figure and return its text rendering."""
+    if runner is None:
+        runner = ExperimentRunner(workers=1)
     if target == "fig2-left":
-        points = error_vs_collection_size(runs=4 if quick else runs)
+        points = error_vs_collection_size(
+            runs=4 if quick else runs, runner=runner
+        )
         return format_error_points(points, x_name="docs/collection")
     if target == "fig2-right":
-        points = error_vs_overlap(runs=4 if quick else runs)
+        points = error_vs_overlap(runs=4 if quick else runs, runner=runner)
         return format_error_points(points, x_name="mutual overlap")
     if target == "matrix":
         return format_capability_matrix()
@@ -106,13 +122,16 @@ def run_target(target: str, *, quick: bool = False, runs: int = 30) -> str:
         from .load import measure_load
         from .report import format_table
 
-        testbed = build_sliding_window_testbed(
+        handle = cached_testbed(
+            runner,
+            "sliding-window",
             config,
             num_queries=num_queries,
             query_pool_size=pool,
             query_pool_offset=offset,
             spec_labels=("mips-64",),
         )
+        testbed = handle.value
         reports = measure_load(
             testbed.engines["mips-64"],
             testbed.queries,
@@ -120,6 +139,7 @@ def run_target(target: str, *, quick: bool = False, runs: int = 30) -> str:
             max_peers=5,
             k=k,
             peer_k=peer_k,
+            runner=runner,
         )
         return format_table(
             ["method", "forwards", "peers touched", "busiest share", "max/mean"],
@@ -134,23 +154,82 @@ def run_target(target: str, *, quick: bool = False, runs: int = 30) -> str:
                 for r in reports
             ],
         )
+    if target == "netload":
+        from ..core.iqn import IQNRouter
+        from .netload import simnet_load_sweep
+        from .report import format_table
+
+        handle = cached_testbed(
+            runner,
+            "combination",
+            config,
+            num_queries=num_queries,
+            query_pool_size=pool,
+            query_pool_offset=offset,
+            spec_labels=("mips-64",),
+        )
+        testbed = handle.value
+        points = simnet_load_sweep(
+            testbed.engines["mips-64"],
+            testbed.queries,
+            IQNRouter,
+            offered_qps=(2.0, 20.0) if quick else (2.0, 10.0, 50.0, 200.0),
+            loss_rates=(0.0, 0.1),
+            seed=17,
+            max_peers=5,
+            k=k,
+            peer_k=peer_k,
+            runner=runner,
+        )
+        return format_table(
+            ["loss", "qps", "mean ms", "p95 ms", "recall", "retries"],
+            [
+                [
+                    p.loss_rate,
+                    p.offered_qps,
+                    p.mean_latency_ms,
+                    p.p95_latency_ms,
+                    p.mean_recall,
+                    p.forward_retries,
+                ]
+                for p in points
+            ],
+        )
     if target == "fig3-left":
-        testbed = build_combination_testbed(
+        handle = cached_testbed(
+            runner,
+            "combination",
             config,
             num_queries=num_queries,
             query_pool_size=pool,
             query_pool_offset=offset,
         )
-        curves = run_recall_experiment(testbed, max_peers=7, k=k, peer_k=peer_k)
+        curves = run_recall_experiment(
+            handle.value,
+            max_peers=7,
+            k=k,
+            peer_k=peer_k,
+            runner=runner,
+            testbed_handle=handle,
+        )
         return format_recall_curves(curves)
     if target == "fig3-right":
-        testbed = build_sliding_window_testbed(
+        handle = cached_testbed(
+            runner,
+            "sliding-window",
             config,
             num_queries=num_queries,
             query_pool_size=pool,
             query_pool_offset=offset,
         )
-        curves = run_recall_experiment(testbed, max_peers=10, k=k, peer_k=peer_k)
+        curves = run_recall_experiment(
+            handle.value,
+            max_peers=10,
+            k=k,
+            peer_k=peer_k,
+            runner=runner,
+            testbed_handle=handle,
+        )
         return format_recall_curves(curves)
     raise ValueError(f"unknown target {target!r}; choose from {TARGETS}")
 
@@ -172,8 +251,31 @@ def main(argv: list[str] | None = None) -> int:
         default=30,
         help="runs per Figure 2 data point (default 30)",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for independent tasks (default 1 = serial; "
+        "results are identical at any worker count)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="persist built setups content-addressed under this directory "
+        "and reuse them across runs",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="never reuse cached setups (pooling still works)",
+    )
     args = parser.parse_args(argv)
-    print(run_target(args.target, quick=args.quick, runs=args.runs))
+    runner = ExperimentRunner(
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        use_cache=args.cache_dir is not None and not args.no_cache,
+    )
+    print(run_target(args.target, quick=args.quick, runs=args.runs, runner=runner))
     return 0
 
 

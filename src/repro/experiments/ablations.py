@@ -29,6 +29,7 @@ from ..core.novelty import estimate_novelty
 from ..datasets.queries import Query
 from ..ir.metrics import micro_average
 from ..minerva.engine import MinervaEngine
+from ..parallel import ExperimentRunner, SetupHandle, current_setup
 from ..routing.base import PeerSelector
 from ..routing.cori import CoriSelector
 from ..synopses.measures import novelty as exact_novelty
@@ -38,6 +39,7 @@ __all__ = [
     "aggregation_ablation",
     "PeerListFetchTrial",
     "peerlist_fetch_ablation",
+    "peerlist_fetch_task",
     "quality_novelty_ablation",
     "histogram_ablation",
     "BudgetTrial",
@@ -52,6 +54,8 @@ def aggregation_ablation(
     max_peers: int,
     k: int = 50,
     conjunctive: bool = False,
+    runner: ExperimentRunner | None = None,
+    testbed_handle: SetupHandle | None = None,
 ) -> list[RecallCurve]:
     """Per-peer vs per-term vs correlation-corrected per-term (Section 6
     plus the paper's future-work correlation extension)."""
@@ -64,7 +68,13 @@ def aggregation_ablation(
         ),
     }
     return run_recall_experiment(
-        testbed, max_peers=max_peers, k=k, conjunctive=conjunctive, methods=methods
+        testbed,
+        max_peers=max_peers,
+        k=k,
+        conjunctive=conjunctive,
+        methods=methods,
+        runner=runner,
+        testbed_handle=testbed_handle,
     )
 
 
@@ -78,6 +88,26 @@ class PeerListFetchTrial:
     mean_dht_hops: float
 
 
+def peerlist_fetch_task(task: dict, seed: int) -> tuple[float, float, float]:
+    """Worker entrypoint: one query under one PeerList fetch mode."""
+    del seed  # routing and directory fetch are fully deterministic
+    testbed = current_setup()
+    engine = testbed.engine_for(task["spec_label"])
+    outcome = engine.run_query(
+        testbed.queries[task["query_index"]],
+        IQNRouter(),
+        max_peers=task["max_peers"],
+        k=task["k"],
+        peer_k=task["peer_k"],
+        peer_list_limit=task["limit"],
+    )
+    return (
+        outcome.final_recall,
+        outcome.cost.bits("peerlist_fetch"),
+        outcome.cost.messages("dht_hop"),
+    )
+
+
 def peerlist_fetch_ablation(
     testbed: Testbed,
     *,
@@ -86,38 +116,43 @@ def peerlist_fetch_ablation(
     k: int = 100,
     peer_k: int | None = 30,
     peer_list_limits: Sequence[int | None] = (None, 10, 20),
+    runner: ExperimentRunner | None = None,
+    testbed_handle: SetupHandle | None = None,
 ) -> list[PeerListFetchTrial]:
     """Full PeerList fetch vs distributed top-k retrieval (Section 4).
 
     ``None`` means fetching the complete PeerLists; an integer runs the
     NRA threshold algorithm for that many top peers and routes over the
     fetched shortlist.  Reports recall and the PeerList payload actually
-    shipped, so the efficiency/effectiveness trade is explicit.
+    shipped, so the efficiency/effectiveness trade is explicit.  Every
+    (fetch mode, query) pair is an independent task on ``runner``.
     """
-    engine = testbed.engine_for(spec_label)
+    if runner is None:
+        runner = ExperimentRunner(workers=1)
+    tasks = [
+        {
+            "spec_label": spec_label,
+            "query_index": query_index,
+            "max_peers": max_peers,
+            "k": k,
+            "peer_k": peer_k,
+            "limit": limit,
+        }
+        for limit in peer_list_limits
+        for query_index in range(len(testbed.queries))
+    ]
+    handle = testbed_handle or runner.attach("fig3-testbed", testbed)
+    rows = runner.map(peerlist_fetch_task, tasks, setup=handle)
     trials = []
-    for limit in peer_list_limits:
-        recalls = []
-        bits = []
-        hops = []
-        for query in testbed.queries:
-            outcome = engine.run_query(
-                query,
-                IQNRouter(),
-                max_peers=max_peers,
-                k=k,
-                peer_k=peer_k,
-                peer_list_limit=limit,
-            )
-            recalls.append(outcome.final_recall)
-            bits.append(outcome.cost.bits("peerlist_fetch"))
-            hops.append(outcome.cost.messages("dht_hop"))
+    num_queries = len(testbed.queries)
+    for index, limit in enumerate(peer_list_limits):
+        cell = rows[index * num_queries : (index + 1) * num_queries]
         trials.append(
             PeerListFetchTrial(
                 mode="full" if limit is None else f"top-{limit}",
-                mean_final_recall=micro_average(recalls),
-                mean_peerlist_bits=micro_average(bits),
-                mean_dht_hops=micro_average(hops),
+                mean_final_recall=micro_average([r[0] for r in cell]),
+                mean_peerlist_bits=micro_average([r[1] for r in cell]),
+                mean_dht_hops=micro_average([r[2] for r in cell]),
             )
         )
     return trials
@@ -129,6 +164,8 @@ def quality_novelty_ablation(
     spec_label: str,
     max_peers: int,
     k: int = 50,
+    runner: ExperimentRunner | None = None,
+    testbed_handle: SetupHandle | None = None,
 ) -> list[RecallCurve]:
     """Decompose IQN's product: quality-only, novelty-only, both."""
     methods: dict[str, tuple[str, PeerSelector]] = {
@@ -136,7 +173,14 @@ def quality_novelty_ablation(
         "novelty only": (spec_label, IQNRouter(quality_weighted=False)),
         "quality * novelty (IQN)": (spec_label, IQNRouter()),
     }
-    return run_recall_experiment(testbed, max_peers=max_peers, k=k, methods=methods)
+    return run_recall_experiment(
+        testbed,
+        max_peers=max_peers,
+        k=k,
+        methods=methods,
+        runner=runner,
+        testbed_handle=testbed_handle,
+    )
 
 
 def histogram_ablation(

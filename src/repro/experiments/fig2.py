@@ -26,6 +26,7 @@ from statistics import mean, stdev
 from typing import Sequence
 
 from ..datasets.synthetic import pair_with_overlap_fraction
+from ..parallel import ExperimentRunner
 from ..synopses.factory import SynopsisSpec
 from ..synopses.measures import resemblance
 
@@ -34,6 +35,7 @@ __all__ = [
     "FIG2_LEFT_SIZES",
     "FIG2_RIGHT_OVERLAPS",
     "ErrorPoint",
+    "error_cell_task",
     "resemblance_error",
     "error_vs_collection_size",
     "error_vs_overlap",
@@ -79,34 +81,66 @@ def resemblance_error(
     return abs(estimated - true) / true
 
 
+def error_cell_task(task: dict, seed: int) -> ErrorPoint:
+    """Worker entrypoint: one (spec, x-value) cell of a Figure 2 chart.
+
+    The cell's randomness derives from the *experiment's* string-seed
+    scheme — per (spec, x, run), independent of scheduling — so serial
+    and pooled sweeps produce identical points bit for bit.
+    """
+    del seed  # superseded by the per-run string seeds below
+    spec: SynopsisSpec = task["spec"]
+    x_value = task["x_value"]
+    errors = []
+    for run in range(task["runs"]):
+        # A string seed keeps runs independent per (spec, x, run)
+        # and reproducible across processes (unlike tuple hash()).
+        rng = random.Random(f"{task['seed']}:{spec.label}:{x_value}:{run}")
+        if task["mode"] == "size":
+            set_a, set_b = pair_with_overlap_fraction(
+                int(x_value), task["overlap_fraction"], rng=rng
+            )
+        else:
+            set_a, set_b = pair_with_overlap_fraction(
+                task["collection_size"], x_value, rng=rng
+            )
+        errors.append(resemblance_error(spec, set_a, set_b))
+    return ErrorPoint(
+        spec_label=spec.label,
+        x_value=x_value,
+        mean_relative_error=mean(errors),
+        stdev_relative_error=stdev(errors) if len(errors) > 1 else 0.0,
+        runs=task["runs"],
+    )
+
+
 def _sweep(
     specs: Sequence[SynopsisSpec],
     x_values: Sequence[float],
     *,
     runs: int,
     seed: int,
-    make_pair,
+    mode: str,
+    overlap_fraction: float | None = None,
+    collection_size: int | None = None,
+    runner: ExperimentRunner | None = None,
 ) -> list[ErrorPoint]:
-    points = []
-    for spec in specs:
-        for x_value in x_values:
-            errors = []
-            for run in range(runs):
-                # A string seed keeps runs independent per (spec, x, run)
-                # and reproducible across processes (unlike tuple hash()).
-                rng = random.Random(f"{seed}:{spec.label}:{x_value}:{run}")
-                set_a, set_b = make_pair(x_value, rng)
-                errors.append(resemblance_error(spec, set_a, set_b))
-            points.append(
-                ErrorPoint(
-                    spec_label=spec.label,
-                    x_value=x_value,
-                    mean_relative_error=mean(errors),
-                    stdev_relative_error=stdev(errors) if len(errors) > 1 else 0.0,
-                    runs=runs,
-                )
-            )
-    return points
+    if runner is None:
+        runner = ExperimentRunner(workers=1)
+    tasks = [
+        {
+            "spec": spec,
+            "x_value": x_value,
+            "runs": runs,
+            "seed": seed,
+            "mode": mode,
+            "overlap_fraction": overlap_fraction,
+            "collection_size": collection_size,
+        }
+        for spec in specs
+        for x_value in x_values
+    ]
+    return runner.map(error_cell_task, tasks)
 
 
 def error_vs_collection_size(
@@ -116,13 +150,18 @@ def error_vs_collection_size(
     overlap_fraction: float = 1.0 / 3.0,
     runs: int = 50,
     seed: int = 2006,
+    runner: ExperimentRunner | None = None,
 ) -> list[ErrorPoint]:
     """Figure 2, left: error vs documents per collection at fixed overlap."""
-
-    def make_pair(size: float, rng: random.Random):
-        return pair_with_overlap_fraction(int(size), overlap_fraction, rng=rng)
-
-    return _sweep(specs, sizes, runs=runs, seed=seed, make_pair=make_pair)
+    return _sweep(
+        specs,
+        sizes,
+        runs=runs,
+        seed=seed,
+        mode="size",
+        overlap_fraction=overlap_fraction,
+        runner=runner,
+    )
 
 
 def error_vs_overlap(
@@ -132,14 +171,19 @@ def error_vs_overlap(
     collection_size: int = 10_000,
     runs: int = 50,
     seed: int = 2006,
+    runner: ExperimentRunner | None = None,
 ) -> list[ErrorPoint]:
     """Figure 2, right: error vs mutual overlap at fixed collection size.
 
     The paper's prose fixes the size at 10,000 elements (the chart's
     caption says 5,000 — we follow the prose; the shape is identical).
     """
-
-    def make_pair(overlap: float, rng: random.Random):
-        return pair_with_overlap_fraction(collection_size, overlap, rng=rng)
-
-    return _sweep(specs, overlaps, runs=runs, seed=seed, make_pair=make_pair)
+    return _sweep(
+        specs,
+        overlaps,
+        runs=runs,
+        seed=seed,
+        mode="overlap",
+        collection_size=collection_size,
+        runner=runner,
+    )

@@ -18,7 +18,7 @@ BF-1024, MIPs-64, BF-2048 synopses — "The shorter synopsis length was
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from typing import Any, Callable, Sequence
 
 from ..core.iqn import IQNRouter
 from ..datasets.corpus import GovCorpusConfig, build_gov_corpus
@@ -32,6 +32,7 @@ from ..datasets.queries import Query, make_workload
 from ..ir.index import InvertedIndex
 from ..ir.metrics import micro_average
 from ..minerva.engine import MinervaEngine
+from ..parallel import ExperimentRunner, SetupHandle, current_setup
 from ..routing.base import PeerSelector
 from ..routing.cori import CoriSelector
 from ..synopses.factory import SynopsisSpec
@@ -42,7 +43,9 @@ __all__ = [
     "Testbed",
     "build_combination_testbed",
     "build_sliding_window_testbed",
+    "cached_testbed",
     "default_selectors",
+    "recall_query_task",
     "run_recall_experiment",
 ]
 
@@ -197,6 +200,38 @@ def build_sliding_window_testbed(
     )
 
 
+def cached_testbed(
+    runner: ExperimentRunner,
+    placement: str,
+    config: GovCorpusConfig | None = None,
+    **params: Any,
+) -> SetupHandle:
+    """Build (or load from the runner's cache) one Figure 3 testbed.
+
+    ``placement`` is ``"combination"`` or ``"sliding-window"``; ``params``
+    are forwarded to the corresponding builder *and* fingerprinted, so a
+    testbed is rebuilt exactly when an ingredient — corpus config,
+    placement, spec labels, workload parameters — changes.  Pass
+    parameters explicitly and consistently: the fingerprint hashes what
+    you pass, not the builders' defaults.
+    """
+    builders: dict[str, Callable[..., Testbed]] = {
+        "combination": build_combination_testbed,
+        "sliding-window": build_sliding_window_testbed,
+    }
+    try:
+        build = builders[placement]
+    except KeyError:
+        raise ValueError(
+            f"unknown placement {placement!r}; choose from {sorted(builders)}"
+        ) from None
+    config = config or GovCorpusConfig()
+    parts = {"placement": placement, "config": config, "params": params}
+    return runner.setup(
+        "fig3-testbed", parts, lambda: build(config, **params)
+    )
+
+
 def default_selectors(
     spec_labels: Sequence[str] = FIG3_SPEC_LABELS,
 ) -> dict[str, tuple[str, PeerSelector]]:
@@ -214,6 +249,22 @@ def default_selectors(
     return methods
 
 
+def recall_query_task(task: dict, seed: int) -> tuple[float, ...]:
+    """Worker entrypoint: one routed query on the attached testbed."""
+    del seed  # routing and execution are fully deterministic
+    testbed = current_setup()
+    engine = testbed.engine_for(task["spec_label"])
+    outcome = engine.run_query(
+        testbed.queries[task["query_index"]],
+        task["selector"],
+        max_peers=task["max_peers"],
+        k=task["k"],
+        peer_k=task["peer_k"],
+        conjunctive=task["conjunctive"],
+    )
+    return outcome.recall_at
+
+
 def run_recall_experiment(
     testbed: Testbed,
     *,
@@ -222,28 +273,45 @@ def run_recall_experiment(
     peer_k: int | None = 30,
     conjunctive: bool = False,
     methods: dict[str, tuple[str, PeerSelector]] | None = None,
+    runner: ExperimentRunner | None = None,
+    testbed_handle: SetupHandle | None = None,
 ) -> list[RecallCurve]:
     """Micro-averaged recall curves for every method over the workload.
 
     Defaults model the paper's regime: each queried peer ships its local
     top-30 while recall is measured against the centralized top-100, so
     reaching high recall *requires* complementary peers.
+
+    Every (method, query) pair is an independent task on ``runner``'s
+    pool; results are bit-identical at any worker count (``runner=None``
+    runs the same tasks serially in process).  When the testbed came from
+    :func:`cached_testbed`, pass its ``testbed_handle`` so pooled workers
+    attach to the existing artifact instead of re-pickling the testbed.
     """
     if methods is None:
         methods = default_selectors(tuple(testbed.engines))
+    if runner is None:
+        runner = ExperimentRunner(workers=1)
+    tasks = [
+        {
+            "spec_label": spec_label,
+            "selector": selector,
+            "query_index": query_index,
+            "max_peers": max_peers,
+            "k": k,
+            "peer_k": peer_k,
+            "conjunctive": conjunctive,
+        }
+        for (spec_label, selector) in methods.values()
+        for query_index in range(len(testbed.queries))
+    ]
+    handle = testbed_handle or runner.attach("fig3-testbed", testbed)
+    recall_rows = runner.map(recall_query_task, tasks, setup=handle)
     curves = []
-    for method_name, (spec_label, selector) in methods.items():
-        engine = testbed.engine_for(spec_label)
-        per_query = [
-            engine.run_query(
-                query,
-                selector,
-                max_peers=max_peers,
-                k=k,
-                peer_k=peer_k,
-                conjunctive=conjunctive,
-            ).recall_at
-            for query in testbed.queries
+    num_queries = len(testbed.queries)
+    for method_index, method_name in enumerate(methods):
+        per_query = recall_rows[
+            method_index * num_queries : (method_index + 1) * num_queries
         ]
         depth = min(len(r) for r in per_query)
         averaged = tuple(

@@ -26,9 +26,10 @@ from typing import Sequence
 from ..datasets.queries import Query
 from ..minerva.engine import MinervaEngine
 from ..net.latency import mm1_response_time
+from ..parallel import ExperimentRunner, SetupHandle, current_setup
 from ..routing.base import PeerSelector
 
-__all__ = ["LoadReport", "measure_load"]
+__all__ = ["LoadReport", "load_query_task", "measure_load"]
 
 
 @dataclass(frozen=True)
@@ -80,6 +81,22 @@ class LoadReport:
         return mm1_response_time(service_time_ms, utilization)
 
 
+def load_query_task(task: dict, seed: int) -> tuple[str, ...]:
+    """Worker entrypoint: one (query, initiator) run on the attached
+    engine, returning the selected peer ids to tally."""
+    del seed  # routing is fully deterministic
+    engine = current_setup()
+    outcome = engine.run_query(
+        task["query"],
+        task["selector"],
+        initiator_id=task["initiator_id"],
+        max_peers=task["max_peers"],
+        k=task["k"],
+        peer_k=task["peer_k"],
+    )
+    return outcome.selected
+
+
 def measure_load(
     engine: MinervaEngine,
     queries: Sequence[Query],
@@ -89,40 +106,62 @@ def measure_load(
     k: int = 100,
     peer_k: int | None = 30,
     initiators_per_query: int = 5,
+    runner: ExperimentRunner | None = None,
+    engine_handle: SetupHandle | None = None,
 ) -> list[LoadReport]:
     """Run every query from several initiators and tally the forwards.
 
     Different initiators have different local seeds, so even a
     deterministic router spreads load across the network the way a real
-    multi-user deployment would.
+    multi-user deployment would.  Each (method, query, initiator) triple
+    is an independent pool task; forwards are tallied in task order, so
+    the reports are identical at any worker count.
     """
     if initiators_per_query <= 0:
         raise ValueError(
             f"initiators_per_query must be positive, got {initiators_per_query}"
         )
+    if runner is None:
+        runner = ExperimentRunner(workers=1)
     peer_ids = sorted(engine.peers)
-    reports = []
+    tasks = []
+    task_methods = []
     for method_name, selector in methods.items():
-        forwards: Counter[str] = Counter()
         for query in queries:
             for offset in range(initiators_per_query):
                 initiator = peer_ids[
                     (query.query_id + offset * 7) % len(peer_ids)
                 ]
-                outcome = engine.run_query(
-                    query,
-                    selector,
-                    initiator_id=initiator,
-                    max_peers=max_peers,
-                    k=k,
-                    peer_k=peer_k,
+                tasks.append(
+                    {
+                        "query": query,
+                        "selector": selector,
+                        "initiator_id": initiator,
+                        "max_peers": max_peers,
+                        "k": k,
+                        "peer_k": peer_k,
+                    }
                 )
-                forwards.update(outcome.selected)
-        reports.append(
-            LoadReport(
-                method=method_name,
-                forwards_per_peer=dict(forwards),
-                total_forwards=sum(forwards.values()),
-            )
+                task_methods.append(method_name)
+    handle = engine_handle or runner.attach("load-engine", engine)
+    selections = runner.map(load_query_task, tasks, setup=handle)
+    forwards_by_method: dict[str, Counter[str]] = {
+        method_name: Counter() for method_name in methods
+    }
+    # Pooled workers return their own copies of the peer-id strings;
+    # intern them back to the engine's canonical ids so the aggregated
+    # reports have the same object graph (and serialize to the same
+    # bytes) at any worker count.
+    canonical_ids = {peer_id: peer_id for peer_id in peer_ids}
+    for method_name, selected in zip(task_methods, selections):
+        forwards_by_method[method_name].update(
+            canonical_ids[peer_id] for peer_id in selected
         )
-    return reports
+    return [
+        LoadReport(
+            method=method_name,
+            forwards_per_peer=dict(forwards),
+            total_forwards=sum(forwards.values()),
+        )
+        for method_name, forwards in forwards_by_method.items()
+    ]

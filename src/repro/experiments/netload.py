@@ -23,12 +23,13 @@ from typing import Callable, Sequence
 from ..datasets.queries import Query
 from ..minerva.engine import MinervaEngine
 from ..net.latency import LatencyProfile
+from ..parallel import ExperimentRunner, SetupHandle, current_setup
 from ..routing.base import PeerSelector
 from ..simnet.executor import NetworkedQueryOutcome, SimNetExecutor
 from ..simnet.faults import FaultPlan
 from ..simnet.rpc import RetryPolicy
 
-__all__ = ["NetLoadPoint", "simnet_load_sweep"]
+__all__ = ["NetLoadPoint", "netload_cell_task", "simnet_load_sweep"]
 
 
 @dataclass(frozen=True)
@@ -75,6 +76,60 @@ class NetLoadPoint:
         )
 
 
+def _run_cell(
+    engine: MinervaEngine,
+    queries: Sequence[Query],
+    make_selector: Callable[[], PeerSelector],
+    *,
+    qps: float,
+    loss_rate: float,
+    seed: int,
+    max_peers: int,
+    k: int,
+    peer_k: int | None,
+    profile: LatencyProfile | None,
+    policy: RetryPolicy | None,
+) -> NetLoadPoint:
+    """One (offered load, loss rate) cell: a fresh executor and selector."""
+    executor = SimNetExecutor(
+        engine,
+        faults=FaultPlan(loss_rate=loss_rate),
+        profile=profile,
+        policy=policy,
+        seed=seed,
+    )
+    outcomes = executor.run_workload(
+        queries,
+        make_selector(),
+        interarrival_ms=1000.0 / qps,
+        max_peers=max_peers,
+        k=k,
+        peer_k=peer_k,
+    )
+    return NetLoadPoint.from_outcomes(qps, loss_rate, outcomes)
+
+
+def netload_cell_task(task: dict, seed: int) -> NetLoadPoint:
+    """Worker entrypoint: one sweep cell on the attached (engine,
+    queries) setup.  The cell's simulation seed travels in the task (the
+    sweep's declared ``seed``), so results match the serial sweep."""
+    del seed  # the sweep's own seed is part of the task
+    engine, queries = current_setup()
+    return _run_cell(
+        engine,
+        queries,
+        task["make_selector"],
+        qps=task["qps"],
+        loss_rate=task["loss_rate"],
+        seed=task["seed"],
+        max_peers=task["max_peers"],
+        k=task["k"],
+        peer_k=task["peer_k"],
+        profile=task["profile"],
+        policy=task["policy"],
+    )
+
+
 def simnet_load_sweep(
     engine: MinervaEngine,
     queries: Sequence[Query],
@@ -88,6 +143,8 @@ def simnet_load_sweep(
     peer_k: int | None = None,
     profile: LatencyProfile | None = None,
     policy: RetryPolicy | None = None,
+    runner: ExperimentRunner | None = None,
+    setup_handle: SetupHandle | None = None,
 ) -> list[NetLoadPoint]:
     """Run the workload at every (offered load, loss rate) combination.
 
@@ -97,28 +154,34 @@ def simnet_load_sweep(
     ``make_selector`` (protects against stateful selectors leaking
     between cells).  Returns one :class:`NetLoadPoint` per cell, in
     sweep order (loss-major, load-minor).
+
+    Cells are independent pool tasks on ``runner``; for pooled execution
+    ``make_selector``, ``profile``, and ``policy`` must be picklable (a
+    selector *class* like ``IQNRouter`` qualifies; a lambda does not).
+    ``setup_handle`` (from ``runner.attach("netload-setup", (engine,
+    queries))``) lets repeated sweeps share one worker artifact.
     """
     if not queries:
         raise ValueError("a sweep needs at least one query")
-    points = []
-    for loss_rate in loss_rates:
-        for qps in offered_qps:
-            if qps <= 0:
-                raise ValueError(f"offered_qps must be positive, got {qps}")
-            executor = SimNetExecutor(
-                engine,
-                faults=FaultPlan(loss_rate=loss_rate),
-                profile=profile,
-                policy=policy,
-                seed=seed,
-            )
-            outcomes = executor.run_workload(
-                queries,
-                make_selector(),
-                interarrival_ms=1000.0 / qps,
-                max_peers=max_peers,
-                k=k,
-                peer_k=peer_k,
-            )
-            points.append(NetLoadPoint.from_outcomes(qps, loss_rate, outcomes))
-    return points
+    for qps in offered_qps:
+        if qps <= 0:
+            raise ValueError(f"offered_qps must be positive, got {qps}")
+    if runner is None:
+        runner = ExperimentRunner(workers=1)
+    tasks = [
+        {
+            "make_selector": make_selector,
+            "qps": qps,
+            "loss_rate": loss_rate,
+            "seed": seed,
+            "max_peers": max_peers,
+            "k": k,
+            "peer_k": peer_k,
+            "profile": profile,
+            "policy": policy,
+        }
+        for loss_rate in loss_rates
+        for qps in offered_qps
+    ]
+    handle = setup_handle or runner.attach("netload-setup", (engine, queries))
+    return runner.map(netload_cell_task, tasks, setup=handle)

@@ -1,0 +1,38 @@
+"""Deterministic parallel experiment execution.
+
+The paper's evaluation is a grid of thousands of independent routed
+queries over a handful of expensive setups; this package supplies the
+two levers that make the grid fast without changing a single result bit:
+
+- :class:`~repro.parallel.pool.TaskPool` — process-pool fan-out with
+  per-task derived seeds and ordered result aggregation;
+- :class:`~repro.parallel.cache.SetupCache` — content-addressed,
+  build-once persistence for corpora/indexes/synopses/directories;
+- :class:`~repro.parallel.runner.ExperimentRunner` — the two combined
+  behind the API every experiment harness accepts via ``runner=``.
+"""
+
+from .cache import CacheStats, SetupCache, fingerprint_parts
+from .pool import (
+    TaskFailureError,
+    TaskPool,
+    TaskTimeoutError,
+    WorkerCrashError,
+    current_setup,
+)
+from .runner import ExperimentRunner, SetupHandle
+from .seeding import derive_seed
+
+__all__ = [
+    "CacheStats",
+    "ExperimentRunner",
+    "SetupCache",
+    "SetupHandle",
+    "TaskFailureError",
+    "TaskPool",
+    "TaskTimeoutError",
+    "WorkerCrashError",
+    "current_setup",
+    "derive_seed",
+    "fingerprint_parts",
+]

@@ -42,6 +42,7 @@ class TestMain:
             "fig3-right",
             "matrix",
             "load",
+            "netload",
             "reposting",
         }
 
@@ -52,3 +53,11 @@ class TestMain:
     def test_load_quick(self):
         text = run_target("load", quick=True)
         assert "CORI" in text and "IQN" in text
+
+    def test_netload_quick(self):
+        text = run_target("netload", quick=True)
+        assert "qps" in text and "recall" in text
+
+    def test_workers_flag_parses(self, capsys):
+        assert main(["matrix", "--workers", "2", "--no-cache"]) == 0
+        assert "Bloom filter" in capsys.readouterr().out

@@ -1,0 +1,34 @@
+"""Tests for deterministic per-task seed derivation."""
+
+from repro.parallel import derive_seed
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(42, 7) == derive_seed(42, 7)
+
+    def test_varies_with_task_id(self):
+        seeds = {derive_seed(42, task_id) for task_id in range(1000)}
+        assert len(seeds) == 1000
+
+    def test_varies_with_root_seed(self):
+        assert derive_seed(1, 0) != derive_seed(2, 0)
+
+    def test_consecutive_roots_are_uncorrelated_in_low_bits(self):
+        # A hash derivation (unlike root_seed + task_id arithmetic) must
+        # not map (1, 1) and (2, 0) to related seeds.
+        assert derive_seed(1, 1) != derive_seed(2, 0)
+
+    def test_string_task_ids(self):
+        assert derive_seed(0, "cell:3") == derive_seed(0, "cell:3")
+        assert derive_seed(0, "cell:3") != derive_seed(0, "cell:4")
+
+    def test_fits_in_63_bits_and_positive(self):
+        for task_id in range(100):
+            seed = derive_seed(123, task_id)
+            assert 0 <= seed < 2**63
+
+    def test_known_value_is_platform_stable(self):
+        # Pinned so a platform/bit-width regression cannot silently
+        # change every experiment's derived seeds.
+        assert derive_seed(0, 0) == derive_seed(0, "0")

@@ -35,17 +35,19 @@ IN_SCOPE = {
     "RPRL003": "src/repro/simnet/clock.py",
     "RPRL004": "src/repro/synopses/estimator.py",
     "RPRL005": "src/repro/util.py",
+    "RPRL006": "src/repro/experiments/sweep.py",
 }
 
 
 class TestRegistry:
-    def test_five_rules_plus_stable_ids(self):
+    def test_six_rules_plus_stable_ids(self):
         assert rule_ids() == [
             "RPRL001",
             "RPRL002",
             "RPRL003",
             "RPRL004",
             "RPRL005",
+            "RPRL006",
         ]
 
     def test_every_rule_documents_itself(self):
@@ -366,6 +368,95 @@ class TestPublicApiHygiene:
                 return 1
             """
         assert lint(source, "tools/reprolint/helper.py", only="RPRL005") == []
+
+
+class TestWorkerEntrypointsTakeSeed:
+    """RPRL006 — scope src/repro, pool-importing modules only."""
+
+    def test_seedless_entrypoint_fires(self):
+        source = """
+            from ..parallel import ExperimentRunner
+
+            __all__ = ["recall_task"]
+
+            def recall_task(task):
+                return task
+            """
+        findings = lint(source, IN_SCOPE["RPRL006"], only="RPRL006")
+        assert ids(findings) == ["RPRL006"]
+        assert "'recall_task'" in findings[0].message
+        assert "seed" in findings[0].message
+
+    def test_entrypoint_with_seed_is_clean(self):
+        source = """
+            from repro.parallel import TaskPool
+
+            def recall_task(task, seed):
+                del seed
+                return task
+            """
+        assert lint(source, IN_SCOPE["RPRL006"], only="RPRL006") == []
+
+    def test_absolute_multiprocessing_import_counts(self):
+        source = """
+            import multiprocessing.pool
+
+            def fan_out_task(item):
+                return item
+            """
+        assert ids(lint(source, IN_SCOPE["RPRL006"], only="RPRL006")) == [
+            "RPRL006"
+        ]
+
+    def test_concurrent_futures_import_counts(self):
+        source = """
+            from concurrent.futures import ProcessPoolExecutor
+
+            def fan_out_task(item):
+                return item
+            """
+        assert ids(lint(source, IN_SCOPE["RPRL006"], only="RPRL006")) == [
+            "RPRL006"
+        ]
+
+    def test_module_without_pool_imports_is_ignored(self):
+        source = """
+            def cleanup_task(item):
+                return item
+            """
+        assert lint(source, IN_SCOPE["RPRL006"], only="RPRL006") == []
+
+    def test_private_helpers_and_non_task_names_are_ignored(self):
+        source = """
+            import multiprocessing
+
+            def _run_packed_task(packed):
+                return packed
+
+            def build_testbed(config):
+                return config
+            """
+        assert lint(source, IN_SCOPE["RPRL006"], only="RPRL006") == []
+
+    def test_nested_functions_are_not_entrypoints(self):
+        source = """
+            from ..parallel import TaskPool
+
+            def launch(pool):
+                def local_task(item):
+                    return item
+                return local_task
+            """
+        assert lint(source, IN_SCOPE["RPRL006"], only="RPRL006") == []
+
+    def test_out_of_scope_path_is_ignored(self):
+        source = """
+            import multiprocessing
+
+            def orphan_task(item):
+                return item
+            """
+        assert lint(source, "benchmarks/bench_pool.py", only="RPRL006") == []
 
 
 class TestSuppressions:

@@ -10,6 +10,7 @@ RPRL002     no-unseeded-randomness                         ``src/repro``
 RPRL003     no-wall-clock-in-simnet                        ``repro/simnet``
 RPRL004     no-float-equality                              ``repro/synopses``, ``repro/core``
 RPRL005     public-api-hygiene (``__all__``)               ``src/repro``
+RPRL006     worker-entrypoints-take-seed                   ``src/repro``
 ==========  =============================================  ==========================
 """
 
@@ -20,6 +21,7 @@ from .randomness import NoUnseededRandomness
 from .wallclock import NoWallClockInSimnet
 from .floats import NoFloatEquality
 from .api import PublicApiHygiene
+from .workers import WorkerEntrypointsTakeSeed
 
 __all__ = [
     "MutatingMethodMustInvalidateCache",
@@ -27,4 +29,5 @@ __all__ = [
     "NoWallClockInSimnet",
     "NoFloatEquality",
     "PublicApiHygiene",
+    "WorkerEntrypointsTakeSeed",
 ]

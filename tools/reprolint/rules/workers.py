@@ -1,0 +1,96 @@
+"""RPRL006 — worker entrypoints must accept an explicit seed.
+
+The parallel engine's determinism contract (results bit-identical at any
+worker count) holds only because every task's randomness flows through
+the ``seed`` argument that :class:`repro.parallel.TaskPool` derives per
+task.  An entrypoint that omits the parameter has nowhere to put that
+seed and will reach for ambient state instead — worker-local RNGs,
+module globals — which varies with scheduling.
+
+By repository convention worker entrypoints are module-level functions
+named ``*_task`` (see ``repro.parallel.pool``).  In any ``src/repro``
+module that imports multiprocessing machinery (``multiprocessing``,
+``concurrent.futures``, or ``repro.parallel``), the rule flags public
+``*_task`` functions whose signature has no ``seed`` parameter.
+Leading-underscore helpers are exempt — they are not dispatched by name
+over the pool protocol.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..engine import Finding
+from ..registry import Rule, register_rule
+
+__all__ = ["WorkerEntrypointsTakeSeed"]
+
+#: Importing any of these marks a module as pool-adjacent.
+_POOL_MODULES = ("multiprocessing", "concurrent.futures", "repro.parallel")
+
+
+def _imports_pool_machinery(tree: ast.Module) -> bool:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if any(
+                    alias.name == mod or alias.name.startswith(mod + ".")
+                    for mod in _POOL_MODULES
+                ):
+                    return True
+        elif isinstance(node, ast.ImportFrom):
+            module = node.module or ""
+            if node.level:  # relative: ``from ..parallel import TaskPool``
+                module = "repro." + module if module else "repro"
+            if any(
+                module == mod or module.startswith(mod + ".")
+                for mod in _POOL_MODULES
+            ):
+                return True
+            if module == "repro" and any(
+                alias.name == "parallel" for alias in node.names
+            ):
+                return True
+    return False
+
+
+def _has_seed_parameter(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    args = fn.args
+    named = [*args.posonlyargs, *args.args, *args.kwonlyargs]
+    return any(arg.arg == "seed" for arg in named)
+
+
+@register_rule
+class WorkerEntrypointsTakeSeed(Rule):
+    rule_id = "RPRL006"
+    name = "worker-entrypoints-take-seed"
+    rationale = (
+        "Pool worker entrypoints (module-level *_task functions) must accept "
+        "an explicit seed parameter; randomness drawn from worker-local state "
+        "varies with scheduling and breaks bit-identical reruns."
+    )
+    scope_fragments = ("src/repro",)
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[Finding]:
+        if not _imports_pool_machinery(tree):
+            return
+        for node in tree.body:
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if not node.name.endswith("_task") or node.name.startswith("_"):
+                continue
+            if _has_seed_parameter(node):
+                continue
+            yield Finding(
+                rule_id=self.rule_id,
+                path=path,
+                line=node.lineno,
+                col=node.col_offset,
+                message=(
+                    f"worker entrypoint '{node.name}' takes no explicit "
+                    "'seed' parameter; TaskPool passes a per-task derived "
+                    "seed — accept it (and 'del seed' if unused) so the "
+                    "task cannot depend on worker-local state"
+                ),
+            )
