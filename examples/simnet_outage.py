@@ -1,20 +1,27 @@
-"""A query workload riding out packet loss and a mid-run peer crash.
+"""A query workload riding out packet loss, a crash, and live churn.
 
 The discrete-event network simulator (`repro.simnet`) makes the paper's
 efficiency concerns tangible: queries become messages with latencies,
 messages get lost, peers die mid-workload — and the engine degrades
-gracefully instead of failing.  This example runs one workload twice:
+gracefully instead of failing.  This example runs three acts:
 
-- on a *clean* network (no faults): every networked query returns
-  exactly the documents the in-process engine returns;
-- under a fault plan with 10% message loss and one abrupt peer crash
-  halfway through: retries and backoff absorb most of the loss, the
-  crashed peer's stale directory Posts keep attracting forwards that
-  time out, and the affected queries complete with partial results and
-  a record of who never answered.
+- a *clean* network (no faults): every networked query returns exactly
+  the documents the in-process engine returns;
+- a fault plan with 10% message loss and one abrupt peer crash halfway
+  through: retries and backoff absorb most of the loss, the crashed
+  peer's stale directory Posts keep attracting forwards that time out,
+  and the affected queries complete with partial results and a record
+  of who never answered;
+- the directory as a *live service* (`repro.churn`): peers crash, leave,
+  and recover on a seeded schedule while maintenance timers (reposts,
+  TTL sweeps, ring stabilization) repair the directory, and queries run
+  with the robustness path on — when a selected peer turns out to have
+  died mid-query, the next-ranked spare is queried in its place.
 
-Run:  python examples/simnet_outage.py
+Run:  python examples/simnet_outage.py [--quick]
 """
+
+import argparse
 
 from repro import (
     ChurnEvent,
@@ -30,6 +37,12 @@ from repro import (
     fragment_corpus,
     make_workload,
 )
+from repro.churn import (
+    ChurnSchedule,
+    ChurnService,
+    MaintenanceConfig,
+    MembershipConfig,
+)
 from repro.ir.metrics import result_ids
 from repro.simnet import SimNetExecutor
 
@@ -38,10 +51,10 @@ MAX_PEERS = 4
 K = 30
 
 
-def build_engine():
+def build_engine(quick: bool = False, *, replicas: int = 1):
     config = GovCorpusConfig(
-        num_docs=1200,
-        vocabulary_size=3000,
+        num_docs=400 if quick else 1200,
+        vocabulary_size=1200 if quick else 3000,
         num_topics=5,
         topic_assignment="blocked",
         topic_smear=0.9,
@@ -52,8 +65,12 @@ def build_engine():
     collections = corpora_from_doc_id_sets(
         corpus, combination_collections(fragments, 3)
     )
-    engine = MinervaEngine(collections, spec=SynopsisSpec.parse("mips-64"))
-    queries = make_workload(config, num_queries=8, pool_size=16, seed=11)
+    engine = MinervaEngine(
+        collections, spec=SynopsisSpec.parse("mips-64"), replicas=replicas
+    )
+    queries = make_workload(
+        config, num_queries=6 if quick else 8, pool_size=16, seed=11
+    )
     engine.publish({t for q in queries for t in q.terms})
     return engine, queries
 
@@ -84,8 +101,71 @@ def describe(outcomes, engine, queries):
         )
 
 
-def main() -> None:
-    engine, queries = build_engine()
+def churn_service_demo(quick: bool) -> None:
+    """Act three: live membership with maintenance racing the failures."""
+    engine, queries = build_engine(quick, replicas=2)
+    horizon_ms = 30_000.0
+    schedule = ChurnSchedule.generate(
+        sorted(engine.peers),
+        MembershipConfig.for_rate(4.0, horizon_ms=horizon_ms),
+        seed=5,
+    )
+    service = ChurnService(
+        engine,
+        schedule,
+        maintenance=MaintenanceConfig.for_repost_interval(5_000.0),
+        seed=5,
+    )
+    print(
+        f"\n--- churn run: {len(schedule)} membership events over "
+        f"{horizon_ms / 1000:.0f}s, repost every 5s, 2 replicas ---"
+    )
+    outcomes = service.run_workload(
+        queries,
+        IQNRouter(),
+        interarrival_ms=horizon_ms / (len(queries) + 1),
+        arrivals="uniform",  # spread evenly so queries race the failures
+        max_peers=MAX_PEERS,
+        k=K,
+    )
+    for outcome in outcomes:
+        flags = []
+        if outcome.stale_routes:
+            flags.append(f"{outcome.stale_routes} routed-to peers were dead")
+        if outcome.substituted_peers:
+            flags.append(
+                "rescued by spares: " + ", ".join(outcome.substituted_peers)
+            )
+        if outcome.directory_fallbacks:
+            flags.append(
+                f"{outcome.directory_fallbacks} directory fetches retried "
+                "at the successor"
+            )
+        print(
+            f"  q{outcome.query.query_id}  start={outcome.started_ms:7.1f}ms  "
+            f"latency={outcome.latency_ms:7.1f}ms  "
+            f"recall={outcome.final_recall:.2f}"
+            + (f"  [{'; '.join(flags)}]" if flags else "")
+        )
+    stats = service.stats
+    print(
+        f"\nchurn: {stats.crashes} crashes, {stats.leaves} leaves, "
+        f"{stats.recoveries} recoveries; maintenance evicted "
+        f"{stats.nodes_evicted} dead directory nodes, re-replicated "
+        f"{stats.keys_re_replicated} keys, republished {stats.reposts} "
+        f"Posts ({stats.maintenance_messages} messages)"
+    )
+    rescued = sum(outcome.fallback_successes for outcome in outcomes)
+    print(
+        f"every query completed; {rescued} dead-peer forwards were "
+        f"rescued by the next-ranked spare"
+    )
+    assert len(outcomes) == len(queries)
+    assert all(outcome.final_recall >= 0.0 for outcome in outcomes)
+
+
+def main(quick: bool = False) -> None:
+    engine, queries = build_engine(quick)
     policy = RetryPolicy(timeout_ms=250.0, max_attempts=3, backoff=2.0)
 
     print(f"network: {engine!r}")
@@ -127,6 +207,14 @@ def main() -> None:
     )
     assert len(faulted) == len(queries)
 
+    churn_service_demo(quick)
+
 
 if __name__ == "__main__":
-    main()
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small corpus and workload (seconds instead of a minute)",
+    )
+    main(quick=parser.parse_args().quick)

@@ -20,6 +20,9 @@ The package implements the paper's full stack:
 - :mod:`repro.core` -- the IQN routing method with its aggregation
   strategies, stopping criteria, histogram extension, and the adaptive
   synopsis-length allocator;
+- :mod:`repro.churn` -- the directory as a live service: seeded
+  membership schedules, maintenance timers (reposts, TTL sweeps, ring
+  stabilization), and queries racing against failures;
 - :mod:`repro.parallel` -- deterministic process-pool execution and the
   content-addressed setup cache the experiment harnesses run on;
 - :mod:`repro.experiments` -- harnesses regenerating every figure.
@@ -44,6 +47,15 @@ Quickstart::
     print(outcome.recall_at)
 """
 
+from .churn import (
+    ChurnSchedule,
+    ChurnService,
+    ChurnStats,
+    DirectoryMaintainer,
+    MaintenanceConfig,
+    MembershipConfig,
+    MembershipEvent,
+)
 from .core import (
     IQNRouter,
     IQNSelection,
@@ -150,4 +162,12 @@ __all__ = [
     "RetryPolicy",
     "SimNetExecutor",
     "NetworkedQueryOutcome",
+    # churn
+    "MembershipEvent",
+    "MembershipConfig",
+    "ChurnSchedule",
+    "MaintenanceConfig",
+    "DirectoryMaintainer",
+    "ChurnService",
+    "ChurnStats",
 ]

@@ -1,0 +1,39 @@
+"""Live membership: the directory as a service that survives peer turnover.
+
+The paper's Minerva setting builds the directory once and queries a
+frozen peer population; its premise, though, is a *dynamic* P2P network
+where the DHT-hosted directory is exactly what outlives peer turnover
+(Section 1.1: "resilience to failures and churn").  This package runs
+that story on the simnet virtual clock:
+
+- :mod:`repro.churn.membership` — a seeded :class:`ChurnSchedule` of
+  join/leave/crash/recover events drawn from session-time
+  distributions, bit-identical per seed;
+- :mod:`repro.churn.maintenance` — directory upkeep: Post TTLs with
+  repost timers, PeerList staleness sweeps, and Chord ring repair
+  (crash detection, key-range handoff, post re-replication);
+- :mod:`repro.churn.service` — :class:`ChurnService`, which binds a
+  :class:`~repro.minerva.engine.MinervaEngine` to a schedule and a
+  maintenance config and runs query workloads that genuinely race
+  against failures.
+"""
+
+from .maintenance import DirectoryMaintainer, MaintenanceConfig
+from .membership import (
+    EVENT_KINDS,
+    ChurnSchedule,
+    MembershipConfig,
+    MembershipEvent,
+)
+from .service import ChurnService, ChurnStats
+
+__all__ = [
+    "EVENT_KINDS",
+    "MembershipEvent",
+    "MembershipConfig",
+    "ChurnSchedule",
+    "MaintenanceConfig",
+    "DirectoryMaintainer",
+    "ChurnService",
+    "ChurnStats",
+]

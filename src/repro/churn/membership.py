@@ -1,0 +1,213 @@
+"""Seeded membership dynamics: sessions, departures, and returns.
+
+A peer's life under churn alternates *sessions* (up, answering queries,
+holding its directory partition) with *downtime*.  Session and downtime
+lengths are exponentially distributed — the standard memoryless model
+of P2P measurement studies — and every departure is either a graceful
+leave (the peer hands its keys over and withdraws its Posts) or an
+abrupt crash (its directory partition dies with it and its stale Posts
+keep attracting forwards).
+
+Determinism contract: the event trace is a pure function of
+``(sorted peer ids, config, seed)``.  Each peer gets its own
+SHA-256-derived RNG stream (:func:`~repro.parallel.seeding.derive_seed`),
+so the trace does not depend on peer-list order, worker count, or any
+interleaving — the property pinned by ``tests/churn/test_membership.py``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from ..parallel.seeding import derive_seed
+
+__all__ = ["EVENT_KINDS", "MembershipEvent", "MembershipConfig", "ChurnSchedule"]
+
+#: Valid membership event kinds, in the order a peer can emit them.
+EVENT_KINDS = ("crash", "leave", "recover")
+
+#: Milliseconds per simulated minute (churn rates are quoted per minute).
+_MS_PER_MINUTE = 60_000.0
+
+
+@dataclass(frozen=True)
+class MembershipEvent:
+    """One membership change at a virtual time.
+
+    ``crash`` takes the peer off the network abruptly (its directory
+    partition is lost once detected, its Posts go stale); ``leave`` is
+    graceful (key handoff, Posts withdrawn); ``recover`` returns the
+    peer either way.
+    """
+
+    at_ms: float
+    peer_id: str
+    kind: str
+
+    def __post_init__(self) -> None:
+        if self.at_ms < 0:
+            raise ValueError(f"at_ms must be >= 0, got {self.at_ms}")
+        if self.kind not in EVENT_KINDS:
+            raise ValueError(f"kind must be one of {EVENT_KINDS}, got {self.kind!r}")
+        if not self.peer_id:
+            raise ValueError("peer_id must be non-empty")
+
+
+@dataclass(frozen=True)
+class MembershipConfig:
+    """Session-time distributions for one churn scenario.
+
+    - ``mean_session_ms`` — mean up-time before a departure (exponential);
+    - ``mean_downtime_ms`` — mean down-time before recovery (exponential);
+    - ``crash_fraction`` — probability a departure is an abrupt crash
+      rather than a graceful leave;
+    - ``horizon_ms`` — no event is generated at or past this time, which
+      also bounds the maintenance timers so simulations terminate.
+    """
+
+    mean_session_ms: float = 60_000.0
+    mean_downtime_ms: float = 15_000.0
+    crash_fraction: float = 0.75
+    horizon_ms: float = 120_000.0
+
+    def __post_init__(self) -> None:
+        if self.mean_session_ms <= 0 or self.mean_downtime_ms <= 0:
+            raise ValueError("mean session and downtime must be positive")
+        if not 0.0 <= self.crash_fraction <= 1.0:
+            raise ValueError(
+                f"crash_fraction must be in [0, 1], got {self.crash_fraction}"
+            )
+        if self.horizon_ms <= 0:
+            raise ValueError(f"horizon_ms must be positive, got {self.horizon_ms}")
+
+    @classmethod
+    def for_rate(
+        cls,
+        departures_per_peer_per_min: float,
+        *,
+        horizon_ms: float = 120_000.0,
+        downtime_fraction: float = 0.25,
+        crash_fraction: float = 0.75,
+    ) -> "MembershipConfig":
+        """Config whose expected departure rate matches the given churn rate.
+
+        ``departures_per_peer_per_min`` is the experiments' x-axis: the
+        expected number of times one peer goes down per simulated
+        minute.  ``downtime_fraction`` sets the mean downtime as a
+        fraction of the mean session (down long enough to matter, up
+        most of the time).
+        """
+        if departures_per_peer_per_min <= 0:
+            raise ValueError(
+                "churn rate must be positive, got "
+                f"{departures_per_peer_per_min}"
+            )
+        if downtime_fraction <= 0:
+            raise ValueError(
+                f"downtime_fraction must be positive, got {downtime_fraction}"
+            )
+        mean_session_ms = _MS_PER_MINUTE / departures_per_peer_per_min
+        return cls(
+            mean_session_ms=mean_session_ms,
+            mean_downtime_ms=mean_session_ms * downtime_fraction,
+            crash_fraction=crash_fraction,
+            horizon_ms=horizon_ms,
+        )
+
+
+class ChurnSchedule:
+    """A deterministic, time-ordered membership event trace.
+
+    Build one with :meth:`generate`; the resulting ``events`` tuple is
+    sorted by ``(at_ms, peer_id)`` and is bit-identical for a fixed
+    ``(peer ids, config, seed)`` on every platform and at any worker
+    count (:meth:`trace_digest` pins this in tests).
+    """
+
+    def __init__(
+        self, events: Iterable[MembershipEvent], *, horizon_ms: float
+    ) -> None:
+        if horizon_ms <= 0:
+            raise ValueError(f"horizon_ms must be positive, got {horizon_ms}")
+        self.events: tuple[MembershipEvent, ...] = tuple(
+            sorted(events, key=lambda event: (event.at_ms, event.peer_id))
+        )
+        self.horizon_ms = horizon_ms
+        for event in self.events:
+            if event.at_ms >= horizon_ms:
+                raise ValueError(
+                    f"event at {event.at_ms} ms is past the horizon "
+                    f"({horizon_ms} ms)"
+                )
+
+    @classmethod
+    def generate(
+        cls,
+        peer_ids: Sequence[str],
+        config: MembershipConfig,
+        *,
+        seed: int,
+    ) -> "ChurnSchedule":
+        """Draw each peer's session/downtime alternation up to the horizon.
+
+        Peers are processed in sorted order and each draws from its own
+        ``random.Random(derive_seed(seed, peer_id))`` stream, so the
+        trace is independent of input order and of whatever else the
+        caller's RNGs are doing.
+        """
+        events: list[MembershipEvent] = []
+        for peer_id in sorted(set(peer_ids)):
+            rng = random.Random(derive_seed(seed, f"membership:{peer_id}"))
+            at_ms = rng.expovariate(1.0 / config.mean_session_ms)
+            up = True
+            while at_ms < config.horizon_ms:
+                if up:
+                    kind = (
+                        "crash"
+                        if rng.random() < config.crash_fraction
+                        else "leave"
+                    )
+                    events.append(
+                        MembershipEvent(at_ms=at_ms, peer_id=peer_id, kind=kind)
+                    )
+                    at_ms += rng.expovariate(1.0 / config.mean_downtime_ms)
+                else:
+                    events.append(
+                        MembershipEvent(
+                            at_ms=at_ms, peer_id=peer_id, kind="recover"
+                        )
+                    )
+                    at_ms += rng.expovariate(1.0 / config.mean_session_ms)
+                up = not up
+        return cls(events, horizon_ms=config.horizon_ms)
+
+    def events_for(self, peer_id: str) -> tuple[MembershipEvent, ...]:
+        """This peer's events, time-ordered."""
+        return tuple(e for e in self.events if e.peer_id == peer_id)
+
+    def trace_digest(self) -> str:
+        """SHA-256 over the canonical event trace (bit-identity witness).
+
+        Times are rendered with ``repr`` so two traces digest equal only
+        when every float is exactly equal.
+        """
+        canonical = "\n".join(
+            f"{event.at_ms!r} {event.peer_id} {event.kind}"
+            for event in self.events
+        )
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[MembershipEvent]:
+        return iter(self.events)
+
+    def __repr__(self) -> str:
+        return (
+            f"ChurnSchedule(events={len(self.events)}, "
+            f"horizon_ms={self.horizon_ms})"
+        )

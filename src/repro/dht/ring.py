@@ -96,6 +96,55 @@ class ChordRing:
         heir = self._nodes[self.successor_of(node_id)]
         heir.store.update(departing.store)
 
+    def crash_node(self, node_id: int) -> int:
+        """Abrupt failure: the node vanishes *with* its store (no handoff).
+
+        This is the ``sim-crash`` semantics of dynamic Chord: the
+        partition the node held is gone, and only replicas on other
+        nodes (restored via :meth:`re_replicate`) — or fresh
+        re-publication — can bring the lost keys back.  Pointers are
+        repaired immediately (the state stabilization converges to);
+        returns the number of keys lost with the node.
+        """
+        if node_id not in self._nodes:
+            raise KeyError(f"no node with id {node_id}")
+        if len(self._nodes) == 1:
+            raise ValueError("cannot crash the last node of the ring")
+        departing = self._nodes.pop(node_id)
+        self._sorted_ids.remove(node_id)
+        self._rebuild_pointers()
+        return len(departing.store)
+
+    def re_replicate(self, replicas: int) -> int:
+        """Restore the replica invariant after membership changed.
+
+        For every key stored anywhere, ensure a copy lives on exactly
+        the key's current owner and its ``replicas - 1`` immediate
+        successors — copying from any surviving holder and dropping
+        copies from nodes no longer in the replica set (the key-range
+        handoff that follows joins, leaves, and crash evictions).
+        Holders are visited in ring order, so the surviving copy chosen
+        is deterministic.  Returns the number of copies created.
+        """
+        if replicas <= 0:
+            raise ValueError(f"replicas must be positive, got {replicas}")
+        survivors: dict[int, Any] = {}
+        for node_id in self._sorted_ids:
+            for key, value in self._nodes[node_id].store.items():
+                survivors.setdefault(key, value)
+        copied = 0
+        for key in sorted(survivors):
+            targets = set(self.replica_ids_at(key, replicas))
+            for node_id in self._sorted_ids:
+                store = self._nodes[node_id].store
+                if node_id in targets:
+                    if key not in store:
+                        store[key] = survivors[key]
+                        copied += 1
+                elif key in store:
+                    del store[key]
+        return copied
+
     def _rebuild_pointers(self) -> None:
         """Recompute successor/predecessor/finger tables for all nodes.
 
@@ -133,12 +182,19 @@ class ChordRing:
 
     def replica_nodes(self, key: str | int, replicas: int) -> list[ChordNode]:
         """The key's owner plus its ``replicas - 1`` immediate successors."""
+        return [
+            self._nodes[node_id]
+            for node_id in self.replica_ids_at(self.key_id(key), replicas)
+        ]
+
+    def replica_ids_at(self, ring_position: int, replicas: int) -> list[int]:
+        """Node ids of the replica set for a raw ring position."""
         if replicas <= 0:
             raise ValueError(f"replicas must be positive, got {replicas}")
         replicas = min(replicas, len(self._sorted_ids))
-        start = self._sorted_ids.index(self.successor_of(self.key_id(key)))
+        start = self._sorted_ids.index(self.successor_of(ring_position))
         return [
-            self._nodes[self._sorted_ids[(start + i) % len(self._sorted_ids)]]
+            self._sorted_ids[(start + i) % len(self._sorted_ids)]
             for i in range(replicas)
         ]
 

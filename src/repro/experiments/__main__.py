@@ -10,6 +10,7 @@ Usage::
     python -m repro.experiments load        [--quick]
     python -m repro.experiments netload     [--quick]
     python -m repro.experiments reposting   [--quick]
+    python -m repro.experiments churn       [--quick]
 
 ``--quick`` shrinks the corpus/workload so a figure renders in seconds
 (for smoke-testing; the bench harness runs the calibrated full scale).
@@ -57,6 +58,7 @@ TARGETS = (
     "load",
     "netload",
     "reposting",
+    "churn",
 )
 
 
@@ -195,6 +197,68 @@ def run_target(
                 for p in points
             ],
         )
+    if target == "churn":
+        from ..core.iqn import IQNRouter
+        from .churn import churn_sweep
+        from .report import format_table
+
+        handle = cached_testbed(
+            runner,
+            "combination",
+            config,
+            num_queries=num_queries,
+            query_pool_size=pool,
+            query_pool_offset=offset,
+            spec_labels=("mips-64",),
+        )
+        testbed = handle.value
+        horizon_ms = 30_000.0 if quick else 60_000.0
+        points = churn_sweep(
+            testbed.engines["mips-64"],
+            testbed.queries,
+            IQNRouter,
+            churn_rates=(1.0, 4.0) if quick else (0.5, 1.0, 2.0, 4.0),
+            repost_intervals_ms=(
+                (5_000.0, 15_000.0)
+                if quick
+                else (5_000.0, 15_000.0, 30_000.0)
+            ),
+            horizon_ms=horizon_ms,
+            # Spread arrivals across the horizon so queries genuinely
+            # race the membership events instead of finishing before
+            # the first failure.
+            interarrival_ms=horizon_ms / (len(testbed.queries) + 1),
+            seed=23,
+            max_peers=5,
+            k=k,
+            peer_k=peer_k,
+            runner=runner,
+        )
+        return format_table(
+            [
+                "churn/min",
+                "repost ms",
+                "recall",
+                "p95 ms",
+                "query msgs",
+                "maint msgs",
+                "stale",
+                "rescued",
+            ],
+            [
+                [
+                    p.churn_rate,
+                    p.repost_interval_ms,
+                    p.mean_recall,
+                    p.p95_latency_ms,
+                    p.query_messages,
+                    p.maintenance_messages,
+                    p.stale_routes,
+                    p.fallback_successes,
+                ]
+                for p in points
+            ],
+        )
     if target == "fig3-left":
         handle = cached_testbed(
             runner,
@@ -269,11 +333,22 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="never reuse cached setups (pooling still works)",
     )
+    parser.add_argument(
+        "--adaptive-serial",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="with --workers > 1, probe the first task in-process and "
+        "keep the whole grid serial when it projects to finish under "
+        "this many seconds (pool startup would dominate); results are "
+        "identical either way",
+    )
     args = parser.parse_args(argv)
     runner = ExperimentRunner(
         workers=args.workers,
         cache_dir=args.cache_dir,
         use_cache=args.cache_dir is not None and not args.no_cache,
+        adaptive_serial_s=args.adaptive_serial,
     )
     print(run_target(args.target, quick=args.quick, runs=args.runs, runner=runner))
     return 0

@@ -1,0 +1,243 @@
+"""Recall, latency, and message cost under churn × repost interval.
+
+The paper motivates the DHT directory with "resilience to failures and
+churn" (Section 1.1) but evaluates a static network; this experiment
+supplies the missing measurement.  For every (churn rate, repost
+interval) cell it runs the directory as a live service
+(:class:`~repro.churn.service.ChurnService`): peers crash, leave, and
+recover on a seeded schedule while a query workload races against the
+failures with the robustness path on (successor fallback for failed
+directory fetches, spare-peer substitution for selected peers that died
+mid-query).
+
+The two axes pull against each other: higher churn rates lose more
+directory partitions and leave more stale Posts; shorter repost
+intervals repair both faster but cost proportionally more maintenance
+traffic.  The cell summaries expose exactly that trade — recall and p95
+latency against total messages, split into query and maintenance
+shares.
+
+Cells are independent pool tasks; every cell's simulation seed is
+derived from the sweep seed and the cell's parameters (never from task
+position), so results are bit-identical at any ``--workers`` count —
+``benchmarks/bench_churn.py`` pins serial-vs-pooled digest equality.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from ..churn.maintenance import MaintenanceConfig
+from ..churn.membership import ChurnSchedule, MembershipConfig
+from ..churn.service import ChurnService
+from ..datasets.queries import Query
+from ..ir.documents import Corpus
+from ..ir.index import InvertedIndex
+from ..minerva.engine import MinervaEngine
+from ..parallel import ExperimentRunner, SetupHandle, current_setup
+from ..parallel.seeding import derive_seed
+from ..routing.base import PeerSelector
+from ..synopses.factory import SynopsisSpec
+
+__all__ = ["ChurnPoint", "churn_cell_task", "churn_sweep"]
+
+
+@dataclass(frozen=True)
+class ChurnPoint:
+    """Aggregate behavior of one (churn rate, repost interval) cell."""
+
+    churn_rate: float
+    repost_interval_ms: float
+    num_queries: int
+    mean_recall: float
+    mean_latency_ms: float
+    p95_latency_ms: float
+    query_messages: int
+    maintenance_messages: int
+    stale_routes: int
+    fallback_successes: int
+    directory_fallbacks: int
+    degraded_queries: int
+    crashes: int
+    leaves: int
+    nodes_evicted: int
+    posts_expired: int
+    trace_digest: str
+
+    @property
+    def total_messages(self) -> int:
+        """Query traffic plus the directory upkeep that made it possible."""
+        return self.query_messages + self.maintenance_messages
+
+
+def _run_cell(
+    collections: Sequence[Corpus],
+    indexes: Sequence[InvertedIndex],
+    queries: Sequence[Query],
+    make_selector: Callable[[], PeerSelector],
+    *,
+    spec: SynopsisSpec,
+    churn_rate: float,
+    repost_interval_ms: float,
+    horizon_ms: float,
+    interarrival_ms: float,
+    seed: int,
+    max_peers: int,
+    k: int,
+    peer_k: int | None,
+    fallback_spares: int,
+    replicas: int,
+) -> ChurnPoint:
+    """One cell: a fresh engine (churn mutates it), schedule, service."""
+    engine = MinervaEngine(
+        list(collections),
+        spec=spec,
+        indexes=list(indexes),
+        replicas=replicas,
+    )
+    engine.publish({term for query in queries for term in query.terms})
+    # The membership trace depends on the rate but not on the repost
+    # interval, so cells along the repost axis replay identical failures
+    # and differ only in how maintenance copes with them.
+    schedule = ChurnSchedule.generate(
+        sorted(engine.peers),
+        MembershipConfig.for_rate(churn_rate, horizon_ms=horizon_ms),
+        seed=derive_seed(seed, f"membership:{churn_rate!r}"),
+    )
+    service = ChurnService(
+        engine,
+        schedule,
+        maintenance=MaintenanceConfig.for_repost_interval(
+            repost_interval_ms, replicas=replicas
+        ),
+        seed=derive_seed(seed, "simulation"),
+    )
+    outcomes = service.run_workload(
+        queries,
+        make_selector(),
+        interarrival_ms=interarrival_ms,
+        max_peers=max_peers,
+        k=k,
+        peer_k=peer_k,
+        fallback_spares=fallback_spares,
+    )
+    latencies = sorted(outcome.latency_ms for outcome in outcomes)
+    p95_index = max(0, math.ceil(0.95 * len(latencies)) - 1)
+    return ChurnPoint(
+        churn_rate=churn_rate,
+        repost_interval_ms=repost_interval_ms,
+        num_queries=len(outcomes),
+        mean_recall=sum(o.final_recall for o in outcomes) / len(outcomes),
+        mean_latency_ms=sum(latencies) / len(latencies),
+        p95_latency_ms=latencies[p95_index],
+        query_messages=sum(o.outcome.cost.total_messages for o in outcomes),
+        maintenance_messages=service.stats.maintenance_messages,
+        stale_routes=sum(o.stale_routes for o in outcomes),
+        fallback_successes=sum(o.fallback_successes for o in outcomes),
+        directory_fallbacks=sum(o.directory_fallbacks for o in outcomes),
+        degraded_queries=sum(1 for o in outcomes if o.degraded),
+        crashes=service.stats.crashes,
+        leaves=service.stats.leaves,
+        nodes_evicted=service.stats.nodes_evicted,
+        posts_expired=service.stats.posts_expired,
+        trace_digest=schedule.trace_digest(),
+    )
+
+
+def churn_cell_task(task: dict, seed: int) -> ChurnPoint:
+    """Worker entrypoint: one sweep cell on the attached
+    (collections, indexes, queries, spec) setup.  The cell's
+    simulation seed travels in the task (derived from the sweep's
+    declared seed and the cell parameters), so results are independent
+    of task position and worker count."""
+    del seed  # the sweep's own seed derivation is part of the task
+    collections, indexes, queries, spec = current_setup()
+    return _run_cell(
+        collections,
+        indexes,
+        queries,
+        task["make_selector"],
+        spec=spec,
+        churn_rate=task["churn_rate"],
+        repost_interval_ms=task["repost_interval_ms"],
+        horizon_ms=task["horizon_ms"],
+        interarrival_ms=task["interarrival_ms"],
+        seed=task["seed"],
+        max_peers=task["max_peers"],
+        k=task["k"],
+        peer_k=task["peer_k"],
+        fallback_spares=task["fallback_spares"],
+        replicas=task["replicas"],
+    )
+
+
+def churn_sweep(
+    engine: MinervaEngine,
+    queries: Sequence[Query],
+    make_selector: Callable[[], PeerSelector],
+    *,
+    churn_rates: Sequence[float] = (0.5, 1.0, 2.0),
+    repost_intervals_ms: Sequence[float] = (10_000.0, 30_000.0),
+    horizon_ms: float = 60_000.0,
+    interarrival_ms: float = 500.0,
+    seed: int = 0,
+    max_peers: int = 5,
+    k: int = 50,
+    peer_k: int | None = None,
+    fallback_spares: int = 2,
+    replicas: int = 2,
+    runner: ExperimentRunner | None = None,
+    setup_handle: SetupHandle | None = None,
+) -> list[ChurnPoint]:
+    """Run the workload at every (churn rate, repost interval) cell.
+
+    ``engine`` supplies the collections and prebuilt indexes; every
+    cell constructs its *own* engine from them (churn mutates the ring
+    and directory, so cells must not share one) with ``replicas``-way
+    directory replication.  Returns one :class:`ChurnPoint` per cell in
+    sweep order (rate-major, repost-minor).
+
+    Cells are independent pool tasks on ``runner``; ``make_selector``
+    must be picklable for pooled execution (a selector class
+    qualifies).  ``setup_handle`` (from ``runner.attach("churn-setup",
+    (collections, indexes, queries, spec))``) lets repeated
+    sweeps share one worker artifact.
+    """
+    if not queries:
+        raise ValueError("a sweep needs at least one query")
+    for rate in churn_rates:
+        if rate <= 0:
+            raise ValueError(f"churn rates must be positive, got {rate}")
+    if runner is None:
+        runner = ExperimentRunner(workers=1)
+    tasks = [
+        {
+            "make_selector": make_selector,
+            "churn_rate": rate,
+            "repost_interval_ms": interval,
+            "horizon_ms": horizon_ms,
+            "interarrival_ms": interarrival_ms,
+            "seed": seed,
+            "max_peers": max_peers,
+            "k": k,
+            "peer_k": peer_k,
+            "fallback_spares": fallback_spares,
+            "replicas": replicas,
+        }
+        for rate in churn_rates
+        for interval in repost_intervals_ms
+    ]
+    if setup_handle is None:
+        peers = list(engine.peers.values())
+        setup_handle = runner.attach(
+            "churn-setup",
+            (
+                [peer.corpus for peer in peers],
+                [peer.index for peer in peers],
+                list(queries),
+                engine.spec,
+            ),
+        )
+    return runner.map(churn_cell_task, tasks, setup=setup_handle)

@@ -480,6 +480,8 @@ class MinervaEngine:
         k: int = 50,
         peer_k: int | None = None,
         conjunctive: bool = False,
+        successor_fallback: bool = False,
+        fallback_spares: int = 0,
     ):
         """Run one query over the simulated network (:mod:`repro.simnet`).
 
@@ -490,7 +492,11 @@ class MinervaEngine:
         (a :class:`~repro.net.latency.LatencyProfile`), and the retry
         ``policy`` (a :class:`~repro.simnet.rpc.RetryPolicy`).  Returns
         a :class:`~repro.simnet.executor.NetworkedQueryOutcome`; with no
-        faults its merged document ids equal :meth:`run_query`'s.  For
+        faults its merged document ids equal :meth:`run_query`'s.
+        ``successor_fallback`` and ``fallback_spares`` enable the churn
+        robustness path (retry failed directory fetches at the ring
+        successor; substitute dead selected peers with the next-ranked
+        spares) — see :meth:`SimNetExecutor.submit`.  For
         concurrent workloads build a
         :class:`~repro.simnet.executor.SimNetExecutor` directly and
         reuse it across queries.
@@ -508,6 +514,8 @@ class MinervaEngine:
             k=k,
             peer_k=peer_k,
             conjunctive=conjunctive,
+            successor_fallback=successor_fallback,
+            fallback_spares=fallback_spares,
         )
         return executor.run()[0]
 

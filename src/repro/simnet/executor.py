@@ -80,6 +80,15 @@ class NetworkedQueryOutcome:
     attempts_by_peer: dict[str, int] = field(repr=False)
     failed_terms: tuple[str, ...] = ()
     directory_attempts: int = 0
+    #: Selected peers that died mid-query: their forward timed out even
+    #: though the directory still routed to them (stale-route detection).
+    stale_routes: int = 0
+    #: Spare peers successfully queried in place of dead selected peers.
+    substituted_peers: tuple[str, ...] = ()
+    #: Spare forwards attempted (successful or not).
+    fallback_attempts: int = 0
+    #: PeerList fetches retried at the owner's ring successor.
+    directory_fallbacks: int = 0
 
     @property
     def latency_ms(self) -> float:
@@ -115,6 +124,11 @@ class NetworkedQueryOutcome:
     def degraded(self) -> bool:
         """True when any peer or directory lookup failed to answer in time."""
         return bool(self.timed_out_peers or self.failed_terms)
+
+    @property
+    def fallback_successes(self) -> int:
+        """Dead-peer forwards rescued by a spare peer's answer."""
+        return len(self.substituted_peers)
 
 
 class SimNetExecutor:
@@ -215,18 +229,31 @@ class SimNetExecutor:
         k: int = 50,
         peer_k: int | None = None,
         conjunctive: bool = False,
+        successor_fallback: bool = False,
+        fallback_spares: int = 0,
     ) -> SimFuture:
         """Schedule one query at virtual time ``at_ms`` (default: now).
 
         Returns a future resolving to a :class:`NetworkedQueryOutcome`
         once :meth:`run` has driven the simulation past its completion.
-        Parameters mirror :meth:`MinervaEngine.run_query`.
+        Parameters mirror :meth:`MinervaEngine.run_query`, plus the
+        churn-robustness knobs: with ``successor_fallback`` a failed
+        PeerList fetch is retried once at the owner's current ring
+        successor (where the replica lives after repair), and
+        ``fallback_spares`` ranks that many extra candidates so a
+        selected peer that died mid-query can be substituted by the
+        next-best one.  Both default off, which preserves the exact
+        pre-churn behavior.
         """
         self.engine._ensure_published(query)
         if peer_k is None:
             peer_k = k
         if peer_k <= 0:
             raise ValueError(f"peer_k must be positive, got {peer_k}")
+        if fallback_spares < 0:
+            raise ValueError(
+                f"fallback_spares must be >= 0, got {fallback_spares}"
+            )
         if initiator_id is None:
             peer_ids = sorted(self.engine.peers)
             initiator_id = peer_ids[query.query_id % len(peer_ids)]
@@ -237,7 +264,15 @@ class SimNetExecutor:
         def start() -> None:
             job = spawn(
                 self._query_job(
-                    query, selector, initiator_id, max_peers, k, peer_k, conjunctive
+                    query,
+                    selector,
+                    initiator_id,
+                    max_peers,
+                    k,
+                    peer_k,
+                    conjunctive,
+                    successor_fallback,
+                    fallback_spares,
                 )
             )
             job.add_done_callback(lambda done: result.resolve(done.value))
@@ -315,6 +350,8 @@ class SimNetExecutor:
         k: int,
         peer_k: int,
         conjunctive: bool,
+        successor_fallback: bool = False,
+        fallback_spares: int = 0,
     ) -> Generator[SimFuture, Any, NetworkedQueryOutcome]:
         engine = self.engine
         started = self.clock.now
@@ -343,6 +380,7 @@ class SimNetExecutor:
         peer_lists: dict[str, PeerList] = {}
         failed_terms: list[str] = []
         directory_attempts = 0
+        directory_fallbacks = 0
         for term, response in zip(query.terms, responses):
             directory_attempts += response.attempts
             cost.record(
@@ -356,12 +394,39 @@ class SimNetExecutor:
                     bits=response.value.size_in_bits,
                     count=response.attempts,
                 )
-            else:
-                # Directory unreachable for this term: route with what we
-                # have rather than failing the query.
-                peer_lists[term] = PeerList(term=term)
-                failed_terms.append(term)
-                cost.record(MessageKinds.PEERLIST_FETCH, count=response.attempts)
+                continue
+            cost.record(MessageKinds.PEERLIST_FETCH, count=response.attempts)
+            if successor_fallback:
+                # Stale route: the owner we looked up no longer answers.
+                # Re-resolve on the (possibly repaired) ring and retry
+                # once at the current owner — or, if that is still the
+                # dead node, at its successor, where the replica lives.
+                target = self._fallback_directory_peer(term, response.peer_id)
+                if target is not None:
+                    directory_fallbacks += 1
+                    retry: RpcResult = yield self.rpc.call(
+                        initiator_id,
+                        target,
+                        MessageKinds.PEERLIST_FETCH,
+                        payload=term,
+                        request_bits=PEERLIST_REQUEST_BITS,
+                    )
+                    directory_attempts += retry.attempts
+                    if retry.ok:
+                        peer_lists[term] = retry.value
+                        cost.record(
+                            MessageKinds.PEERLIST_FETCH,
+                            bits=retry.value.size_in_bits,
+                            count=retry.attempts,
+                        )
+                        continue
+                    cost.record(
+                        MessageKinds.PEERLIST_FETCH, count=retry.attempts
+                    )
+            # Directory unreachable for this term: route with what we
+            # have rather than failing the query.
+            peer_lists[term] = PeerList(term=term)
+            failed_terms.append(term)
 
         # Phase 2 — routing, a local computation at the initiator.
         local = tuple(
@@ -381,30 +446,40 @@ class SimNetExecutor:
             ),
             conjunctive=conjunctive,
         )
-        selected = tuple(selector.rank(context, max_peers))
+        ranked = tuple(selector.rank(context, max_peers + fallback_spares))
+        selected = ranked[:max_peers]
+        spares = list(ranked[max_peers:])
         if self.routing_ms:
             yield self._sleep(self.routing_ms)
 
         # Phase 3 — forward to every selected peer concurrently; merge
-        # whatever came back before the retries ran out.
+        # whatever came back before the retries ran out.  A selected
+        # peer that never answers is a stale route (the directory still
+        # pointed at it); if spares were ranked, the next-best candidate
+        # is queried in its place.
         query_bits = QUERY_HEADER_BITS + QUERY_TERM_BITS * len(query.terms)
+
+        def forward(peer_id: str) -> SimFuture:
+            return self.rpc.call(
+                initiator_id,
+                peer_id,
+                MessageKinds.QUERY_FORWARD,
+                payload=(query.terms, peer_k, conjunctive),
+                request_bits=query_bits,
+            )
+
         replies: list[RpcResult] = yield gather(
-            [
-                self.rpc.call(
-                    initiator_id,
-                    peer_id,
-                    MessageKinds.QUERY_FORWARD,
-                    payload=(query.terms, peer_k, conjunctive),
-                    request_bits=query_bits,
-                )
-                for peer_id in selected
-            ]
+            [forward(peer_id) for peer_id in selected]
         )
         per_peer: dict[str, tuple[ScoredDocument, ...]] = {}
         timed_out: list[str] = []
         attempts: dict[str, int] = {}
-        for peer_id, reply in zip(selected, replies):
-            attempts[peer_id] = reply.attempts
+        substituted: list[str] = []
+        fallback_attempts = 0
+        stale_routes = 0
+
+        def account(peer_id: str, reply: RpcResult) -> bool:
+            attempts[peer_id] = attempts.get(peer_id, 0) + reply.attempts
             cost.record(
                 MessageKinds.QUERY_FORWARD,
                 bits=query_bits * reply.attempts,
@@ -416,21 +491,35 @@ class SimNetExecutor:
                     MessageKinds.RESULT_RETURN,
                     bits=RESULT_ENTRY_BITS * len(reply.value),
                 )
-            else:
-                per_peer[peer_id] = ()
-                timed_out.append(peer_id)
+                return True
+            per_peer[peer_id] = ()
+            timed_out.append(peer_id)
+            return False
 
+        for peer_id, reply in zip(selected, replies):
+            if account(peer_id, reply):
+                continue
+            stale_routes += 1
+            while spares:
+                candidate = spares.pop(0)
+                fallback_attempts += 1
+                substitute_reply: RpcResult = yield forward(candidate)
+                if account(candidate, substitute_reply):
+                    substituted.append(candidate)
+                    break
+
+        queried = (*selected, *substituted)
         reference = engine.reference_topk(query, k=k, conjunctive=conjunctive)
         covered = set(result_ids(local))
         recall_curve = [relative_recall(covered, reference)]
-        for peer_id in selected:
+        for peer_id in queried:
             covered.update(result_ids(per_peer[peer_id]))
             recall_curve.append(relative_recall(covered, reference))
         merged = merge_results([local, *per_peer.values()], k=None)
         outcome = QueryOutcome(
             query=query,
             initiator_id=initiator_id,
-            selected=selected,
+            selected=queried,
             recall_at=tuple(recall_curve),
             merged=tuple(merged),
             reference_ids=reference,
@@ -445,7 +534,35 @@ class SimNetExecutor:
             attempts_by_peer=attempts,
             failed_terms=tuple(failed_terms),
             directory_attempts=directory_attempts,
+            stale_routes=stale_routes,
+            substituted_peers=tuple(substituted),
+            fallback_attempts=fallback_attempts,
+            directory_fallbacks=directory_fallbacks,
         )
+
+    def _fallback_directory_peer(self, term: str, dead_peer: str) -> str | None:
+        """Where to retry a PeerList fetch after ``dead_peer`` went silent.
+
+        Re-resolves the term's owner on the *current* ring: if repair
+        already evicted the dead node, that is the new owner holding the
+        handed-off key range; if the crash is not yet detected, the
+        owner's immediate successor holds the replica.  Returns None
+        when no distinct live candidate exists.
+        """
+        ring = self.engine.ring
+        position = ring.key_id(term)
+        for candidate_id in (
+            ring.successor_of(position),
+            ring.successor_of(ring.successor_of(position) + 1),
+        ):
+            peer_id = self._peer_of_node.get(candidate_id)
+            if (
+                peer_id is not None
+                and peer_id != dead_peer
+                and not self.transport.is_down(peer_id)
+            ):
+                return peer_id
+        return None
 
     def _sleep(self, delay_ms: float) -> SimFuture:
         future = SimFuture()

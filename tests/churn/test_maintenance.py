@@ -1,0 +1,163 @@
+"""Tests for directory maintenance: reposts, TTL sweeps, ring repair.
+
+All operations take the current virtual time explicitly, so the tests
+drive them directly with hand-picked timestamps — no clock needed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.churn import DirectoryMaintainer, MaintenanceConfig
+from repro.ir.documents import Corpus, Document
+from repro.minerva.engine import MinervaEngine
+from repro.synopses.factory import SynopsisSpec
+
+SPEC = SynopsisSpec.parse("mips-16")
+TERMS = {"apple", "banana"}
+
+
+def make_engine(num_peers: int = 6, *, replicas: int = 2) -> MinervaEngine:
+    docs = {
+        i: Document.from_terms(i, ["apple"] * (1 + i % 3) + ["banana"])
+        for i in range(4 * num_peers)
+    }
+    collections = [
+        Corpus.from_documents(
+            docs[i % len(docs)] for i in range(p * 4, p * 4 + 8)
+        )
+        for p in range(num_peers)
+    ]
+    engine = MinervaEngine(collections, spec=SPEC, replicas=replicas)
+    engine.publish(TERMS)
+    return engine
+
+
+@pytest.fixture
+def engine():
+    return make_engine()
+
+
+@pytest.fixture
+def maintainer(engine):
+    return DirectoryMaintainer(
+        engine,
+        MaintenanceConfig(
+            repost_interval_ms=10_000.0,
+            post_ttl_ms=25_000.0,
+            stabilize_interval_ms=5_000.0,
+            replicas=2,
+        ),
+    )
+
+
+class TestMaintenanceConfig:
+    def test_ttl_must_exceed_repost_interval(self):
+        with pytest.raises(ValueError, match="post_ttl_ms must exceed"):
+            MaintenanceConfig(repost_interval_ms=10.0, post_ttl_ms=10.0)
+
+    def test_for_repost_interval_scales_ttl(self):
+        config = MaintenanceConfig.for_repost_interval(8_000.0)
+        assert config.post_ttl_ms == pytest.approx(20_000.0)
+
+    def test_for_repost_interval_rejects_small_ttl_factor(self):
+        with pytest.raises(ValueError, match="ttl_factor"):
+            MaintenanceConfig.for_repost_interval(8_000.0, ttl_factor=1.0)
+
+    def test_rejects_nonpositive_replicas(self):
+        with pytest.raises(ValueError, match="replicas"):
+            MaintenanceConfig(replicas=0)
+
+
+class TestFreshness:
+    def test_existing_posts_start_stamped_at_zero(self, maintainer):
+        assert maintainer.posted_at("apple", "p00") == 0.0
+
+    def test_record_publish_updates_stamp(self, maintainer):
+        maintainer.record_publish("apple", "p00", 42.0)
+        assert maintainer.posted_at("apple", "p00") == 42.0
+
+    def test_forget_peer_drops_all_of_its_stamps(self, maintainer):
+        maintainer.forget_peer("p00")
+        assert maintainer.posted_at("apple", "p00") is None
+        assert maintainer.posted_at("banana", "p00") is None
+        assert maintainer.posted_at("apple", "p01") is not None
+
+
+class TestRepost:
+    def test_repost_stamps_every_published_term(self, maintainer):
+        count = maintainer.repost("p00", 1_000.0)
+        assert count == 2  # apple and banana
+        assert maintainer.posted_at("apple", "p00") == 1_000.0
+        assert maintainer.posted_at("banana", "p00") == 1_000.0
+
+    def test_repost_is_charged_to_the_cost_model(self, engine, maintainer):
+        before = engine.cost.total_messages
+        maintainer.repost("p00", 1_000.0)
+        assert engine.cost.total_messages > before
+
+
+class TestSweep:
+    def test_stale_posts_expire_and_leave_the_peer_list(
+        self, engine, maintainer
+    ):
+        # All posts were stamped 0.0; keep p00's fresh, age the rest.
+        maintainer.record_publish("apple", "p00", 28_000.0)
+        maintainer.record_publish("banana", "p00", 28_000.0)
+        expired = maintainer.sweep(30_000.0)
+        assert expired > 0
+        assert engine.directory.peer_list("apple").peer_ids == {"p00"}
+
+    def test_fresh_posts_survive(self, engine, maintainer):
+        before = engine.directory.peer_list("apple").peer_ids
+        assert maintainer.sweep(10_000.0) == 0  # TTL is 25s, posts are 10s old
+        assert engine.directory.peer_list("apple").peer_ids == before
+
+    def test_unknown_posts_are_stamped_not_guessed_stale(
+        self, engine, maintainer
+    ):
+        # A post published behind the maintainer's back has no stamp;
+        # the sweep adopts it instead of expiring it.
+        maintainer._posted_at.pop(("apple", "p01"))
+        assert maintainer.sweep(40_000.0) > 0  # everything else expires
+        assert "p01" in engine.directory.peer_list("apple").peer_ids
+        assert maintainer.posted_at("apple", "p01") == 40_000.0
+
+    def test_repost_restores_an_expired_post(self, engine, maintainer):
+        maintainer.sweep(30_000.0)  # everything stamped 0.0 expires
+        assert engine.directory.peer_list("apple").peer_ids == frozenset()
+        maintainer.repost("p00", 31_000.0)
+        assert "p00" in engine.directory.peer_list("apple").peer_ids
+
+
+class TestRingRepair:
+    def test_evict_crashed_removes_node_and_restores_replicas(
+        self, engine, maintainer
+    ):
+        node_of_peer = engine.directory._node_of_peer
+        before = dict(engine.directory.peer_list("apple").posts)
+        evicted, copied = maintainer.evict_crashed(["p01"])
+        assert evicted == 1
+        assert "p01" not in node_of_peer
+        assert copied >= 0
+        # With 2 replicas a single crash loses nothing: every term's
+        # PeerList is still resolvable with the same posts.
+        assert dict(engine.directory.peer_list("apple").posts) == before
+
+    def test_evict_unknown_peer_is_a_noop(self, engine, maintainer):
+        assert maintainer.evict_crashed(["nobody"]) == (0, 0)
+
+    def test_rejoin_restores_node_and_reposts(self, engine, maintainer):
+        maintainer.evict_crashed(["p01"])
+        count = maintainer.rejoin("p01", 12_000.0)
+        assert count == 2
+        assert "p01" in engine.directory._node_of_peer
+        assert "p01" in engine.directory.peer_list("apple").peer_ids
+        assert maintainer.posted_at("apple", "p01") == 12_000.0
+
+    def test_rejoin_without_prior_eviction_just_reposts(
+        self, engine, maintainer
+    ):
+        node_id = engine.directory._node_of_peer["p02"]
+        assert maintainer.rejoin("p02", 5_000.0) == 2
+        assert engine.directory._node_of_peer["p02"] == node_id

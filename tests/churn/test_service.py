@@ -1,0 +1,165 @@
+"""Tests for ChurnService: events applied, maintenance run, queries
+raced against failures — all deterministic for a fixed seed."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.churn import (
+    ChurnSchedule,
+    ChurnService,
+    ChurnStats,
+    MaintenanceConfig,
+    MembershipConfig,
+)
+from repro.core.iqn import IQNRouter
+from repro.datasets.queries import Query
+from repro.ir.documents import Corpus, Document
+from repro.minerva.engine import MinervaEngine
+from repro.synopses.factory import SynopsisSpec
+
+SPEC = SynopsisSpec.parse("mips-16")
+HORIZON_MS = 20_000.0
+QUERIES = [Query(i, ("apple", "banana")) for i in range(6)]
+MAINTENANCE = MaintenanceConfig.for_repost_interval(
+    4_000.0, stabilize_interval_ms=2_000.0
+)
+
+
+def make_engine(num_peers: int = 6) -> MinervaEngine:
+    docs = {
+        i: Document.from_terms(i, ["apple"] * (1 + i % 3) + ["banana"])
+        for i in range(4 * num_peers)
+    }
+    collections = [
+        Corpus.from_documents(
+            docs[i % len(docs)] for i in range(p * 4, p * 4 + 8)
+        )
+        for p in range(num_peers)
+    ]
+    engine = MinervaEngine(collections, spec=SPEC, replicas=2)
+    engine.publish({"apple", "banana"})
+    return engine
+
+
+def make_service(seed: int = 3, rate: float = 6.0) -> ChurnService:
+    engine = make_engine()
+    schedule = ChurnSchedule.generate(
+        sorted(engine.peers),
+        MembershipConfig.for_rate(rate, horizon_ms=HORIZON_MS),
+        seed=seed,
+    )
+    return ChurnService(
+        engine, schedule, maintenance=MAINTENANCE, seed=seed
+    )
+
+
+def run_service(service: ChurnService):
+    return service.run_workload(
+        QUERIES,
+        IQNRouter(),
+        interarrival_ms=HORIZON_MS / (len(QUERIES) + 1),
+        arrivals="uniform",
+        max_peers=2,
+        k=10,
+        fallback_spares=2,
+    )
+
+
+def fingerprint(outcome):
+    return (
+        outcome.query.query_id,
+        outcome.started_ms,
+        outcome.latency_ms,
+        round(outcome.final_recall, 12),
+        outcome.selected,
+        outcome.substituted_peers,
+        outcome.stale_routes,
+        outcome.fallback_attempts,
+        outcome.directory_fallbacks,
+    )
+
+
+class TestMembershipApplication:
+    def test_events_drive_the_stats(self):
+        service = make_service()
+        run_service(service)
+        stats = service.stats
+        assert stats.crashes + stats.leaves > 0
+        assert stats.reposts > 0
+        assert stats.maintenance_messages > 0
+
+    def test_crashed_nodes_get_evicted_by_stabilization(self):
+        service = make_service()
+        run_service(service)
+        if service.stats.crashes:
+            assert service.stats.nodes_evicted > 0
+
+    def test_live_peers_tracks_the_transport(self):
+        service = make_service()
+        assert service.live_peers() == sorted(service.engine.peers)
+        service.executor.transport.crash("p00")
+        assert "p00" not in service.live_peers()
+
+
+class TestWorkload:
+    def test_every_query_completes(self):
+        outcomes = run_service(make_service())
+        assert len(outcomes) == len(QUERIES)
+        for outcome in outcomes:
+            assert 0.0 <= outcome.final_recall <= 1.0
+            assert outcome.latency_ms >= 0.0
+
+    def test_fallback_counters_are_consistent(self):
+        outcomes = run_service(make_service())
+        for outcome in outcomes:
+            assert outcome.fallback_successes == len(outcome.substituted_peers)
+            assert outcome.fallback_attempts >= outcome.fallback_successes
+            # A substitution only happens because a selected peer's
+            # forward failed.
+            assert outcome.stale_routes >= len(outcome.substituted_peers)
+
+    def test_deterministic_for_fixed_seed(self):
+        first = run_service(make_service(seed=3))
+        second = run_service(make_service(seed=3))
+        assert [fingerprint(o) for o in first] == [
+            fingerprint(o) for o in second
+        ]
+
+    def test_outcomes_vary_with_seed(self):
+        first = run_service(make_service(seed=3))
+        second = run_service(make_service(seed=4))
+        assert [fingerprint(o) for o in first] != [
+            fingerprint(o) for o in second
+        ]
+
+    def test_stats_deterministic_for_fixed_seed(self):
+        a, b = make_service(seed=3), make_service(seed=3)
+        run_service(a)
+        run_service(b)
+        assert a.stats == b.stats
+        assert isinstance(a.stats, ChurnStats)
+
+    def test_rejects_nonpositive_interarrival(self):
+        with pytest.raises(ValueError, match="interarrival_ms"):
+            make_service().run_workload(
+                QUERIES, IQNRouter(), interarrival_ms=0.0
+            )
+
+    def test_rejects_unknown_arrival_process(self):
+        with pytest.raises(ValueError, match="arrivals"):
+            make_service().run_workload(
+                QUERIES, IQNRouter(), arrivals="bursty"
+            )
+
+    def test_no_churn_schedule_means_clean_outcomes(self):
+        engine = make_engine()
+        schedule = ChurnSchedule([], horizon_ms=HORIZON_MS)
+        service = ChurnService(
+            engine, schedule, maintenance=MAINTENANCE, seed=3
+        )
+        outcomes = run_service(service)
+        assert service.stats.crashes == service.stats.leaves == 0
+        for outcome in outcomes:
+            assert outcome.stale_routes == 0
+            assert outcome.substituted_peers == ()

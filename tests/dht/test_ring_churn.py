@@ -1,0 +1,125 @@
+"""Crash -> stabilize -> lookup invariants of the Chord ring.
+
+The churn subsystem leans on three ring properties: a crash loses
+exactly the crashed node's store, ``re_replicate`` restores every key
+that still has a surviving copy onto the key's *current* replica set,
+and after repair every surviving key is reachable by routed lookup from
+any start node.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.dht.ring import ChordRing
+
+REPLICAS = 2
+
+
+def make_ring(num_nodes: int = 24) -> ChordRing:
+    return ChordRing([f"peer-{i}" for i in range(num_nodes)], bits=16)
+
+
+def populate(ring: ChordRing, count: int = 60) -> dict[str, str]:
+    values = {f"term-{i}": f"value-{i}" for i in range(count)}
+    for key, value in values.items():
+        ring.put(key, value, replicas=REPLICAS)
+    return values
+
+
+class TestCrashSemantics:
+    def test_crash_loses_exactly_the_nodes_store(self):
+        ring = make_ring()
+        populate(ring)
+        victim = ring.node_ids[0]
+        held = len(ring.node(victim).store)
+        assert ring.crash_node(victim) == held
+        assert victim not in ring.node_ids
+
+    def test_crash_repairs_pointers_immediately(self):
+        ring = make_ring()
+        ring.crash_node(ring.node_ids[3])
+        ids = ring.node_ids
+        for position, node_id in enumerate(ids):
+            node = ring.node(node_id)
+            assert node.successor == ids[(position + 1) % len(ids)]
+            assert node.predecessor == ids[(position - 1) % len(ids)]
+
+    def test_cannot_crash_the_last_node(self):
+        ring = ChordRing(["solo"])
+        with pytest.raises(ValueError, match="last node"):
+            ring.crash_node(ring.node_ids[0])
+
+
+class TestCrashThenStabilize:
+    def test_single_crash_loses_no_replicated_key(self):
+        ring = make_ring()
+        values = populate(ring)
+        ring.crash_node(ring.node_ids[5])
+        ring.re_replicate(REPLICAS)
+        for key, value in values.items():
+            assert ring.get(key) == value
+
+    def test_survivors_are_reachable_by_routed_lookup_from_anywhere(self):
+        ring = make_ring()
+        values = populate(ring)
+        ring.crash_node(ring.node_ids[5])
+        ring.re_replicate(REPLICAS)
+        rng = random.Random(7)
+        for key in values:
+            start = rng.choice(ring.node_ids)
+            result = ring.lookup(key, start_node=start)
+            assert result.owner == ring.owner_of(key).node_id
+            assert ring.key_id(key) in ring.node(result.owner).store
+
+    def test_replica_invariant_restored_exactly(self):
+        ring = make_ring()
+        values = populate(ring)
+        ring.crash_node(ring.node_ids[2])
+        ring.crash_node(ring.node_ids[9])
+        ring.re_replicate(REPLICAS)
+        for key in values:
+            position = ring.key_id(key)
+            holders = {
+                node_id
+                for node_id in ring.node_ids
+                if position in ring.node(node_id).store
+            }
+            assert holders == set(ring.replica_ids_at(position, REPLICAS))
+
+    def test_consecutive_replica_crashes_lose_keys_for_good(self):
+        """Crashing a key's whole replica set before repair loses it —
+        the scenario reposting (not re-replication) must cover."""
+        ring = make_ring()
+        values = populate(ring)
+        probe = next(iter(values))
+        for node_id in ring.replica_ids_at(ring.key_id(probe), REPLICAS):
+            ring.crash_node(node_id)
+        ring.re_replicate(REPLICAS)
+        assert ring.get(probe) is None
+
+    def test_repeated_churn_rounds_keep_surviving_keys_available(self):
+        """Randomized rounds of crash + stabilize: any key whose copy
+        survived the round is findable afterwards."""
+        ring = make_ring(num_nodes=20)
+        values = populate(ring, count=40)
+        rng = random.Random(23)
+        for _ in range(5):
+            victim = rng.choice(ring.node_ids)
+            ring.crash_node(victim)
+            ring.re_replicate(REPLICAS)
+            surviving = {
+                key
+                for node_id in ring.node_ids
+                for key in (
+                    k
+                    for k in values
+                    if ring.key_id(k) in ring.node(node_id).store
+                )
+            }
+            for key in surviving:
+                assert ring.get(key) == values[key]
+                result = ring.lookup(key, start_node=rng.choice(ring.node_ids))
+                assert ring.key_id(key) in ring.node(result.owner).store

@@ -44,6 +44,7 @@ class TestMain:
             "load",
             "netload",
             "reposting",
+            "churn",
         }
 
     def test_reposting_quick(self):
@@ -57,6 +58,11 @@ class TestMain:
     def test_netload_quick(self):
         text = run_target("netload", quick=True)
         assert "qps" in text and "recall" in text
+
+    def test_churn_quick(self):
+        text = run_target("churn", quick=True)
+        assert "churn/min" in text and "maint msgs" in text
+        assert "rescued" in text
 
     def test_workers_flag_parses(self, capsys):
         assert main(["matrix", "--workers", "2", "--no-cache"]) == 0

@@ -1,0 +1,112 @@
+"""Tests for ExperimentRunner's adaptive serial fallback.
+
+With ``adaptive_serial_s`` set, a ``map`` over a cheap grid stays
+in-process (pool startup would dominate) while an expensive grid still
+fans out — and either way the results are bit-identical to the plain
+serial run, because per-task seeds derive from grid position
+(``TaskPool.map(start_index=...)``), never from execution mode.
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+
+import pytest
+
+from repro.parallel import ExperimentRunner, TaskPool, derive_seed
+
+
+def seed_echo_task(task, seed):
+    return (task, seed)
+
+
+def slow_seed_echo_task(task, seed):
+    time.sleep(0.05)
+    return (task, seed)
+
+
+TASKS = [f"t{i}" for i in range(6)]
+EXPECTED = [(task, derive_seed(0, i)) for i, task in enumerate(TASKS)]
+
+
+class TestStartIndex:
+    """The pool-level primitive the adaptive path is built on."""
+
+    def test_default_matches_position_zero(self):
+        assert TaskPool(1).map(seed_echo_task, TASKS) == EXPECTED
+
+    def test_start_index_shifts_the_derived_seeds(self):
+        tail = TaskPool(1).map(seed_echo_task, TASKS[2:], start_index=2)
+        assert tail == EXPECTED[2:]
+
+    def test_rejects_negative_start_index(self):
+        with pytest.raises(ValueError, match="start_index"):
+            TaskPool(1).map(seed_echo_task, TASKS, start_index=-1)
+
+
+class TestModeSelection:
+    def test_serial_runner_reports_serial(self):
+        runner = ExperimentRunner(workers=1)
+        runner.map(seed_echo_task, TASKS)
+        assert runner.last_map_mode == "serial"
+
+    def test_pooled_without_threshold(self):
+        runner = ExperimentRunner(workers=2, use_cache=False)
+        runner.map(seed_echo_task, TASKS)
+        assert runner.last_map_mode == "pooled"
+
+    def test_cheap_grid_stays_in_process(self):
+        runner = ExperimentRunner(
+            workers=2, use_cache=False, adaptive_serial_s=3600.0
+        )
+        runner.map(seed_echo_task, TASKS)
+        assert runner.last_map_mode == "adaptive-serial"
+
+    def test_expensive_grid_fans_out(self):
+        runner = ExperimentRunner(
+            workers=2, use_cache=False, adaptive_serial_s=1e-6
+        )
+        runner.map(slow_seed_echo_task, TASKS)
+        assert runner.last_map_mode == "pooled"
+
+    def test_single_task_skips_the_probe(self):
+        runner = ExperimentRunner(
+            workers=2, use_cache=False, adaptive_serial_s=3600.0
+        )
+        runner.map(seed_echo_task, TASKS[:1])
+        assert runner.last_map_mode == "pooled"
+
+    def test_rejects_nonpositive_threshold(self):
+        with pytest.raises(ValueError, match="adaptive_serial_s"):
+            ExperimentRunner(workers=2, adaptive_serial_s=0.0)
+
+    def test_mode_is_logged(self, caplog):
+        runner = ExperimentRunner(
+            workers=2, use_cache=False, adaptive_serial_s=3600.0
+        )
+        with caplog.at_level(logging.INFO, logger="repro.parallel"):
+            runner.map(seed_echo_task, TASKS)
+        assert any("staying in-process" in r.message for r in caplog.records)
+
+
+class TestResultIdentity:
+    """Every mode produces the serial run's exact (task, seed) pairs."""
+
+    def test_adaptive_serial_matches_serial(self):
+        runner = ExperimentRunner(
+            workers=2, use_cache=False, adaptive_serial_s=3600.0
+        )
+        assert runner.map(seed_echo_task, TASKS) == EXPECTED
+
+    def test_adaptive_pooled_matches_serial(self):
+        runner = ExperimentRunner(
+            workers=2, use_cache=False, adaptive_serial_s=1e-6
+        )
+        assert runner.map(slow_seed_echo_task, TASKS) == [
+            (task, seed) for task, seed in EXPECTED
+        ]
+
+    def test_plain_pooled_matches_serial(self):
+        runner = ExperimentRunner(workers=2, use_cache=False)
+        assert runner.map(seed_echo_task, TASKS) == EXPECTED

@@ -36,11 +36,12 @@ IN_SCOPE = {
     "RPRL004": "src/repro/synopses/estimator.py",
     "RPRL005": "src/repro/util.py",
     "RPRL006": "src/repro/experiments/sweep.py",
+    "RPRL007": "src/repro/churn/membership.py",
 }
 
 
 class TestRegistry:
-    def test_six_rules_plus_stable_ids(self):
+    def test_seven_rules_plus_stable_ids(self):
         assert rule_ids() == [
             "RPRL001",
             "RPRL002",
@@ -48,6 +49,7 @@ class TestRegistry:
             "RPRL004",
             "RPRL005",
             "RPRL006",
+            "RPRL007",
         ]
 
     def test_every_rule_documents_itself(self):
@@ -457,6 +459,105 @@ class TestWorkerEntrypointsTakeSeed:
                 return item
             """
         assert lint(source, "benchmarks/bench_pool.py", only="RPRL006") == []
+
+
+class TestChurnOnVirtualClock:
+    """RPRL007 — scope repro/churn."""
+
+    def test_wall_clock_read_fires(self):
+        source = """
+            import time
+
+            def repost_tick():
+                return time.monotonic()
+            """
+        findings = lint(source, IN_SCOPE["RPRL007"], only="RPRL007")
+        assert ids(findings) == ["RPRL007"]
+        assert "time.monotonic" in findings[0].message
+        assert "SimClock" in findings[0].message
+
+    def test_from_import_flagged_at_import_site(self):
+        source = """
+            from time import sleep
+            """
+        findings = lint(source, IN_SCOPE["RPRL007"], only="RPRL007")
+        assert ids(findings) == ["RPRL007"]
+        assert "from time import sleep" in findings[0].message
+
+    def test_datetime_now_fires(self):
+        source = """
+            import datetime
+
+            def stamp():
+                return datetime.datetime.now()
+            """
+        assert ids(lint(source, IN_SCOPE["RPRL007"], only="RPRL007")) == [
+            "RPRL007"
+        ]
+
+    def test_seedless_event_stream_fires(self):
+        source = """
+            class ChurnSchedule:
+                @classmethod
+                def generate(cls, peer_ids, config):
+                    return cls()
+            """
+        findings = lint(source, IN_SCOPE["RPRL007"], only="RPRL007")
+        assert ids(findings) == ["RPRL007"]
+        assert "'generate'" in findings[0].message
+        assert "seed" in findings[0].message
+
+    def test_seedless_events_suffix_fires(self):
+        source = """
+            def membership_events(peer_ids, rate):
+                return []
+            """
+        assert ids(lint(source, IN_SCOPE["RPRL007"], only="RPRL007")) == [
+            "RPRL007"
+        ]
+
+    def test_seeded_event_stream_is_clean(self):
+        source = """
+            class ChurnSchedule:
+                @classmethod
+                def generate(cls, peer_ids, config, *, seed):
+                    return cls()
+
+            def membership_events(peer_ids, rate, seed):
+                return []
+            """
+        assert lint(source, IN_SCOPE["RPRL007"], only="RPRL007") == []
+
+    def test_private_and_unrelated_names_are_ignored(self):
+        source = """
+            def _generate_internal(rng):
+                return []
+
+            def sweep(now_ms):
+                return []
+            """
+        assert lint(source, IN_SCOPE["RPRL007"], only="RPRL007") == []
+
+    def test_virtual_clock_scheduling_is_clean(self):
+        source = """
+            def schedule_ticks(clock, interval_ms, horizon_ms):
+                at = interval_ms
+                while at <= horizon_ms:
+                    clock.call_at(at, lambda: None)
+                    at += interval_ms
+            """
+        assert lint(source, IN_SCOPE["RPRL007"], only="RPRL007") == []
+
+    def test_out_of_scope_path_is_ignored(self):
+        source = """
+            import time
+
+            def membership_events(peer_ids):
+                return time.time()
+            """
+        assert (
+            lint(source, "src/repro/parallel/runner.py", only="RPRL007") == []
+        )
 
 
 class TestSuppressions:

@@ -56,3 +56,21 @@ def test_synopsis_tour_runs_end_to_end(capsys):
     runpy.run_path(str(EXAMPLES_DIR / "synopsis_tour.py"), run_name="__main__")
     captured = capsys.readouterr()
     assert "Figure 1" in captured.out
+
+
+def test_simnet_outage_churn_demo_runs_end_to_end(capsys, monkeypatch):
+    """The outage example's --quick mode exercises all three acts: the
+    clean run, the fault-plan outage, and the live churn service with a
+    peer crashing mid-query and the query degrading gracefully."""
+    monkeypatch.setattr(
+        "sys.argv", ["simnet_outage.py", "--quick"], raising=False
+    )
+    runpy.run_path(str(EXAMPLES_DIR / "simnet_outage.py"), run_name="__main__")
+    captured = capsys.readouterr()
+    assert "clean run" in captured.out
+    assert "outage run" in captured.out
+    assert "churn run" in captured.out
+    assert "every query completed" in captured.out
+    # The robustness path demonstrably fired: a selected peer was dead
+    # and the next-ranked spare answered in its place.
+    assert "rescued by spares" in captured.out

@@ -11,6 +11,7 @@ RPRL003     no-wall-clock-in-simnet                        ``repro/simnet``
 RPRL004     no-float-equality                              ``repro/synopses``, ``repro/core``
 RPRL005     public-api-hygiene (``__all__``)               ``src/repro``
 RPRL006     worker-entrypoints-take-seed                   ``src/repro``
+RPRL007     churn-on-virtual-clock                         ``repro/churn``
 ==========  =============================================  ==========================
 """
 
@@ -22,6 +23,7 @@ from .wallclock import NoWallClockInSimnet
 from .floats import NoFloatEquality
 from .api import PublicApiHygiene
 from .workers import WorkerEntrypointsTakeSeed
+from .churn import ChurnOnVirtualClock
 
 __all__ = [
     "MutatingMethodMustInvalidateCache",
@@ -30,4 +32,5 @@ __all__ = [
     "NoFloatEquality",
     "PublicApiHygiene",
     "WorkerEntrypointsTakeSeed",
+    "ChurnOnVirtualClock",
 ]
