@@ -4,7 +4,9 @@ from __future__ import annotations
 
 import json
 import pathlib
+import resource
 import statistics
+import sys
 import time
 from dataclasses import dataclass
 from typing import Any, Callable
@@ -12,11 +14,48 @@ from typing import Any, Callable
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
-def save_result(name: str, text: str) -> None:
-    """Persist a regenerated table under benchmarks/results/ and print it."""
+def current_rss_bytes() -> int:
+    """This process's resident set size right now, in bytes.
+
+    Reads ``/proc/self/status`` (Linux); returns 0 where unavailable so
+    benchmarks stay runnable on other platforms.
+    """
+    try:
+        with open("/proc/self/status") as handle:
+            for line in handle:
+                if line.startswith("VmRSS:"):
+                    return int(line.split()[1]) * 1024
+    except OSError:
+        pass
+    return 0
+
+
+def peak_rss_bytes() -> int:
+    """This process's lifetime peak resident set size, in bytes.
+
+    ``ru_maxrss`` is kilobytes on Linux but bytes on macOS.
+    """
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":
+        return int(peak)
+    return int(peak) * 1024
+
+
+def save_result(
+    name: str, text: str, *, metrics: dict[str, Any] | None = None
+) -> None:
+    """Persist a regenerated table under benchmarks/results/ and print it.
+
+    ``metrics`` (when given) is additionally merged into the module's
+    JSON result file under the key ``name`` via
+    :func:`update_json_result`, so machine-readable numbers ride along
+    with the human-readable table.
+    """
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / f"{name}.txt"
     path.write_text(text + "\n")
+    if metrics is not None:
+        update_json_result(name, "metrics", metrics)
     print(f"\n=== {name} ===\n{text}\n[saved to {path}]")
 
 
@@ -55,6 +94,10 @@ class Timing:
     max_s: float
     repeats: int
     warmup: int
+    #: Process-lifetime peak RSS observed right after the timed runs, in
+    #: bytes (0 where the platform offers no reading).  A high-water
+    #: mark, not an attribution: memory held before ``fn`` ran counts.
+    peak_rss_bytes: int = 0
 
     def as_dict(self) -> dict[str, float | int]:
         return {
@@ -63,13 +106,20 @@ class Timing:
             "max_s": self.max_s,
             "repeats": self.repeats,
             "warmup": self.warmup,
+            "peak_rss_bytes": self.peak_rss_bytes,
         }
 
 
 def measure(
     fn: Callable[[], Any], *, warmup: int = 1, repeats: int = 5
 ) -> Timing:
-    """Time ``fn`` with warmup iterations and median-of-``repeats``."""
+    """Time ``fn`` with warmup iterations and median-of-``repeats``.
+
+    Alongside the wall-clock medians the returned :class:`Timing`
+    carries the process's peak RSS sampled after the last repeat, so
+    memory-bound benchmarks report their footprint with no extra
+    plumbing at the call sites.
+    """
     if repeats < 1:
         raise ValueError(f"repeats must be >= 1, got {repeats}")
     if warmup < 0:
@@ -87,4 +137,5 @@ def measure(
         max_s=max(samples),
         repeats=repeats,
         warmup=warmup,
+        peak_rss_bytes=peak_rss_bytes(),
     )

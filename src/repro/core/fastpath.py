@@ -41,11 +41,24 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import Any, Sequence
+from typing import TYPE_CHECKING, Any, Sequence, overload
 
 import numpy as np
 
 from ..routing.base import CandidatePeer, RoutingContext
+from ..routing.columns import (
+    ColumnContextView,
+    ColumnViewUnavailable,
+    cori_score_array,
+)
+from ..routing.cori import CORI_ALPHA
+from ..synopses.columnstore import (
+    BloomColumn,
+    HashSketchColumn,
+    LogLogColumn,
+    MipsColumn,
+    SynopsisColumn,
+)
 from ..synopses.bloom import (
     BloomFilter,
     batch_difference_popcounts,
@@ -76,7 +89,15 @@ from ..synopses.mips import (
 from .aggregation import PerPeerAggregation, PerTermAggregation
 from .stopping import StoppingCriterion
 
-__all__ = ["RoutingStats", "FastPathUnsupported", "fast_rank_detailed"]
+if TYPE_CHECKING:  # annotation-only — a runtime import would be cyclic
+    from ..minerva.posts import Post
+
+__all__ = [
+    "RoutingStats",
+    "FastPathUnsupported",
+    "fast_rank_detailed",
+    "column_rank_detailed",
+]
 
 
 class FastPathUnsupported(Exception):
@@ -94,6 +115,11 @@ class RoutingStats:
     would have spent on the same plan — the sum of remaining-candidate
     counts over rounds — so ``naive_evaluations / novelty_evaluations``
     is the measured savings factor.
+
+    ``attach`` records where the kernels got their matrices: ``"columns"``
+    when they attached straight to the directory's packed column store
+    (:func:`column_rank_detailed`), ``"objects"`` when per-peer synopsis
+    objects were packed at query time.
     """
 
     mode: str
@@ -102,6 +128,7 @@ class RoutingStats:
     novelty_evaluations: int = 0
     naive_evaluations: int = 0
     bound_refreshes: int = 0
+    attach: str = "objects"
 
     @property
     def evaluation_savings(self) -> float:
@@ -124,11 +151,16 @@ class RoutingStats:
 
 
 class _BloomColumn:
-    """Packed-bit Bloom novelty kernel (CELF tier)."""
+    """Packed-bit Bloom novelty kernel (CELF tier).
+
+    Operates on an already-packed ``(C, words)`` uint64 bit-matrix —
+    either gathered zero-copy from the directory's column store or packed
+    from per-peer objects via :meth:`from_objects`.
+    """
 
     def __init__(
         self,
-        synopses: Sequence[Any],
+        rows: np.ndarray,
         cards: Sequence[float],
         active: np.ndarray,
         reference: Any,
@@ -136,6 +168,24 @@ class _BloomColumn:
         if type(reference) is not BloomFilter:
             raise FastPathUnsupported("reference is not a plain BloomFilter")
         self._m = reference.num_bits
+        self._rows = rows
+        self._cards = np.asarray(cards, dtype=np.float64)
+        self._active = active
+        self._table = popcount_cardinality_table(
+            reference.num_bits, reference.num_hashes
+        )
+        self._reference_row = pack_bit_row(reference.raw_bits, self._m)
+
+    @classmethod
+    def from_objects(
+        cls,
+        synopses: Sequence[Any],
+        cards: Sequence[float],
+        active: np.ndarray,
+        reference: Any,
+    ) -> "_BloomColumn":
+        if type(reference) is not BloomFilter:
+            raise FastPathUnsupported("reference is not a plain BloomFilter")
         params = (reference.num_bits, reference.num_hashes, reference.seed)
         bits: list[int] = []
         for synopsis, ok in zip(synopses, active):
@@ -149,19 +199,12 @@ class _BloomColumn:
             ) != params:
                 raise FastPathUnsupported("heterogeneous Bloom parameters")
             bits.append(synopsis.raw_bits)
-        self._bits = bits
-        self._cards = np.asarray(cards, dtype=np.float64)
-        self._active = active
-        self._table = popcount_cardinality_table(
-            reference.num_bits, reference.num_hashes
+        return cls(
+            pack_bit_rows(bits, reference.num_bits), cards, active, reference
         )
-        self._ref_bits = reference.raw_bits
-        self._mask = (1 << self._m) - 1
 
     def batch(self) -> np.ndarray:
-        rows = pack_bit_rows(self._bits, self._m)
-        reference_row = pack_bit_row(self._ref_bits, self._m)
-        popcounts = batch_difference_popcounts(rows, reference_row)
+        popcounts = batch_difference_popcounts(self._rows, self._reference_row)
         novelty = np.minimum(np.maximum(0.0, self._table[popcounts]), self._cards)
         novelty[~self._active] = 0.0
         return novelty
@@ -169,12 +212,16 @@ class _BloomColumn:
     def eval_one(self, index: int) -> float:
         if not self._active[index]:
             return 0.0
-        popcount = (self._bits[index] & ~self._ref_bits & self._mask).bit_count()
+        popcount = int(
+            batch_difference_popcounts(
+                self._rows[index : index + 1], self._reference_row
+            )[0]
+        )
         estimate = float(self._table[popcount])
         return min(max(0.0, estimate), float(self._cards[index]))
 
     def refresh_reference(self, reference: Any) -> None:
-        self._ref_bits = reference.raw_bits
+        self._reference_row = pack_bit_row(reference.raw_bits, self._m)
 
 
 class _MipsColumn:
@@ -182,11 +229,31 @@ class _MipsColumn:
 
     def __init__(
         self,
-        synopses: Sequence[Any],
+        rows: np.ndarray,
         cards: Sequence[float],
         active: np.ndarray,
         reference: Any,
     ) -> None:
+        if type(reference) is not MinWisePermutations:
+            raise FastPathUnsupported("reference is not a plain MIPs synopsis")
+        self._rows = rows
+        self._common = reference.num_permutations
+        self._reference_row = pack_minima_row(reference)
+        self._matches = batch_match_counts(self._rows, self._reference_row)
+        self._cards = np.asarray(cards, dtype=np.float64)
+        self._active = active
+        self._cand_empty = (self._rows == MIPS_MODULUS).all(axis=1)
+        self._ref_empty = bool((self._reference_row == MIPS_MODULUS).all())
+        self._maintained = active & ~self._cand_empty
+
+    @classmethod
+    def from_objects(
+        cls,
+        synopses: Sequence[Any],
+        cards: Sequence[float],
+        active: np.ndarray,
+        reference: Any,
+    ) -> "_MipsColumn":
         if type(reference) is not MinWisePermutations:
             raise FastPathUnsupported("reference is not a plain MIPs synopsis")
         length = reference.num_permutations
@@ -202,15 +269,7 @@ class _MipsColumn:
             ):
                 raise FastPathUnsupported("heterogeneous MIPs vectors")
             packable.append(synopsis)
-        self._rows = pack_minima_rows(packable, length)
-        self._common = length
-        self._reference_row = pack_minima_row(reference)
-        self._matches = batch_match_counts(self._rows, self._reference_row)
-        self._cards = np.asarray(cards, dtype=np.float64)
-        self._active = active
-        self._cand_empty = (self._rows == MIPS_MODULUS).all(axis=1)
-        self._ref_empty = bool((self._reference_row == MIPS_MODULUS).all())
-        self._maintained = active & ~self._cand_empty
+        return cls(pack_minima_rows(packable, length), cards, active, reference)
 
     def refresh_reference(self, reference: Any) -> np.ndarray:
         new_row = pack_minima_row(reference)
@@ -263,11 +322,38 @@ class _HashSketchColumn:
 
     def __init__(
         self,
-        synopses: Sequence[Any],
+        rows: np.ndarray,
         cards: Sequence[float],
         active: np.ndarray,
         reference: Any,
     ) -> None:
+        if type(reference) is not HashSketch:
+            raise FastPathUnsupported("reference is not a plain HashSketch")
+        if reference.bitmap_length > 64:
+            raise FastPathUnsupported("sketch bitmaps exceed one machine word")
+        self._length = reference.bitmap_length
+        self._rows = rows
+        self._reference_row = pack_bitmap_row(reference)
+        self._first_zero = first_zero_positions(
+            self._rows | self._reference_row, self._length
+        )
+        self._rho_sums = self._first_zero.sum(axis=1)
+        self._table = rho_sum_cardinality_table(
+            reference.num_bitmaps, reference.bitmap_length
+        )
+        self._cards = np.asarray(cards, dtype=np.float64)
+        self._active = active
+        self._cand_empty = (self._rows == 0).all(axis=1)
+        self._maintained = active & ~self._cand_empty
+
+    @classmethod
+    def from_objects(
+        cls,
+        synopses: Sequence[Any],
+        cards: Sequence[float],
+        active: np.ndarray,
+        reference: Any,
+    ) -> "_HashSketchColumn":
         if type(reference) is not HashSketch:
             raise FastPathUnsupported("reference is not a plain HashSketch")
         if reference.bitmap_length > 64:
@@ -285,20 +371,12 @@ class _HashSketchColumn:
             ) != params:
                 raise FastPathUnsupported("heterogeneous hash-sketch parameters")
             packable.append(synopsis)
-        self._length = reference.bitmap_length
-        self._rows = pack_bitmap_rows(packable, reference.num_bitmaps)
-        self._reference_row = pack_bitmap_row(reference)
-        self._first_zero = first_zero_positions(
-            self._rows | self._reference_row, self._length
+        return cls(
+            pack_bitmap_rows(packable, reference.num_bitmaps),
+            cards,
+            active,
+            reference,
         )
-        self._rho_sums = self._first_zero.sum(axis=1)
-        self._table = rho_sum_cardinality_table(
-            reference.num_bitmaps, reference.bitmap_length
-        )
-        self._cards = np.asarray(cards, dtype=np.float64)
-        self._active = active
-        self._cand_empty = (self._rows == 0).all(axis=1)
-        self._maintained = active & ~self._cand_empty
 
     def refresh_reference(self, reference: Any) -> np.ndarray:
         new_row = pack_bitmap_row(reference)
@@ -342,11 +420,35 @@ class _LogLogColumn:
 
     def __init__(
         self,
-        synopses: Sequence[Any],
+        rows: np.ndarray,
         cards: Sequence[float],
         active: np.ndarray,
         reference: Any,
     ) -> None:
+        if type(reference) is not LogLogCounter:
+            raise FastPathUnsupported("reference is not a plain LogLogCounter")
+        buckets = reference.num_buckets
+        self._reference_row = pack_register_row(reference)
+        self._merged = np.maximum(rows, self._reference_row)
+        self._zero_counts = (self._merged == 0).sum(axis=1)
+        self._register_sums = self._merged.sum(axis=1, dtype=np.int64)
+        self._linear_table, self._extrapolation_table = (
+            register_cardinality_tables(buckets)
+        )
+        self._threshold = buckets * 0.3
+        self._cards = np.asarray(cards, dtype=np.float64)
+        self._active = active
+        self._cand_empty = (rows == 0).all(axis=1)
+        self._maintained = active & ~self._cand_empty
+
+    @classmethod
+    def from_objects(
+        cls,
+        synopses: Sequence[Any],
+        cards: Sequence[float],
+        active: np.ndarray,
+        reference: Any,
+    ) -> "_LogLogColumn":
         if type(reference) is not LogLogCounter:
             raise FastPathUnsupported("reference is not a plain LogLogCounter")
         buckets = reference.num_buckets
@@ -362,19 +464,7 @@ class _LogLogColumn:
             ):
                 raise FastPathUnsupported("heterogeneous LogLog parameters")
             packable.append(synopsis)
-        rows = pack_register_rows(packable, buckets)
-        self._reference_row = pack_register_row(reference)
-        self._merged = np.maximum(rows, self._reference_row)
-        self._zero_counts = (self._merged == 0).sum(axis=1)
-        self._register_sums = self._merged.sum(axis=1, dtype=np.int64)
-        self._linear_table, self._extrapolation_table = (
-            register_cardinality_tables(buckets)
-        )
-        self._threshold = buckets * 0.3
-        self._cards = np.asarray(cards, dtype=np.float64)
-        self._active = active
-        self._cand_empty = (rows == 0).all(axis=1)
-        self._maintained = active & ~self._cand_empty
+        return cls(pack_register_rows(packable, buckets), cards, active, reference)
 
     def refresh_reference(self, reference: Any) -> np.ndarray:
         new_row = pack_register_row(reference)
@@ -428,7 +518,7 @@ def _make_column(
         raise FastPathUnsupported(
             f"no vectorized kernel for {type(reference).__name__}"
         )
-    return column_type(synopses, cards, active, reference)
+    return column_type.from_objects(synopses, cards, active, reference)
 
 
 # -- strategy adapters -------------------------------------------------------
@@ -525,6 +615,418 @@ class _PerTermAdapter:
         return self.aggregation.estimated_coverage(self.state)
 
 
+# -- columnar attach ---------------------------------------------------------
+#
+# When the directory stores synopses in packed per-term columns
+# (repro.synopses.columnstore), the kernels above can attach to gathered
+# slices of the stored matrices instead of re-packing per-peer objects:
+# packing is an ingest-time cost, amortized across queries.  Everything
+# below reproduces the object adapters bit-for-bit — the gathered
+# matrices equal what from_objects would have packed (absent/inactive
+# rows are the family's neutral payload), the cardinality clamps run the
+# same float operations in the same association, and the shared drivers
+# then see identical inputs.
+
+
+def _store_params(reference: Any) -> tuple[Any, tuple[int, ...]]:
+    """``(column-store class, ctor params)`` matching ``reference``."""
+    if type(reference) is BloomFilter:
+        return BloomColumn, (
+            reference.num_bits,
+            reference.num_hashes,
+            reference.seed,
+        )
+    if type(reference) is MinWisePermutations:
+        return MipsColumn, (reference.num_permutations, reference.seed)
+    if type(reference) is HashSketch:
+        if reference.bitmap_length > 64:
+            raise FastPathUnsupported("sketch bitmaps exceed one machine word")
+        return HashSketchColumn, (
+            reference.num_bitmaps,
+            reference.bitmap_length,
+            reference.seed,
+        )
+    if type(reference) is LogLogCounter:
+        return LogLogColumn, (reference.num_buckets, reference.seed)
+    raise FastPathUnsupported(
+        f"no vectorized kernel for {type(reference).__name__}"
+    )
+
+
+def _term_matrix(
+    column: SynopsisColumn | None,
+    rows: np.ndarray,
+    mask: np.ndarray,
+    store_cls: Any,
+    params: tuple[int, ...],
+    count: int,
+) -> np.ndarray:
+    """One term's stored column gathered into candidate order.
+
+    ``column is None`` means no peer ever posted a packable synopsis for
+    the term — every candidate row is neutral, exactly what the object
+    path packs for ``None`` synopses.
+    """
+    if column is None:
+        return store_cls(*params, 1).neutral_matrix(count)
+    if type(column) is not store_cls or column.params != params:
+        raise FastPathUnsupported(
+            "stored column family or parameters do not match the reference"
+        )
+    return column.gather(rows, mask)
+
+
+def _fold_disjunctive(mats: list[np.ndarray], reference: Any) -> np.ndarray:
+    """Row-wise union fold; the neutral payload is the fold identity."""
+    combined = mats[0]
+    for mat in mats[1:]:
+        if type(reference) is MinWisePermutations:
+            np.minimum(combined, mat, out=combined)
+        elif type(reference) is LogLogCounter:
+            np.maximum(combined, mat, out=combined)
+        else:  # BloomFilter / HashSketch: bitwise union
+            np.bitwise_or(combined, mat, out=combined)
+    return combined
+
+
+def _fold_conjunctive(
+    mats: list[np.ndarray], reference: Any, crude_fallback: bool
+) -> np.ndarray:
+    """Row-wise intersection fold, mirroring ``PerPeerAggregation.combine``.
+
+    Hash sketches and LogLog counters raise ``UnsupportedOperationError``
+    on every pairwise intersect; with the crude fallback enabled the
+    object path degrades each pair to a union, so the whole fold *is* the
+    union fold.  Without the fallback the object path raises a
+    non-FastPathUnsupported error the naive loop must surface — defer to
+    it.  A single-term fold never intersects at all.
+    """
+    if len(mats) == 1:
+        return mats[0]
+    if type(reference) is BloomFilter:
+        combined = mats[0]
+        for mat in mats[1:]:
+            np.bitwise_and(combined, mat, out=combined)
+        return combined
+    if type(reference) is MinWisePermutations:
+        combined = mats[0]
+        for mat in mats[1:]:
+            np.maximum(combined, mat, out=combined)
+        return combined
+    if not crude_fallback:
+        raise FastPathUnsupported(
+            "conjunctive intersection raises for this family; the naive "
+            "loop owns that error"
+        )
+    return _fold_disjunctive(mats, reference)
+
+
+def _matrix_cardinalities(rows: np.ndarray, reference: Any) -> np.ndarray:
+    """Per-row ``estimate_cardinality()`` of packed synopsis payloads.
+
+    Tabulated / sequential arithmetic only, so every row's estimate is
+    bit-identical to materializing the synopsis object and calling its
+    scalar estimator.
+    """
+    if type(reference) is BloomFilter:
+        table = popcount_cardinality_table(
+            reference.num_bits, reference.num_hashes
+        )
+        words = rows.shape[1]
+        zero_row = np.zeros(words, dtype=np.uint64)
+        popcounts = batch_difference_popcounts(rows, zero_row)
+        return np.asarray(table[popcounts], dtype=np.float64)
+    if type(reference) is MinWisePermutations:
+        length = reference.num_permutations
+        fractions = rows / float(MIPS_MODULUS)
+        # Sequential accumulation in position order — the scalar
+        # estimator's sum() order — keeps float addition bit-identical.
+        total = fractions[:, 0].copy()
+        for position in range(1, length):
+            total = total + fractions[:, position]
+        with np.errstate(divide="ignore", invalid="ignore"):
+            estimate = np.where(
+                total <= 0.0,
+                np.inf,
+                np.maximum(0.0, float(length) / total - 1.0),
+            )
+        empty = (rows == MIPS_MODULUS).all(axis=1)
+        return np.asarray(np.where(empty, 0.0, estimate), dtype=np.float64)
+    if type(reference) is HashSketch:
+        table = rho_sum_cardinality_table(
+            reference.num_bitmaps, reference.bitmap_length
+        )
+        rho_sums = first_zero_positions(rows, reference.bitmap_length).sum(axis=1)
+        empty = (rows == 0).all(axis=1)
+        return np.asarray(np.where(empty, 0.0, table[rho_sums]), dtype=np.float64)
+    if type(reference) is LogLogCounter:
+        buckets = reference.num_buckets
+        linear_table, extrapolation_table = register_cardinality_tables(buckets)
+        zero_counts = (rows == 0).sum(axis=1)
+        register_sums = rows.sum(axis=1, dtype=np.int64)
+        estimate = np.where(
+            zero_counts > buckets * 0.3,
+            linear_table[zero_counts],
+            extrapolation_table[register_sums],
+        )
+        return np.asarray(
+            np.where(zero_counts == buckets, 0.0, estimate), dtype=np.float64
+        )
+    raise FastPathUnsupported(
+        f"no vectorized kernel for {type(reference).__name__}"
+    )
+
+
+def _combined_cardinalities(
+    view: ColumnContextView,
+    combined: np.ndarray,
+    reference: Any,
+    conjunctive: bool,
+) -> np.ndarray:
+    """Vectorized ``PerPeerAggregation._candidate_cardinality``.
+
+    Exact per-term cdfs bound the synopsis estimate: one present term is
+    taken verbatim, two or more clamp the estimate by the largest/summed
+    (disjunctive) or smallest (conjunctive) list length.  All clamps run
+    on exact int64-derived floats, so results match the scalar path.
+    """
+    count = view.count
+    n_present = np.zeros(count, dtype=np.int64)
+    sum_cdf = np.zeros(count, dtype=np.int64)
+    max_cdf = np.zeros(count, dtype=np.int64)
+    min_cdf = np.full(count, np.iinfo(np.int64).max, dtype=np.int64)
+    for gather in view.gathers:
+        present = gather.cdf > 0
+        n_present += present
+        sum_cdf += gather.cdf
+        max_cdf = np.maximum(max_cdf, gather.cdf)
+        min_cdf = np.where(present, np.minimum(min_cdf, gather.cdf), min_cdf)
+    sum_f = sum_cdf.astype(np.float64)
+    estimate = _matrix_cardinalities(combined, reference)
+    if conjunctive:
+        clamped = np.minimum(
+            np.maximum(0.0, estimate), min_cdf.astype(np.float64)
+        )
+    else:
+        clamped = np.minimum(
+            np.maximum(estimate, max_cdf.astype(np.float64)), sum_f
+        )
+    return np.asarray(
+        np.where(n_present == 0, 0.0, np.where(n_present == 1, sum_f, clamped)),
+        dtype=np.float64,
+    )
+
+
+class _ColumnPerPeerAdapter:
+    """Per-peer aggregation attached to stored columns (zero repacking)."""
+
+    def __init__(
+        self,
+        aggregation: PerPeerAggregation,
+        context: RoutingContext,
+        view: ColumnContextView,
+    ) -> None:
+        self.aggregation = aggregation
+        self.state = aggregation.start(context)
+        reference = self.state.reference
+        store_cls, params = _store_params(reference)
+        kernel_cls = _COLUMN_TYPES[type(reference)]
+        count = view.count
+        mats: list[np.ndarray] = []
+        syn_count = np.zeros(count, dtype=np.int64)
+        conj_ok = np.ones(count, dtype=bool) if context.conjunctive else None
+        for gather in view.gathers:
+            mats.append(
+                _term_matrix(
+                    gather.columns.synopsis_column,
+                    gather.rows,
+                    gather.has_synopsis,
+                    store_cls,
+                    params,
+                    count,
+                )
+            )
+            syn_count += gather.has_synopsis
+            if conj_ok is not None:
+                conj_ok &= gather.has_post & gather.has_synopsis
+        if context.conjunctive:
+            combined = _fold_conjunctive(
+                mats, reference, aggregation.crude_conjunctive_fallback
+            )
+        else:
+            combined = _fold_disjunctive(mats, reference)
+        cards = _combined_cardinalities(
+            view, combined, reference, context.conjunctive
+        )
+        if bool(np.any(cards < 0.0)):
+            raise FastPathUnsupported("negative candidate cardinality")
+        active = (syn_count > 0) & (cards > 0.0)
+        if conj_ok is not None:
+            active &= conj_ok
+        cards = np.where(active, cards, 0.0)
+        # Inactive rows must hold the neutral payload — exactly how the
+        # object path packs candidates that cannot contribute.
+        combined[~active] = store_cls.neutral
+        self.columns = [kernel_cls(combined, cards, active, reference)]
+
+    def references(self) -> list[Any]:
+        return [self.state.reference]
+
+    def reference_cardinalities(self) -> list[float]:
+        return [self.state.reference_cardinality]
+
+    def absorb(self, candidate: CandidatePeer) -> None:
+        self.aggregation.absorb(self.state, candidate)
+
+    def coverage(self) -> float:
+        return self.aggregation.estimated_coverage(self.state)
+
+
+class _ColumnPerTermAdapter:
+    """Per-term aggregation attached to stored columns (zero repacking)."""
+
+    def __init__(
+        self,
+        aggregation: PerTermAggregation,
+        context: RoutingContext,
+        view: ColumnContextView,
+    ) -> None:
+        self.aggregation = aggregation
+        self.state = aggregation.start(context)
+        self.terms = list(context.query.terms)
+        self.columns: list[Any] = []
+        for gather in view.gathers:
+            reference = self.state.references[gather.term]
+            store_cls, params = _store_params(reference)
+            kernel_cls = _COLUMN_TYPES[type(reference)]
+            active = gather.has_synopsis & (gather.cdf != 0)
+            matrix = _term_matrix(
+                gather.columns.synopsis_column,
+                gather.rows,
+                active,
+                store_cls,
+                params,
+                view.count,
+            )
+            cards = np.where(active, gather.cdf.astype(np.float64), 0.0)
+            self.columns.append(kernel_cls(matrix, cards, active, reference))
+
+    def references(self) -> list[Any]:
+        return [self.state.references[term] for term in self.terms]
+
+    def reference_cardinalities(self) -> list[float]:
+        return [self.state.reference_cardinalities[term] for term in self.terms]
+
+    def absorb(self, candidate: CandidatePeer) -> None:
+        self.aggregation.absorb(self.state, candidate)
+
+    def coverage(self) -> float:
+        return self.aggregation.estimated_coverage(self.state)
+
+
+class _LazyCandidates(Sequence[CandidatePeer]):
+    """Candidate views materialized only when a driver touches one.
+
+    The drivers need a :class:`CandidatePeer` only for *selected* peers
+    (the absorb step) — building all C up front would reinstate the
+    per-peer assembly cost the columnar view exists to avoid.
+    """
+
+    def __init__(self, view: ColumnContextView) -> None:
+        self._view = view
+        self._cache: dict[int, CandidatePeer] = {}
+
+    def __len__(self) -> int:
+        return self._view.count
+
+    @overload
+    def __getitem__(self, index: int) -> CandidatePeer: ...
+
+    @overload
+    def __getitem__(self, index: slice) -> Sequence[CandidatePeer]: ...
+
+    def __getitem__(
+        self, index: int | slice
+    ) -> CandidatePeer | Sequence[CandidatePeer]:
+        if isinstance(index, slice):
+            return [self[i] for i in range(*index.indices(len(self)))]
+        cached = self._cache.get(index)
+        if cached is None:
+            cached = self._materialize(index)
+            self._cache[index] = cached
+        return cached
+
+    def _materialize(self, index: int) -> CandidatePeer:
+        context = self._view.context
+        peer_id = self._view.peer_names[index]
+        posts: dict[str, Post] = {}
+        for term in context.query.terms:
+            post = context.peer_lists[term].get(peer_id)
+            if post is not None:
+                posts[term] = post
+        return CandidatePeer(peer_id=peer_id, posts=posts)
+
+
+def column_rank_detailed(
+    context: RoutingContext,
+    aggregation: Any,
+    stopping: StoppingCriterion,
+    max_peers: int,
+    *,
+    alpha: float = CORI_ALPHA,
+    quality_weighted: bool = True,
+) -> tuple[list[tuple[str, float, float]], RoutingStats]:
+    """Run Select-Best-Peer directly on the directory's packed columns.
+
+    The fastest tier: candidate assembly, CORI scoring, and the novelty
+    kernels all read gathered slices of the stored matrices — no per-peer
+    Python objects exist on the hot path.  Plans are bit-identical to
+    both the object fast path and the naive loop.  Raises
+    :class:`FastPathUnsupported` — always before mutating shared state —
+    when the context is not column-backed or the configuration needs the
+    object tiers.
+    """
+    aggregation_type = type(aggregation)
+    if aggregation_type not in (PerPeerAggregation, PerTermAggregation):
+        raise FastPathUnsupported(
+            f"no fast path for aggregation strategy {aggregation_type.__name__}"
+        )
+    try:
+        view = ColumnContextView.build(context)
+    except ColumnViewUnavailable as exc:
+        raise FastPathUnsupported(str(exc)) from exc
+    if view.count == 0:
+        return [], RoutingStats(mode="empty", candidates=0, attach="columns")
+    qualities_array = (
+        cori_score_array(view, alpha=alpha)
+        if quality_weighted
+        else np.ones(view.count, dtype=np.float64)
+    )
+    adapter: _ColumnPerPeerAdapter | _ColumnPerTermAdapter
+    if aggregation_type is PerPeerAggregation:
+        adapter = _ColumnPerPeerAdapter(aggregation, context, view)
+    else:
+        adapter = _ColumnPerTermAdapter(aggregation, context, view)
+    celf = isinstance(adapter.columns[0], _CELF_COLUMNS)
+    stats = RoutingStats(
+        mode="celf" if celf else "incremental",
+        candidates=view.count,
+        attach="columns",
+    )
+    candidates = _LazyCandidates(view)
+    driver = _run_celf if celf else _run_incremental
+    plan = driver(
+        adapter,
+        candidates,
+        qualities_array,
+        view.peer_names,
+        stopping,
+        max_peers,
+        stats,
+    )
+    return plan, stats
+
+
 # -- drivers -----------------------------------------------------------------
 
 
@@ -557,7 +1059,7 @@ def _eval_one(columns: Sequence[Any], index: int) -> float:
 
 def _run_celf(
     adapter: Any,
-    candidates: list[CandidatePeer],
+    candidates: Sequence[CandidatePeer],
     qualities_array: np.ndarray,
     peer_ids: list[str],
     stopping: StoppingCriterion,
@@ -679,7 +1181,7 @@ def _argmax_with_ties(
 
 def _run_incremental(
     adapter: Any,
-    candidates: list[CandidatePeer],
+    candidates: Sequence[CandidatePeer],
     qualities_array: np.ndarray,
     peer_ids: list[str],
     stopping: StoppingCriterion,

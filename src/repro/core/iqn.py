@@ -24,7 +24,12 @@ from dataclasses import dataclass
 from ..routing.base import PeerSelector, RoutingContext
 from ..routing.cori import CORI_ALPHA, cori_scores
 from .aggregation import AggregationStrategy, PerPeerAggregation
-from .fastpath import FastPathUnsupported, RoutingStats, fast_rank_detailed
+from .fastpath import (
+    FastPathUnsupported,
+    RoutingStats,
+    column_rank_detailed,
+    fast_rank_detailed,
+)
 from .stopping import MaxPeers, StoppingCriterion
 
 __all__ = ["IQNSelection", "IQNRouter"]
@@ -99,6 +104,29 @@ class IQNRouter(PeerSelector):
     ) -> list[IQNSelection]:
         """Run the full IQN loop, returning per-iteration diagnostics."""
         self._check_max_peers(max_peers)
+        stopping = self.stopping or MaxPeers(max_peers)
+
+        if self.fast_path:
+            # Fastest tier: attach directly to the directory's packed
+            # columns — no per-peer objects on the hot path at all.
+            try:
+                plan_rows, stats = column_rank_detailed(
+                    context,
+                    self.aggregation,
+                    stopping,
+                    max_peers,
+                    alpha=self.alpha,
+                    quality_weighted=self.quality_weighted,
+                )
+            except FastPathUnsupported:
+                pass  # not column-backed, or a config the kernels can't run
+            else:
+                self.last_stats = stats
+                return [
+                    IQNSelection(peer_id=peer_id, quality=quality, novelty=novelty)
+                    for peer_id, quality, novelty in plan_rows
+                ]
+
         candidates = {c.peer_id: c for c in context.candidates()}
         if not candidates:
             self.last_stats = RoutingStats(mode="empty", candidates=0)
@@ -108,7 +136,6 @@ class IQNRouter(PeerSelector):
             if self.quality_weighted
             else {peer_id: 1.0 for peer_id in candidates}
         )
-        stopping = self.stopping or MaxPeers(max_peers)
 
         if self.fast_path:
             try:

@@ -17,13 +17,20 @@ from __future__ import annotations
 
 from ..dht.ring import ChordRing
 from ..net.cost import CostModel, MessageKinds
+from ..synopses.columnstore import PeerIdTable
 from .posts import PeerList, Post
 
 __all__ = ["Directory"]
 
 
 class Directory:
-    """Term-partitioned Post storage over a Chord ring."""
+    """Term-partitioned Post storage over a Chord ring.
+
+    All PeerLists created by this directory share one interned
+    :class:`~repro.synopses.columnstore.PeerIdTable`, so a peer id is
+    stored once network-wide and every per-term column indexes into the
+    same table — the precondition for cross-term columnar routing.
+    """
 
     def __init__(
         self,
@@ -32,6 +39,7 @@ class Directory:
         cost: CostModel | None = None,
         replicas: int = 1,
         node_of_peer: dict[str, int] | None = None,
+        peer_table: PeerIdTable | None = None,
     ):
         if replicas <= 0:
             raise ValueError(f"replicas must be positive, got {replicas}")
@@ -41,6 +49,9 @@ class Directory:
         #: Maps peer ids to their ring node ids so lookups start at the
         #: acting peer's own position (realistic hop counts).
         self._node_of_peer = node_of_peer or {}
+        #: Shared interned peer-id table for every PeerList this
+        #: directory creates.
+        self.peer_table = peer_table if peer_table is not None else PeerIdTable()
 
     def _start_node(self, peer_id: str | None) -> int | None:
         if peer_id is None:
@@ -63,9 +74,9 @@ class Directory:
         for node in self.ring.replica_nodes(post.term, self.replicas):
             peer_list = node.store.get(key)
             if peer_list is None:
-                peer_list = PeerList(term=post.term)
+                peer_list = PeerList(term=post.term, peer_table=self.peer_table)
                 node.store[key] = peer_list
-            peer_list.add(post)
+            peer_list.add(post, retain=False)
 
     def publish_batch(self, posts: list[Post]) -> int:
         """Publish several Posts, batching per destination node.
@@ -102,9 +113,11 @@ class Directory:
                 for node in self.ring.replica_nodes(post.term, self.replicas):
                     peer_list = node.store.get(key)
                     if peer_list is None:
-                        peer_list = PeerList(term=post.term)
+                        peer_list = PeerList(
+                            term=post.term, peer_table=self.peer_table
+                        )
                         node.store[key] = peer_list
-                    peer_list.add(post)
+                    peer_list.add(post, retain=False)
         return messages
 
     # -- lookups --------------------------------------------------------------
@@ -119,16 +132,23 @@ class Directory:
         self.cost.record(MessageKinds.DHT_HOP, count=lookup.hops)
         stored = self.ring.node(lookup.owner).store.get(self.ring.key_id(term))
         if stored is None:
-            stored = PeerList(term=term)
+            stored = PeerList(term=term, peer_table=self.peer_table)
         self.cost.record(MessageKinds.PEERLIST_FETCH, bits=stored.size_in_bits)
         return stored
 
     def peer_lists(
         self, terms: tuple[str, ...], *, requester: str | None = None
     ) -> dict[str, PeerList]:
-        """Fetch PeerLists for all query terms (one DHT lookup each)."""
+        """Fetch PeerLists for all query terms (one DHT lookup each).
+
+        Duplicates are fetched once; the returned dict preserves first-
+        occurrence term order (not salted set order), so downstream
+        order-sensitive derivations — CORI's last-write-wins
+        ``average_term_space_size`` — are stable across processes.
+        """
         return {
-            term: self.peer_list(term, requester=requester) for term in set(terms)
+            term: self.peer_list(term, requester=requester)
+            for term in dict.fromkeys(terms)
         }
 
     def peer_list_batch(
@@ -147,6 +167,12 @@ class Directory:
         serves posts ordered by descending ``max_score`` (ties broken by
         ``cdf`` then peer id); the initiator pays routing hops per batch
         request plus the payload of the returned slice only.
+
+        The quality order is computed once per stored list — one lexsort
+        over the packed score columns, cached inside the column store —
+        and reused across batch requests from any requester until the
+        term's columns next mutate, so repeated paging over the same term
+        no longer re-sorts per request.
         """
         if offset < 0:
             raise ValueError(f"offset must be >= 0, got {offset}")

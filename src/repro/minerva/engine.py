@@ -331,7 +331,9 @@ class MinervaEngine:
             )
             peer_lists = {}
             for term in query.terms:
-                partial = PeerList(term=term)
+                partial = PeerList(
+                    term=term, peer_table=self.directory.peer_table
+                )
                 for post in result.posts_by_term.get(term, {}).values():
                     partial.add(post)
                 peer_lists[term] = partial

@@ -12,13 +12,25 @@ entries, etc."
 In this reproduction a Post additionally carries the per-term docID
 synopsis (Section 1.2) and, optionally, the score-histogram synopsis of
 Section 7.1.
+
+Storage is columnar (:mod:`repro.synopses.columnstore`): a PeerList is a
+thin view over a :class:`~repro.synopses.columnstore.TermColumns` —
+packed metadata arrays plus one matrix of packed synopses — so 10^5-peer
+directories fit in contiguous memory and the routing fast path attaches
+to the stored matrices directly.  ``Post`` objects materialize lazily
+(and are cached) for code that still walks per-peer objects;
+``add(post, retain=True)`` additionally keeps the caller's exact object,
+preserving the historical identity semantics of hand-built lists.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from collections.abc import MutableMapping
+from dataclasses import dataclass
+from typing import Any, Iterator
 
 from ..synopses.base import SetSynopsis
+from ..synopses.columnstore import PeerIdTable, TermColumns
 from ..synopses.histogram import ScoreHistogramSynopsis
 
 __all__ = ["Post", "PeerList", "POST_STATS_BITS"]
@@ -62,55 +74,226 @@ class Post:
         return bits
 
 
-@dataclass
+class _PostsView(MutableMapping[str, Post]):
+    """Dict-compatible ``peer_id -> Post`` facade over the columns.
+
+    Keeps the historical ``peer_list.posts`` surface (lookups, ``del``,
+    iteration in row order) while the actual storage stays packed.
+    """
+
+    __slots__ = ("_owner",)
+
+    def __init__(self, owner: "PeerList") -> None:
+        self._owner = owner
+
+    def __getitem__(self, peer_id: str) -> Post:
+        post = self._owner.get(peer_id)
+        if post is None:
+            raise KeyError(peer_id)
+        return post
+
+    def __setitem__(self, peer_id: str, post: Post) -> None:
+        if peer_id != post.peer_id:
+            raise ValueError(
+                f"key {peer_id!r} does not match post.peer_id {post.peer_id!r}"
+            )
+        self._owner.add(post)
+
+    def __delitem__(self, peer_id: str) -> None:
+        if not self._owner._remove(peer_id):
+            raise KeyError(peer_id)
+
+    def __iter__(self) -> Iterator[str]:
+        columns = self._owner.columns
+        table = columns.table
+        for interned in columns.interned_ids().tolist():
+            yield table.name(interned)
+
+    def __len__(self) -> int:
+        return len(self._owner.columns)
+
+
 class PeerList:
-    """All Posts the directory holds for one term."""
+    """All Posts the directory holds for one term, stored columnar."""
 
-    term: str
-    posts: dict[str, Post] = field(default_factory=dict)
+    __slots__ = ("term", "_columns", "_retained", "_cache")
 
-    def add(self, post: Post) -> None:
-        """Insert or refresh a peer's Post (re-posting overwrites)."""
+    def __init__(
+        self,
+        term: str,
+        posts: dict[str, Post] | None = None,
+        *,
+        peer_table: PeerIdTable | None = None,
+    ) -> None:
+        self.term = term
+        table = peer_table if peer_table is not None else PeerIdTable()
+        self._columns = TermColumns(term, table)
+        #: Posts added with ``retain=True`` — exact caller objects.
+        self._retained: dict[str, Post] = {}
+        #: Lazily materialized Posts (dropped on overwrite/removal).
+        self._cache: dict[str, Post] = {}
+        if posts:
+            for post in posts.values():
+                self.add(post)
+
+    # -- columnar surface -------------------------------------------------
+
+    @property
+    def columns(self) -> TermColumns:
+        """The packed per-term column store backing this list."""
+        return self._columns
+
+    @property
+    def peer_table(self) -> PeerIdTable:
+        return self._columns.table
+
+    @property
+    def posts(self) -> _PostsView:
+        """Mapping view ``peer_id -> Post`` (materializes lazily)."""
+        return _PostsView(self)
+
+    # -- mutation ---------------------------------------------------------
+
+    def add(self, post: Post, *, retain: bool = True) -> None:
+        """Insert or refresh a peer's Post (re-posting overwrites).
+
+        ``retain=False`` (the directory ingest path) stores only the
+        packed columns; the Post object is released and an equal one is
+        rebuilt on demand.  ``retain=True`` additionally keeps the exact
+        object so ``get`` returns it by identity.
+        """
         if post.term != self.term:
             raise ValueError(
                 f"post for term {post.term!r} added to PeerList of {self.term!r}"
             )
-        self.posts[post.peer_id] = post
+        self._columns.upsert(
+            post.peer_id,
+            post.cdf,
+            post.max_score,
+            post.avg_score,
+            post.term_space_size,
+            post.synopsis,
+            post.histogram,
+        )
+        self._cache.pop(post.peer_id, None)
+        if retain:
+            self._retained[post.peer_id] = post
+        else:
+            self._retained.pop(post.peer_id, None)
+
+    def _remove(self, peer_id: str) -> bool:
+        removed = self._columns.remove(peer_id)
+        if removed:
+            self._retained.pop(peer_id, None)
+            self._cache.pop(peer_id, None)
+        return removed
+
+    # -- lookups ----------------------------------------------------------
 
     def get(self, peer_id: str) -> Post | None:
-        return self.posts.get(peer_id)
+        retained = self._retained.get(peer_id)
+        if retained is not None:
+            return retained
+        cached = self._cache.get(peer_id)
+        if cached is not None:
+            return cached
+        interned = self._columns.table.lookup(peer_id)
+        if interned is None:
+            return None
+        row = self._columns.row_for(interned)
+        if row is None:
+            return None
+        return self._materialize(row, peer_id)
+
+    def _materialize(self, row: int, peer_id: str) -> Post:
+        name, cdf, max_score, avg_score, term_space, synopsis, histogram = (
+            self._columns.post_fields(row)
+        )
+        post = Post(
+            peer_id=name,
+            term=self.term,
+            cdf=cdf,
+            max_score=max_score,
+            avg_score=avg_score,
+            term_space_size=term_space,
+            synopsis=synopsis,
+            histogram=histogram,
+        )
+        self._cache[peer_id] = post
+        return post
+
+    def _post_at(self, row: int) -> Post:
+        peer_id = self._columns.table.name(int(self._columns.interned_ids()[row]))
+        retained = self._retained.get(peer_id)
+        if retained is not None:
+            return retained
+        cached = self._cache.get(peer_id)
+        if cached is not None:
+            return cached
+        return self._materialize(row, peer_id)
 
     @property
     def peer_ids(self) -> frozenset[str]:
-        return frozenset(self.posts)
+        columns = self._columns
+        if len(columns) == 0:
+            return frozenset()
+        names = columns.table.names_array()[columns.interned_ids()]
+        return frozenset(names.tolist())
 
     @property
     def collection_frequency(self) -> int:
         """Number of peers holding the term — CORI's ``cf_t``."""
-        return len(self.posts)
+        return len(self._columns)
 
     @property
     def size_in_bits(self) -> int:
-        return sum(post.size_in_bits for post in self.posts.values())
+        columns = self._columns
+        return (
+            POST_STATS_BITS * len(columns)
+            + columns.synopsis_bits()
+            + columns.histogram_bits()
+        )
 
     def top_by_quality(self, count: int) -> list[Post]:
         """The ``count`` posts with highest max-score (a cheap quality cut).
 
         Section 4: "the query initiator can decide to not retrieve the
         complete PeerLists, but only a subset, say the top-k peers from
-        each list based on IR relevance measures".
+        each list based on IR relevance measures".  The quality order is
+        one cached lexsort over the packed score columns, reused across
+        calls until the list mutates.
         """
         if count < 0:
             raise ValueError(f"count must be >= 0, got {count}")
-        ranked = sorted(
-            self.posts.values(),
-            key=lambda post: (post.max_score, post.cdf, post.peer_id),
-            reverse=True,
-        )
-        return ranked[:count]
+        order = self._columns.quality_order()
+        return [self._post_at(row) for row in order[:count].tolist()]
 
     def __len__(self) -> int:
-        return len(self.posts)
+        return len(self._columns)
 
-    def __iter__(self):
-        return iter(self.posts.values())
+    def __iter__(self) -> Iterator[Post]:
+        for row in range(len(self._columns)):
+            yield self._post_at(row)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PeerList):
+            return NotImplemented
+        return self.term == other.term and dict(self.posts) == dict(other.posts)
+
+    def __repr__(self) -> str:
+        return f"PeerList(term={self.term!r}, peers={len(self)})"
+
+    # -- pickling ----------------------------------------------------------
+
+    def __getstate__(self) -> dict[str, Any]:
+        return {
+            "term": self.term,
+            "columns": self._columns,
+            "retained": self._retained,
+        }
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        self.term = state["term"]
+        self._columns = state["columns"]
+        self._retained = state["retained"]
+        self._cache = {}

@@ -198,7 +198,9 @@ class SimNetExecutor:
                 self.engine.ring.key_id(term)
             )
             if stored is None:
-                stored = PeerList(term=term)
+                stored = PeerList(
+                    term=term, peer_table=self.engine.directory.peer_table
+                )
             return stored, stored.size_in_bits, self.directory_service_ms
 
         return handler
@@ -425,7 +427,9 @@ class SimNetExecutor:
                     )
             # Directory unreachable for this term: route with what we
             # have rather than failing the query.
-            peer_lists[term] = PeerList(term=term)
+            peer_lists[term] = PeerList(
+                term=term, peer_table=engine.directory.peer_table
+            )
             failed_terms.append(term)
 
         # Phase 2 — routing, a local computation at the initiator.

@@ -37,11 +37,12 @@ IN_SCOPE = {
     "RPRL005": "src/repro/util.py",
     "RPRL006": "src/repro/experiments/sweep.py",
     "RPRL007": "src/repro/churn/membership.py",
+    "RPRL008": "src/repro/synopses/columnstore.py",
 }
 
 
 class TestRegistry:
-    def test_seven_rules_plus_stable_ids(self):
+    def test_eight_rules_plus_stable_ids(self):
         assert rule_ids() == [
             "RPRL001",
             "RPRL002",
@@ -50,6 +51,7 @@ class TestRegistry:
             "RPRL005",
             "RPRL006",
             "RPRL007",
+            "RPRL008",
         ]
 
     def test_every_rule_documents_itself(self):
@@ -557,6 +559,122 @@ class TestChurnOnVirtualClock:
             """
         assert (
             lint(source, "src/repro/parallel/runner.py", only="RPRL007") == []
+        )
+
+
+class TestColumnarStaysPacked:
+    """RPRL008 — scope repro/synopses/columnstore + repro/core/fastpath."""
+
+    def test_object_dtype_keyword_fires(self):
+        source = """
+            import numpy as np
+
+            def make_rows(count):
+                return np.empty(count, dtype=object)
+            """
+        findings = lint(source, IN_SCOPE["RPRL008"], only="RPRL008")
+        assert ids(findings) == ["RPRL008"]
+        assert "dtype=object" in findings[0].message
+
+    def test_np_object_attribute_fires(self):
+        source = """
+            import numpy as np
+
+            def make_rows(count):
+                return np.zeros(count, dtype=np.object_)
+            """
+        assert ids(lint(source, IN_SCOPE["RPRL008"], only="RPRL008")) == [
+            "RPRL008"
+        ]
+
+    def test_string_object_dtype_fires(self):
+        source = """
+            import numpy as np
+
+            def make_rows(count):
+                return np.zeros(count, dtype="object")
+            """
+        assert ids(lint(source, IN_SCOPE["RPRL008"], only="RPRL008")) == [
+            "RPRL008"
+        ]
+
+    def test_loop_over_column_attribute_fires(self):
+        source = """
+            class Column:
+                def total(self):
+                    acc = 0.0
+                    for card in self._cards:
+                        acc += card
+                    return acc
+            """
+        findings = lint(source, IN_SCOPE["RPRL008"], only="RPRL008")
+        assert ids(findings) == ["RPRL008"]
+        assert "'_cards'" in findings[0].message
+
+    def test_loop_over_sliced_column_fires(self):
+        source = """
+            class Column:
+                def scan(self):
+                    return [int(row) for row in self._rows[:10]]
+            """
+        assert ids(lint(source, IN_SCOPE["RPRL008"], only="RPRL008")) == [
+            "RPRL008"
+        ]
+
+    def test_loop_over_tolist_of_column_fires(self):
+        source = """
+            class Column:
+                def names(self):
+                    out = []
+                    for value in self._peer_ids.tolist():
+                        out.append(value)
+                    return out
+            """
+        assert ids(lint(source, IN_SCOPE["RPRL008"], only="RPRL008")) == [
+            "RPRL008"
+        ]
+
+    def test_numeric_dtypes_and_vector_ops_are_clean(self):
+        source = """
+            import numpy as np
+
+            class Column:
+                def __init__(self, count):
+                    self._cards = np.zeros(count, dtype=np.float64)
+                    self._rows = np.zeros((count, 4), dtype=np.uint64)
+
+                def total(self):
+                    return float(self._cards.sum())
+            """
+        assert lint(source, IN_SCOPE["RPRL008"], only="RPRL008") == []
+
+    def test_ingest_loop_over_objects_is_clean(self):
+        source = """
+            def pack(synopses, matrix):
+                for index, synopsis in enumerate(synopses):
+                    matrix[index] = synopsis.raw_bits
+            """
+        assert lint(source, IN_SCOPE["RPRL008"], only="RPRL008") == []
+
+    def test_fastpath_is_in_scope(self):
+        source = """
+            class Kernel:
+                def rescore(self):
+                    return [float(c) for c in self._cards]
+            """
+        assert ids(
+            lint(source, "src/repro/core/fastpath.py", only="RPRL008")
+        ) == ["RPRL008"]
+
+    def test_out_of_scope_path_is_ignored(self):
+        source = """
+            import numpy as np
+
+            def make_rows(count):
+                return np.empty(count, dtype=object)
+            """
+        assert (
+            lint(source, "src/repro/synopses/bloom.py", only="RPRL008") == []
         )
 
 

@@ -12,6 +12,7 @@ RPRL004     no-float-equality                              ``repro/synopses``, `
 RPRL005     public-api-hygiene (``__all__``)               ``src/repro``
 RPRL006     worker-entrypoints-take-seed                   ``src/repro``
 RPRL007     churn-on-virtual-clock                         ``repro/churn``
+RPRL008     columnar-stays-packed                          ``repro/synopses/columnstore``, ``repro/core/fastpath``
 ==========  =============================================  ==========================
 """
 
@@ -24,6 +25,7 @@ from .floats import NoFloatEquality
 from .api import PublicApiHygiene
 from .workers import WorkerEntrypointsTakeSeed
 from .churn import ChurnOnVirtualClock
+from .columnar import ColumnarStaysPacked
 
 __all__ = [
     "MutatingMethodMustInvalidateCache",
@@ -33,4 +35,5 @@ __all__ = [
     "PublicApiHygiene",
     "WorkerEntrypointsTakeSeed",
     "ChurnOnVirtualClock",
+    "ColumnarStaysPacked",
 ]
