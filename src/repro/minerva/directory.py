@@ -40,7 +40,7 @@ class Directory:
         replicas: int = 1,
         node_of_peer: dict[str, int] | None = None,
         peer_table: PeerIdTable | None = None,
-    ):
+    ) -> None:
         if replicas <= 0:
             raise ValueError(f"replicas must be positive, got {replicas}")
         self.ring = ring

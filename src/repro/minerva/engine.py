@@ -19,13 +19,14 @@ forward to the selected peers and merge their local top-k results.
 
 from __future__ import annotations
 
+from collections.abc import Iterable
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 from ..datasets.queries import Query
 from ..dht.hashing import DEFAULT_ID_BITS, chord_id
 from ..dht.ring import ChordRing
-from ..ir.documents import Corpus
+from ..ir.documents import Corpus, Document
 from ..ir.index import InvertedIndex
 from ..ir.merge import merge_results, weighted_merge
 from ..ir.metrics import relative_recall, result_ids
@@ -38,8 +39,12 @@ from .directory import Directory
 from .peer import Peer
 from .posts import PeerList
 
-if TYPE_CHECKING:  # annotation only — avoids a core/minerva import cycle
+if TYPE_CHECKING:  # annotation only — avoids core/simnet import cycles
     from ..core.fastpath import RoutingStats
+    from ..net.latency import LatencyProfile
+    from ..simnet.executor import NetworkedQueryOutcome
+    from ..simnet.faults import FaultPlan
+    from ..simnet.rpc import RetryPolicy
 
 __all__ = ["QueryOutcome", "MinervaEngine"]
 
@@ -93,7 +98,7 @@ class MinervaEngine:
         ring_bits: int = DEFAULT_ID_BITS,
         indexes: list[InvertedIndex] | None = None,
         reference_index: InvertedIndex | None = None,
-    ):
+    ) -> None:
         if not collections:
             raise ValueError("an engine needs at least one collection")
         if indexes is not None and len(indexes) != len(collections):
@@ -232,7 +237,7 @@ class MinervaEngine:
     def grow_peer(
         self,
         peer_id: str,
-        documents,
+        documents: Iterable[Document],
         *,
         republish_terms: set[str] | None = None,
         drift_factor: float = 1.5,
@@ -473,9 +478,9 @@ class MinervaEngine:
         query: Query,
         selector: PeerSelector,
         *,
-        faults=None,
-        profile=None,
-        policy=None,
+        faults: FaultPlan | None = None,
+        profile: LatencyProfile | None = None,
+        policy: RetryPolicy | None = None,
         seed: int = 0,
         initiator_id: str | None = None,
         max_peers: int = 10,
@@ -484,7 +489,7 @@ class MinervaEngine:
         conjunctive: bool = False,
         successor_fallback: bool = False,
         fallback_spares: int = 0,
-    ):
+    ) -> NetworkedQueryOutcome:
         """Run one query over the simulated network (:mod:`repro.simnet`).
 
         The three query phases — PeerList fetch over DHT hops, routing,

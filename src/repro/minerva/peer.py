@@ -9,7 +9,9 @@ distributed directory.  At query time a peer either *initiates* a query
 
 from __future__ import annotations
 
-from ..ir.documents import Corpus
+from collections.abc import Iterable
+
+from ..ir.documents import Corpus, Document
 from ..ir.index import InvertedIndex
 from ..ir.scoring import Scorer
 from ..ir.topk import ScoredDocument, execute_query
@@ -33,7 +35,7 @@ class Peer:
         scorer: Scorer | None = None,
         histogram_cells: int | None = None,
         index: InvertedIndex | None = None,
-    ):
+    ) -> None:
         if not peer_id:
             raise ValueError("peer_id must be non-empty")
         if index is not None and index.corpus is not corpus:
@@ -93,7 +95,7 @@ class Peer:
     # -- dynamics (evolving crawls) ------------------------------------------
 
     def add_documents(
-        self, documents, *, drift_factor: float = 1.5
+        self, documents: Iterable[Document], *, drift_factor: float = 1.5
     ) -> list[str]:
         """Grow the local collection and report terms needing re-posting.
 

@@ -62,7 +62,9 @@ class CostSnapshot:
 
     def __sub__(self, other: "CostSnapshot") -> "CostSnapshot":
         """Delta between two snapshots (self - earlier)."""
-        kinds = set(self.messages_by_kind) | set(other.messages_by_kind)
+        # Sorted so the delta's dict order never depends on the hash
+        # seed: these snapshots end up in serialized experiment reports.
+        kinds = sorted(set(self.messages_by_kind) | set(other.messages_by_kind))
         return CostSnapshot(
             messages_by_kind={
                 k: self.messages_by_kind.get(k, 0) - other.messages_by_kind.get(k, 0)

@@ -51,7 +51,9 @@ class LatencyProfile:
 
     def estimate_ms_by_kind(self, snapshot: CostSnapshot) -> dict[str, float]:
         """Per-message-kind breakdown of :meth:`estimate_ms`."""
-        kinds = set(snapshot.messages_by_kind) | set(snapshot.bits_by_kind)
+        # Sorted so the breakdown's dict order never depends on the
+        # hash seed; callers serialize these per-kind tables verbatim.
+        kinds = sorted(set(snapshot.messages_by_kind) | set(snapshot.bits_by_kind))
         return {
             kind: (
                 snapshot.messages(kind) * self.per_message_ms

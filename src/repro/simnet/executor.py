@@ -51,7 +51,7 @@ from ..net.latency import LatencyProfile
 from ..routing.base import LocalView, PeerSelector, RoutingContext
 from .clock import SimClock, SimFuture, gather, spawn
 from .faults import FaultPlan
-from .rpc import RetryPolicy, RpcLayer, RpcResult
+from .rpc import RetryPolicy, RpcHandler, RpcLayer, RpcResult
 from .transport import Transport
 
 __all__ = ["NetworkedQueryOutcome", "SimNetExecutor"]
@@ -187,10 +187,10 @@ class SimNetExecutor:
 
     # -- server side -----------------------------------------------------------
 
-    def _serve_peerlist(self, peer_id: str):
+    def _serve_peerlist(self, peer_id: str) -> RpcHandler:
         """Handler: serve a term's PeerList from this peer's directory node."""
 
-        def handler(term: str):
+        def handler(term: str) -> tuple[PeerList, int, float] | None:
             node_id = self.engine.directory._node_of_peer.get(peer_id)
             if node_id is None:
                 return None  # departed since construction: no reply
@@ -205,10 +205,12 @@ class SimNetExecutor:
 
         return handler
 
-    def _serve_query(self, peer_id: str):
+    def _serve_query(self, peer_id: str) -> RpcHandler:
         """Handler: answer a forwarded query with the local top-k."""
 
-        def handler(payload: tuple[tuple[str, ...], int, bool]):
+        def handler(
+            payload: tuple[tuple[str, ...], int, bool]
+        ) -> tuple[tuple[ScoredDocument, ...], int, float] | None:
             terms, k, conjunctive = payload
             peer = self.engine.peers.get(peer_id)
             if peer is None:

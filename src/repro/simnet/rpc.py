@@ -95,7 +95,9 @@ RpcHandler = Callable[[Any], "tuple[Any, int, float] | None"]
 class RpcLayer:
     """Client/server plumbing over a :class:`Transport`."""
 
-    def __init__(self, transport: Transport, *, policy: RetryPolicy | None = None):
+    def __init__(
+        self, transport: Transport, *, policy: RetryPolicy | None = None
+    ) -> None:
         self.transport = transport
         self.clock = transport.clock
         self.policy = policy or RetryPolicy()

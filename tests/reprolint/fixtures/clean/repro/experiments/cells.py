@@ -1,0 +1,8 @@
+"""Compliant experiment cell: result is a pure function of (config, seed)."""
+
+from ..util import stable_offset
+
+
+def run_cell(config: dict, seed: int) -> dict:
+    base = float(len(config))
+    return {"score": base + stable_offset(seed)}

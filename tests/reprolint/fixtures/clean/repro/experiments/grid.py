@@ -1,0 +1,14 @@
+"""Compliant grid sweep: module-level entrypoint, plain-data payload."""
+
+from ..parallel.pool import TaskPool
+
+
+def eval_point(task: tuple) -> float:
+    point, seed = task
+    return float(point) + seed
+
+
+def sweep(points: list, seed: int) -> list:
+    pool = TaskPool(workers=4)
+    tasks = [(point, seed) for point in points]
+    return pool.map(eval_point, tasks)

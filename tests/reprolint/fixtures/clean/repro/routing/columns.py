@@ -1,0 +1,10 @@
+"""Compliant columnar view: annotated cross-boundary call, wide dtype."""
+
+import numpy as np
+
+from ..synopses.columnstore import pack
+
+
+def gather_scores(raw: list) -> np.ndarray:
+    packed = pack(raw)
+    return packed.astype(np.float64)

@@ -1,0 +1,7 @@
+"""Compliant helper: all randomness flows through an explicit seed."""
+
+import random
+
+
+def stable_offset(seed: int) -> float:
+    return random.Random(seed).random()

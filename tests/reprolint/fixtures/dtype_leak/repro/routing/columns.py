@@ -1,0 +1,10 @@
+"""Known-bad columnar view: crosses the boundary into an unannotated fn."""
+
+import numpy as np
+
+from ..synopses.columnstore import pack
+
+
+def gather_scores(raw: list) -> np.ndarray:
+    packed = pack(raw)  # cross-module call into an undeclared signature
+    return packed.astype(np.float32)  # narrows the scoring dtype

@@ -1,0 +1,19 @@
+"""Known-bad column store: inferred dtypes and an unannotated boundary fn."""
+
+import numpy as np
+
+
+def pack(values):
+    # Unannotated, and the dtype is whatever numpy infers from `values`
+    # (an int list packs int64; a mixed list silently packs object).
+    return np.asarray(values)
+
+
+def neutral_rows(count: int) -> np.ndarray:
+    return np.zeros(count)  # float64 by inference, not by declaration
+
+
+def boxed(values: list) -> np.ndarray:
+    # The per-file rule (RPRL008) is suppressed so the repo-wide file-mode
+    # gate stays clean; project mode still reports this line as RPRL102.
+    return np.array(values, dtype=object)  # reprolint: disable=RPRL008

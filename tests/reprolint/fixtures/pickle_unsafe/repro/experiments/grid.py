@@ -1,0 +1,11 @@
+"""Known-bad grid sweep: unpicklable entrypoint and payload."""
+
+from ..parallel.pool import TaskPool
+from ..simnet.clock import SimClock
+
+
+def sweep(points: list) -> list:
+    pool = TaskPool(workers=4)
+    clock = SimClock()
+    tasks = [(point, clock) for point in points]  # SimClock in the payload
+    return pool.map(lambda task: task[0], tasks)  # lambda entrypoint

@@ -1,0 +1,10 @@
+"""Minimal stand-in for the real TaskPool dispatch surface."""
+
+
+class TaskPool:
+    def __init__(self, workers: int = 2) -> None:
+        self.workers = workers
+
+    def map(self, fn, tasks):
+        # Real pool pickles fn and every task for worker processes.
+        return [fn(task) for task in tasks]

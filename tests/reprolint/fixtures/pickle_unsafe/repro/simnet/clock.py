@@ -1,0 +1,9 @@
+"""Simulated clock: process-local state, never valid in a pickled payload."""
+
+
+class SimClock:
+    def __init__(self) -> None:
+        self.now_ms = 0.0
+
+    def advance(self, delta_ms: float) -> None:
+        self.now_ms += delta_ms

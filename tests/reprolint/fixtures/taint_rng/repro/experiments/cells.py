@@ -1,0 +1,14 @@
+"""Known-bad experiment cell: its result inherits cross-module RNG taint."""
+
+from ..util import jitter, stable_offset
+
+
+def run_cell(config: dict, seed: int) -> dict:
+    base = float(len(config))
+    noisy = base + jitter()  # taints the returned result
+    return {"score": noisy}
+
+
+def run_cell_seeded(config: dict, seed: int) -> dict:
+    base = float(len(config))
+    return {"score": base + stable_offset(seed)}

@@ -1,0 +1,16 @@
+"""Known-bad helper: draws from the process-global RNG.
+
+Per-file linting of ``repro/experiments/cells.py`` cannot see this —
+the nondeterminism lives one module away and flows through a return.
+"""
+
+import random
+
+
+def jitter() -> float:
+    return random.random()
+
+
+def stable_offset(seed: int) -> float:
+    """Compliant twin: explicit seeded generator."""
+    return random.Random(seed).random()

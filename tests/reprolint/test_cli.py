@@ -64,7 +64,7 @@ class TestExitCodes:
         result = run_reprolint(str(dirty_file))
         assert result.returncode == 1
         assert "RPRL001" in result.stdout
-        assert "1 finding" in result.stdout
+        assert "1 active finding" in result.stdout
 
     def test_no_paths_is_a_usage_error(self):
         result = run_reprolint()
@@ -104,18 +104,26 @@ class TestJsonOutput:
         result = run_reprolint("--format", "json", str(clean_file))
         assert result.returncode == 0
         report = json.loads(result.stdout)
-        assert report == {"files_checked": 1, "findings": []}
+        assert report == {
+            "schema_version": 2,
+            "files_checked": 1,
+            "findings": [],
+            "summary": {"active": 0, "baselined": 0},
+        }
 
     def test_finding_schema(self, dirty_file):
         result = run_reprolint("--format", "json", str(dirty_file))
         assert result.returncode == 1
         report = json.loads(result.stdout)
+        assert report["schema_version"] == 2
         assert report["files_checked"] == 1
+        assert report["summary"] == {"active": 1, "baselined": 0}
         (finding,) = report["findings"]
         assert finding["rule"] == "RPRL001"
         assert finding["path"] == str(dirty_file)
         assert finding["line"] == 4
         assert isinstance(finding["col"], int)
+        assert finding["status"] == "active"
         assert "_cardinality" in finding["message"]
 
     def test_directory_walk_counts_every_file(self, tmp_path):

@@ -1,0 +1,281 @@
+"""Project-mode tests: resolver, call graph, rule families, baseline.
+
+The fixture corpus under ``tests/reprolint/fixtures/`` holds four
+miniature ``repro`` packages:
+
+- ``taint_rng`` — an experiment result inherits unseeded-RNG taint from
+  a helper one module away (RPRL101);
+- ``dtype_leak`` — inferred/object dtypes and an unannotated function
+  called across the columnar boundary (RPRL102);
+- ``pickle_unsafe`` — a lambda entrypoint and a SimClock-bearing
+  payload handed to ``TaskPool.map`` (RPRL103);
+- ``clean`` — compliant twins of all three, which must produce zero
+  findings.
+
+The fixtures deliberately use the package name ``repro`` so the default
+:class:`~reprolint.project.base.ProjectContracts` patterns apply
+without test-only configuration.
+"""
+
+import json
+import subprocess
+from pathlib import Path
+
+import pytest
+
+from reprolint.engine import REPORT_SCHEMA_VERSION
+from reprolint.project import check_project
+from reprolint.project.baseline import Baseline
+from reprolint.project.callgraph import CallGraph
+from reprolint.project.resolver import ProjectIndex
+
+from .test_cli import run_reprolint
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def fixture(case: str) -> Path:
+    return FIXTURES / case / "repro"
+
+
+class TestProjectIndex:
+    def test_discovers_modules_and_functions(self):
+        index = ProjectIndex.build([fixture("taint_rng")])
+        assert "repro.util" in index.modules
+        assert "repro.experiments.cells" in index.modules
+        assert "repro.util.jitter" in index.functions
+        assert "repro.experiments.cells.run_cell" in index.functions
+
+    def test_relative_imports_resolve_cross_module(self):
+        index = ProjectIndex.build([fixture("taint_rng")])
+        cells = index.modules["repro.experiments.cells"]
+        # ``from ..util import jitter`` binds the local name to the
+        # fully qualified target.
+        assert cells.imports["jitter"] == "repro.util.jitter"
+        assert index.canonicalize("repro.util.jitter") == "repro.util.jitter"
+
+    def test_methods_register_under_class_qualname(self):
+        index = ProjectIndex.build([fixture("pickle_unsafe")])
+        assert "repro.parallel.pool.TaskPool.map" in index.functions
+        info = index.functions["repro.parallel.pool.TaskPool.map"]
+        assert info.cls == "repro.parallel.pool.TaskPool"
+
+    def test_missing_package_init_is_rejected(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "mod.py").write_text("X = 1\n", encoding="utf-8")
+        with pytest.raises(FileNotFoundError):
+            ProjectIndex.build([tmp_path / "pkg"])
+
+
+class TestCallGraph:
+    def test_cross_module_function_edge(self):
+        index = ProjectIndex.build([fixture("taint_rng")])
+        graph = CallGraph.build(index)
+        edges = graph.by_caller["repro.experiments.cells.run_cell"]
+        assert any(
+            site.callee == "repro.util.jitter" and not site.external
+            for site in edges
+        )
+
+    def test_method_edge_via_constructor_inference(self):
+        # ``pool = TaskPool(...)`` then ``pool.map(...)`` must resolve
+        # the receiver type and produce a method edge.
+        index = ProjectIndex.build([fixture("pickle_unsafe")])
+        graph = CallGraph.build(index)
+        edges = graph.by_caller["repro.experiments.grid.sweep"]
+        assert any(
+            site.callee == "repro.parallel.pool.TaskPool.map" for site in edges
+        )
+
+    def test_external_calls_keep_canonical_names(self):
+        index = ProjectIndex.build([fixture("taint_rng")])
+        graph = CallGraph.build(index)
+        edges = graph.by_caller["repro.util.jitter"]
+        assert any(
+            site.callee == "random.random" and site.external for site in edges
+        )
+
+    def test_resolves_src_repro_without_errors(self):
+        """Acceptance: the analyzer covers the whole real tree."""
+        index = ProjectIndex.build([REPO_ROOT / "src" / "repro"])
+        graph = CallGraph.build(index)
+        assert len(index.modules) > 50
+        assert len(index.functions) > 300
+        internal = [s for s in graph.sites if not s.external]
+        assert len(internal) > 300
+
+
+class TestDeterminismTaint:
+    def test_cross_module_rng_reaches_experiment_result(self):
+        report = check_project([fixture("taint_rng")])
+        (finding,) = report.findings
+        assert finding.rule_id == "RPRL101"
+        assert finding.path.endswith("experiments/cells.py")
+        assert "repro.util.jitter" in finding.message
+        assert "random.random" in finding.message
+
+    def test_seeded_twin_is_clean(self):
+        report = check_project([fixture("taint_rng")])
+        assert not any(
+            "run_cell_seeded" in f.message for f in report.findings
+        )
+
+
+class TestColumnarDtypeContract:
+    def test_fixture_findings(self):
+        report = check_project([fixture("dtype_leak")])
+        rules = {f.rule_id for f in report.findings}
+        assert rules == {"RPRL102"}
+        messages = " | ".join(f.message for f in report.findings)
+        assert "without an explicit dtype" in messages
+        assert "object-dtype" in messages
+        assert "narrowed-float" in messages
+        assert "lacks full parameter/return annotations" in messages
+
+
+class TestPickleSafety:
+    def test_lambda_entrypoint_and_clock_payload(self):
+        report = check_project([fixture("pickle_unsafe")])
+        rules = [f.rule_id for f in report.findings]
+        assert rules == ["RPRL103", "RPRL103"]
+        messages = " | ".join(f.message for f in report.findings)
+        assert "lambda" in messages
+        assert "SimClock" in messages
+
+
+class TestCleanFixture:
+    def test_compliant_twins_produce_no_findings(self):
+        report = check_project([fixture("clean")])
+        assert report.findings == []
+        assert report.ok
+
+    def test_src_repro_is_clean(self):
+        """Acceptance: the fixed tree passes with an empty baseline."""
+        report = check_project([REPO_ROOT / "src" / "repro"])
+        assert report.findings == [], [f.format_text() for f in report.findings]
+
+
+class TestSelectIgnore:
+    def test_select_limits_project_rules(self):
+        report = check_project([fixture("dtype_leak")], select=["RPRL101"])
+        assert report.findings == []
+
+    def test_ignore_drops_a_rule(self):
+        report = check_project([fixture("dtype_leak")], ignore=["RPRL102"])
+        assert report.findings == []
+
+
+class TestBaseline:
+    def test_roundtrip_marks_findings_baselined(self, tmp_path):
+        report = check_project([fixture("taint_rng")])
+        assert report.findings
+        path = tmp_path / "baseline.json"
+        Baseline.from_findings(report.findings).save(path)
+
+        fresh = check_project([fixture("taint_rng")])
+        applied = Baseline.load(path).apply(fresh.findings)
+        assert all(f.status == "baselined" for f in applied)
+        fresh.findings = applied
+        assert fresh.ok  # baselined findings never fail the run
+
+    def test_baseline_keys_ignore_line_numbers(self, tmp_path):
+        # Moving a finding within its file must not invalidate the
+        # baseline entry — keys are (rule, path, message), not lines.
+        report = check_project([fixture("taint_rng")])
+        (finding,) = report.findings
+        key = Baseline.key_for(finding)
+        assert finding.line not in key
+        assert key[0] == "RPRL101"
+
+    def test_unrelated_finding_stays_active(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        taint = check_project([fixture("taint_rng")])
+        Baseline.from_findings(taint.findings).save(path)
+        dtype = check_project([fixture("dtype_leak")])
+        applied = Baseline.load(path).apply(dtype.findings)
+        assert all(f.status == "active" for f in applied)
+
+
+class TestProjectCli:
+    def test_json_report_schema(self):
+        result = run_reprolint(
+            "--project", "--format", "json", str(fixture("taint_rng"))
+        )
+        assert result.returncode == 1
+        report = json.loads(result.stdout)
+        assert report["schema_version"] == REPORT_SCHEMA_VERSION
+        assert report["summary"] == {"active": 1, "baselined": 0}
+        assert set(report["project"]) == {
+            "modules",
+            "functions",
+            "call_edges",
+            "resolved_edges",
+        }
+        (finding,) = report["findings"]
+        assert finding["rule"] == "RPRL101"
+        assert finding["status"] == "active"
+        assert finding["path"].endswith("cells.py")
+        assert isinstance(finding["line"], int)
+        assert isinstance(finding["col"], int)
+
+    def test_clean_fixture_exits_zero(self):
+        result = run_reprolint("--project", str(fixture("clean")))
+        assert result.returncode == 0
+        assert "no findings" in result.stdout
+
+    def test_default_package_is_src_repro(self):
+        result = run_reprolint("--project", "--format", "json")
+        assert result.returncode == 0, result.stdout + result.stderr
+        report = json.loads(result.stdout)
+        assert report["findings"] == []
+        assert report["project"]["modules"] > 50
+
+    def test_write_baseline_then_pass(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        wrote = run_reprolint(
+            "--project",
+            "--baseline",
+            str(baseline),
+            "--write-baseline",
+            str(fixture("pickle_unsafe")),
+        )
+        assert wrote.returncode == 0
+        assert "wrote 2 baseline entries" in wrote.stdout
+
+        rerun = run_reprolint(
+            "--project", "--baseline", str(baseline), str(fixture("pickle_unsafe"))
+        )
+        assert rerun.returncode == 0
+        assert "2 baselined" in rerun.stdout
+
+    def test_missing_baseline_is_a_usage_error(self, tmp_path):
+        result = run_reprolint(
+            "--project",
+            "--baseline",
+            str(tmp_path / "nope.json"),
+            str(fixture("clean")),
+        )
+        assert result.returncode == 2
+        assert "baseline file not found" in result.stderr
+
+    def test_write_baseline_requires_baseline_flag(self):
+        result = run_reprolint("--project", "--write-baseline", str(fixture("clean")))
+        assert result.returncode == 2
+        assert "--write-baseline requires --baseline" in result.stderr
+
+    def test_output_writes_json_next_to_text(self, tmp_path):
+        out = tmp_path / "report.json"
+        result = run_reprolint(
+            "--project", "--output", str(out), str(fixture("clean"))
+        )
+        assert result.returncode == 0
+        report = json.loads(out.read_text(encoding="utf-8"))
+        assert report["findings"] == []
+        assert report["schema_version"] == REPORT_SCHEMA_VERSION
+
+    def test_list_rules_includes_project_rules(self):
+        result = run_reprolint("--list-rules")
+        assert result.returncode == 0
+        for rule_id in ("RPRL101", "RPRL102", "RPRL103"):
+            assert rule_id in result.stdout

@@ -8,10 +8,19 @@ reruns must be bit-reproducible), estimators must never compare floats
 with ``==``, and every ``src/repro`` module must declare its public
 surface.  reprolint machine-enforces those invariants.
 
+Two analysis modes share one report pipeline: the per-file AST rules
+(RPRL001-008) and **project mode** (``--project``), which builds a
+whole-program symbol table and call graph over ``src/repro`` and runs
+the inter-procedural rule families — determinism taint (RPRL101),
+columnar dtype contracts (RPRL102), pickle-safe task payloads
+(RPRL103) — see :mod:`reprolint.project`.
+
 Usage::
 
     PYTHONPATH=tools python -m reprolint src/ tests/
     PYTHONPATH=tools python -m reprolint --format json src/
+    PYTHONPATH=tools python -m reprolint --project
+    PYTHONPATH=tools python -m reprolint --project --baseline known.json
     PYTHONPATH=tools python -m reprolint --list-rules
 
 Findings can be silenced in place with an inline comment on the
@@ -23,11 +32,12 @@ from __future__ import annotations
 
 from .engine import Finding, LintReport, check_paths, check_source
 from .registry import Rule, all_rules, get_rule, register_rule
+from .project import check_project
 
 # Importing the rules package registers every built-in rule.
 from . import rules as _rules  # noqa: F401
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Finding",
@@ -35,6 +45,7 @@ __all__ = [
     "Rule",
     "all_rules",
     "check_paths",
+    "check_project",
     "check_source",
     "get_rule",
     "register_rule",

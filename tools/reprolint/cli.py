@@ -1,9 +1,24 @@
 """Command-line interface: ``python -m reprolint [options] paths...``.
 
+Two modes share one report pipeline:
+
+- **file mode** (default): run the per-file AST rules over every
+  ``.py`` file reachable from ``paths``.
+- **project mode** (``--project``): treat each path as a *package
+  directory* (default ``src/repro``), build the whole-program symbol
+  table and call graph, and run the inter-procedural rule families
+  (determinism taint, columnar dtype contracts, pickle-safe task
+  payloads).
+
+Shared options: ``--select``/``--ignore`` filter rules, ``--baseline``
+marks known findings as non-fatal (``--write-baseline`` snapshots the
+current findings into the file), ``--output`` writes the JSON report to
+a file regardless of the console ``--format``.
+
 Exit codes follow the usual linter convention:
 
-- 0 — no findings
-- 1 — at least one finding
+- 0 — no *active* findings (baselined findings do not fail)
+- 1 — at least one active finding
 - 2 — usage error (unknown rule id, missing path, no input files)
 """
 
@@ -12,10 +27,14 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 from typing import Sequence
 
 from .engine import LintReport, check_paths
 from .registry import all_rules
+from .project import check_project
+from .project.base import all_project_rules
+from .project.baseline import Baseline
 
 __all__ = ["main", "build_parser"]
 
@@ -23,20 +42,37 @@ EXIT_OK = 0
 EXIT_FINDINGS = 1
 EXIT_USAGE = 2
 
+DEFAULT_PROJECT_PACKAGE = "src/repro"
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="reprolint",
         description=(
-            "AST-based invariant checker for the IQN reproduction "
+            "Invariant checker for the IQN reproduction: per-file AST rules "
             "(cache invalidation, seeded randomness, virtual time, float "
-            "equality, __all__ hygiene)."
+            "equality, __all__ hygiene) plus whole-program project mode "
+            "(determinism taint, columnar dtype contracts, pickle-safe "
+            "task payloads)."
         ),
     )
     parser.add_argument(
         "paths",
         nargs="*",
-        help="files or directories to lint (directories are walked recursively)",
+        help=(
+            "files or directories to lint (directories are walked "
+            "recursively); with --project, package directories "
+            f"(default: {DEFAULT_PROJECT_PACKAGE})"
+        ),
+    )
+    parser.add_argument(
+        "--project",
+        action="store_true",
+        help=(
+            "whole-program mode: build a symbol table and call graph over "
+            "the given package directories and run the inter-procedural "
+            "rule families (RPRL1xx)"
+        ),
     )
     parser.add_argument(
         "--format",
@@ -45,14 +81,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="output format (default: text)",
     )
     parser.add_argument(
+        "--output",
+        metavar="FILE",
+        help="also write the JSON report to FILE (independent of --format)",
+    )
+    parser.add_argument(
         "--select",
         metavar="IDS",
         help="comma-separated rule ids to run (default: all registered rules)",
     )
     parser.add_argument(
+        "--ignore",
+        metavar="IDS",
+        help="comma-separated rule ids to skip",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help=(
+            "JSON baseline of accepted findings; matches are reported as "
+            "'baselined' and never fail the run"
+        ),
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="snapshot the current findings into --baseline FILE and exit 0",
+    )
+    parser.add_argument(
         "--list-rules",
         action="store_true",
-        help="print the registered rules and exit",
+        help="print the registered rules (file and project) and exit",
     )
     return parser
 
@@ -62,6 +121,16 @@ def _print_rules() -> None:
         scope = ", ".join(rule.scope_fragments) if rule.scope_fragments else "all files"
         print(f"{rule.rule_id}  {rule.name}  [{scope}]")
         print(f"    {rule.rationale}")
+    for project_rule in all_project_rules():
+        print(f"{project_rule.rule_id}  {project_rule.name}  [project mode]")
+        print(f"    {project_rule.rationale}")
+
+
+def _split_ids(raw: str | None) -> list[str] | None:
+    if raw is None:
+        return None
+    ids = [part.strip().upper() for part in raw.split(",") if part.strip()]
+    return ids or None
 
 
 def _emit(report: LintReport, output_format: str) -> None:
@@ -71,12 +140,18 @@ def _emit(report: LintReport, output_format: str) -> None:
     for finding in report.findings:
         print(finding.format_text())
     noun = "file" if report.files_checked == 1 else "files"
-    if report.ok:
+    if not report.findings:
         print(f"reprolint: {report.files_checked} {noun} checked, no findings")
     else:
-        count = len(report.findings)
-        noun_f = "finding" if count == 1 else "findings"
-        print(f"reprolint: {report.files_checked} {noun} checked, {count} {noun_f}")
+        active = report.active_count
+        baselined = report.baselined_count
+        parts = [f"{active} active finding{'s' if active != 1 else ''}"]
+        if baselined:
+            parts.append(f"{baselined} baselined")
+        print(
+            f"reprolint: {report.files_checked} {noun} checked, "
+            + ", ".join(parts)
+        )
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -87,28 +162,81 @@ def main(argv: Sequence[str] | None = None) -> int:
         _print_rules()
         return EXIT_OK
 
-    if not options.paths:
-        parser.print_usage(sys.stderr)
-        print("reprolint: error: no input paths given", file=sys.stderr)
+    select = _split_ids(options.select)
+    ignore = _split_ids(options.ignore)
+
+    if options.write_baseline and not options.baseline:
+        print(
+            "reprolint: error: --write-baseline requires --baseline FILE",
+            file=sys.stderr,
+        )
         return EXIT_USAGE
 
-    rules = None
-    if options.select:
+    if options.project:
+        paths = options.paths or [DEFAULT_PROJECT_PACKAGE]
         try:
-            rules = all_rules(
-                rule_id.strip().upper()
-                for rule_id in options.select.split(",")
-                if rule_id.strip()
+            report: LintReport = check_project(
+                paths, select=select, ignore=ignore
             )
+        except FileNotFoundError as exc:
+            print(f"reprolint: error: {exc}", file=sys.stderr)
+            return EXIT_USAGE
         except KeyError as exc:
             print(f"reprolint: error: {exc.args[0]}", file=sys.stderr)
             return EXIT_USAGE
+    else:
+        if not options.paths:
+            parser.print_usage(sys.stderr)
+            print("reprolint: error: no input paths given", file=sys.stderr)
+            return EXIT_USAGE
+        rules = None
+        if select is not None or ignore is not None:
+            try:
+                rules = all_rules(select)
+            except KeyError as exc:
+                print(f"reprolint: error: {exc.args[0]}", file=sys.stderr)
+                return EXIT_USAGE
+            if ignore:
+                rules = [r for r in rules if r.rule_id not in set(ignore)]
+        try:
+            report = check_paths(options.paths, rules=rules)
+        except FileNotFoundError as exc:
+            print(f"reprolint: error: {exc}", file=sys.stderr)
+            return EXIT_USAGE
 
-    try:
-        report = check_paths(options.paths, rules=rules)
-    except FileNotFoundError as exc:
-        print(f"reprolint: error: {exc}", file=sys.stderr)
-        return EXIT_USAGE
+    if options.write_baseline:
+        assert options.baseline is not None
+        Baseline.from_findings(report.findings).save(options.baseline)
+        print(
+            f"reprolint: wrote {len(report.findings)} baseline "
+            f"entr{'y' if len(report.findings) == 1 else 'ies'} to "
+            f"{options.baseline}"
+        )
+        return EXIT_OK
+
+    if options.baseline:
+        baseline_path = Path(options.baseline)
+        if not baseline_path.exists():
+            print(
+                f"reprolint: error: baseline file not found: {baseline_path}",
+                file=sys.stderr,
+            )
+            return EXIT_USAGE
+        try:
+            baseline = Baseline.load(baseline_path)
+        except (ValueError, KeyError, json.JSONDecodeError) as exc:
+            print(
+                f"reprolint: error: unreadable baseline {baseline_path}: {exc}",
+                file=sys.stderr,
+            )
+            return EXIT_USAGE
+        report.findings = baseline.apply(report.findings)
+
+    if options.output:
+        Path(options.output).write_text(
+            json.dumps(report.as_dict(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
 
     _emit(report, options.format)
     return EXIT_OK if report.ok else EXIT_FINDINGS

@@ -30,6 +30,7 @@ if TYPE_CHECKING:
 
 __all__ = [
     "PARSE_ERROR_ID",
+    "REPORT_SCHEMA_VERSION",
     "Finding",
     "LintReport",
     "Suppressions",
@@ -47,16 +48,30 @@ _DIRECTIVE = re.compile(
 
 @dataclass(frozen=True)
 class Finding:
-    """One rule violation at a source location."""
+    """One rule violation at a source location.
+
+    ``status`` is ``"active"`` for a finding that should fail the build
+    and ``"baselined"`` for one matched by a ``--baseline`` file (still
+    reported for visibility, never fatal).
+    """
 
     rule_id: str
     path: str
     line: int
     col: int
     message: str
+    status: str = "active"
+
+    @property
+    def is_active(self) -> bool:
+        return self.status == "active"
 
     def format_text(self) -> str:
-        return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+        suffix = "" if self.is_active else f"  [{self.status}]"
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule_id} {self.message}{suffix}"
+        )
 
     def as_dict(self) -> dict[str, object]:
         return {
@@ -65,7 +80,14 @@ class Finding:
             "line": self.line,
             "col": self.col,
             "message": self.message,
+            "status": self.status,
         }
+
+
+#: JSON report schema version.  v2 added ``schema_version``, the
+#: ``summary`` block, and per-finding ``status``; downstream tooling
+#: (CI artifact consumers) pins this in ``tests/reprolint/test_cli.py``.
+REPORT_SCHEMA_VERSION = 2
 
 
 @dataclass
@@ -77,11 +99,25 @@ class LintReport:
 
     @property
     def ok(self) -> bool:
-        return not self.findings
+        """True when no *active* finding remains (baselined ones pass)."""
+        return not any(f.is_active for f in self.findings)
+
+    @property
+    def active_count(self) -> int:
+        return sum(1 for f in self.findings if f.is_active)
+
+    @property
+    def baselined_count(self) -> int:
+        return sum(1 for f in self.findings if not f.is_active)
 
     def as_dict(self) -> dict[str, object]:
         return {
+            "schema_version": REPORT_SCHEMA_VERSION,
             "files_checked": self.files_checked,
+            "summary": {
+                "active": self.active_count,
+                "baselined": self.baselined_count,
+            },
             "findings": [f.as_dict() for f in self.findings],
         }
 

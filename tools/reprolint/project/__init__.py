@@ -1,0 +1,55 @@
+"""Whole-program ("project mode") analysis for reprolint.
+
+The per-file rules in :mod:`reprolint.rules` check invariants a single
+AST can witness.  This package adds the layer those rules cannot see: a
+project-wide symbol table and call graph over ``src/repro`` (module
+resolution, import following, method binding), with inter-procedural
+rule families on top:
+
+==========  ====================================  =========================
+id          name                                  guards
+==========  ====================================  =========================
+RPRL101     determinism-taint                     nondeterminism sources
+                                                  (unseeded RNG, salted
+                                                  ``hash()``, wall clock,
+                                                  set iteration, directory
+                                                  listings) must not flow
+                                                  through returns and call
+                                                  edges into experiment
+                                                  results, cache
+                                                  fingerprints, or wire
+                                                  encodings
+RPRL102     columnar-dtype-contract               arrays crossing the
+                                                  columnstore / routing
+                                                  columns / fastpath
+                                                  boundary carry explicit
+                                                  dtypes; no object or
+                                                  narrowed-float arrays
+RPRL103     pickle-safe-task-payloads             everything handed to
+                                                  ``TaskPool.map`` /
+                                                  ``ExperimentRunner.map``
+                                                  is transitively
+                                                  picklable (no lambdas,
+                                                  nested defs, locks, open
+                                                  handles, simnet clocks)
+==========  ====================================  =========================
+
+Entry point: :func:`reprolint.project.analyzer.check_project`.
+"""
+
+from __future__ import annotations
+
+from .analyzer import ProjectReport, check_project
+from .baseline import Baseline
+from .callgraph import CallGraph
+from .resolver import FunctionInfo, ModuleInfo, ProjectIndex
+
+__all__ = [
+    "Baseline",
+    "CallGraph",
+    "FunctionInfo",
+    "ModuleInfo",
+    "ProjectIndex",
+    "ProjectReport",
+    "check_project",
+]

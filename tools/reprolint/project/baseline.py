@@ -1,0 +1,81 @@
+"""Baseline files: burn down pre-existing findings incrementally.
+
+A baseline is a JSON file recording findings that are *known and
+accepted for now*.  Linting with ``--baseline FILE`` marks any finding
+matching a baseline entry as ``status: "baselined"`` — still reported,
+never failing the build — while every finding **not** in the file stays
+``active`` and fails.  ``--write-baseline`` snapshots the current
+active findings so a newly enabled rule can land gated without first
+fixing the world.
+
+Entries match on ``(rule, path, message)`` and deliberately **not** on
+line numbers: unrelated edits shift lines constantly, and a baseline
+that churns on every commit gets deleted, not maintained.  The path is
+normalized to posix-relative form so baselines travel between checkouts
+and operating systems.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+from pathlib import Path, PurePath
+from typing import Iterable
+
+from ..engine import Finding
+
+__all__ = ["Baseline"]
+
+BASELINE_VERSION = 1
+
+
+def _normalize(path: str) -> str:
+    return PurePath(path).as_posix()
+
+
+@dataclass
+class Baseline:
+    """A set of accepted findings keyed by (rule, path, message)."""
+
+    entries: set[tuple[str, str, str]] = field(default_factory=set)
+
+    @staticmethod
+    def key_for(finding: Finding) -> tuple[str, str, str]:
+        return (finding.rule_id, _normalize(finding.path), finding.message)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        raw = json.loads(Path(path).read_text(encoding="utf-8"))
+        if not isinstance(raw, dict) or "entries" not in raw:
+            raise ValueError(f"malformed baseline file: {path}")
+        entries = {
+            (entry["rule"], _normalize(entry["path"]), entry["message"])
+            for entry in raw["entries"]
+        }
+        return cls(entries=entries)
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        return cls(entries={cls.key_for(f) for f in findings})
+
+    def save(self, path: str | Path) -> None:
+        payload = {
+            "version": BASELINE_VERSION,
+            "entries": [
+                {"rule": rule, "path": file_path, "message": message}
+                for rule, file_path, message in sorted(self.entries)
+            ],
+        }
+        Path(path).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+    def apply(self, findings: Iterable[Finding]) -> list[Finding]:
+        """Mark matching findings ``baselined``; order is preserved."""
+        return [
+            replace(f, status="baselined")
+            if self.key_for(f) in self.entries
+            else f
+            for f in findings
+        ]

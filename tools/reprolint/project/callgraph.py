@@ -1,0 +1,240 @@
+"""Call graph over a :class:`~reprolint.project.resolver.ProjectIndex`.
+
+For every function in the index, resolve the calls its body makes to
+qualified names — project functions and methods where possible, external
+canonical dotted names (``time.time``, ``numpy.asarray``) otherwise —
+and record them as :class:`CallSite` edges.
+
+Method calls need receiver types, so the graph carries a small
+best-effort type environment per function:
+
+- parameter annotations (``runner: ExperimentRunner | None``),
+- locals assigned from constructor calls (``pool = TaskPool(...)``),
+- locals assigned from calls whose return annotation names a project
+  class (``handle = runner.setup(...)``),
+- ``self`` inside methods, and ``self.<attr>`` types harvested from
+  ``__init__`` assignments.
+
+Chained receivers (``self._pool(1, setup).map(...)``) resolve through
+return annotations.  Anything the inferencer cannot see simply produces
+no edge — rules treat missing edges as "unknown", never as "clean taint
+source" or "violation".
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from .resolver import FunctionInfo, ProjectIndex, _dotted_parts
+
+__all__ = ["CallSite", "CallGraph", "walk_pruned"]
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One call edge: ``caller`` invokes ``callee`` at ``path:line``."""
+
+    caller: str
+    callee: str
+    external: bool
+    path: str
+    line: int
+    col: int
+
+    def __repr__(self) -> str:  # compact for test failure output
+        arrow = "~>" if self.external else "->"
+        return f"<{self.caller} {arrow} {self.callee} @{self.line}>"
+
+
+class CallGraph:
+    """Resolved call edges plus the per-function type environments."""
+
+    def __init__(self, index: ProjectIndex) -> None:
+        self.index = index
+        self.sites: list[CallSite] = []
+        self.by_caller: dict[str, list[CallSite]] = {}
+        self.callers_of: dict[str, list[CallSite]] = {}
+        self._envs: dict[str, dict[str, str]] = {}
+        self._call_nodes: dict[tuple[str, int, int], ast.Call] = {}
+
+    @classmethod
+    def build(cls, index: ProjectIndex) -> "CallGraph":
+        graph = cls(index)
+        for info in index.functions.values():
+            graph._analyze_function(info)
+        return graph
+
+    # -- public lookups ----------------------------------------------------
+
+    def env_for(self, qualname: str) -> dict[str, str]:
+        """Name -> project-class type environment of a function body."""
+        return self._envs.get(qualname, {})
+
+    def call_node(self, site: CallSite) -> ast.Call | None:
+        return self._call_nodes.get((site.caller, site.line, site.col))
+
+    def resolve_callee(self, info: FunctionInfo, call: ast.Call) -> str | None:
+        """Qualified name of a call target (see :meth:`infer_type`)."""
+        env = self.env_for(info.qualname)
+        return self._resolve_callee(info, call, env)
+
+    def infer_type(
+        self, info: FunctionInfo, expr: ast.expr
+    ) -> str | None:
+        """Project class an expression evaluates to, best effort."""
+        return self._infer_type(info, expr, self.env_for(info.qualname))
+
+    # -- construction ------------------------------------------------------
+
+    def _analyze_function(self, info: FunctionInfo) -> None:
+        env = self._build_env(info)
+        self._envs[info.qualname] = env
+        for call in _own_calls(info.node):
+            callee = self._resolve_callee(info, call, env)
+            if callee is None:
+                continue
+            external = not (
+                callee in self.index.functions or callee in self.index.classes
+            )
+            site = CallSite(
+                caller=info.qualname,
+                callee=callee,
+                external=external,
+                path=info.path,
+                line=call.lineno,
+                col=call.col_offset,
+            )
+            self.sites.append(site)
+            self.by_caller.setdefault(info.qualname, []).append(site)
+            self.callers_of.setdefault(callee, []).append(site)
+            self._call_nodes[(info.qualname, call.lineno, call.col_offset)] = call
+
+    def _build_env(self, info: FunctionInfo) -> dict[str, str]:
+        env: dict[str, str] = {}
+        args = info.node.args
+        for param in args.posonlyargs + args.args + args.kwonlyargs:
+            if param.annotation is not None:
+                typed = self.index.annotation_to_class(
+                    info.module, param.annotation
+                )
+                if typed:
+                    env[param.arg] = typed
+        if info.cls is not None:
+            env.setdefault("self", info.cls)
+        # Two passes so a local assigned before its producer is defined
+        # textually (rare, but loops reorder things) still resolves.
+        for _ in range(2):
+            for node in _own_statements(info.node):
+                if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                    target, value = node.targets[0], node.value
+                elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                    target, value = node.target, node.value
+                    if isinstance(target, ast.Name):
+                        typed = self.index.annotation_to_class(
+                            info.module, node.annotation
+                        )
+                        if typed:
+                            env[target.id] = typed
+                            continue
+                else:
+                    continue
+                if not isinstance(target, ast.Name):
+                    continue
+                typed = self._infer_type(info, value, env)
+                if typed:
+                    env[target.id] = typed
+        return env
+
+    # -- inference ---------------------------------------------------------
+
+    def _resolve_callee(
+        self, info: FunctionInfo, call: ast.Call, env: dict[str, str]
+    ) -> str | None:
+        func = call.func
+        parts = _dotted_parts(func)
+        if parts is not None:
+            head = parts[0]
+            if head not in env or len(parts) == 1:
+                direct = self.index.resolve(info.module, parts)
+                if direct is not None:
+                    if direct in self.index.classes:
+                        init = self.index.method_on(direct, "__init__")
+                        return init.qualname if init else direct
+                    return direct
+        if isinstance(func, ast.Attribute):
+            receiver = self._infer_type(info, func.value, env)
+            if receiver is not None:
+                method = self.index.method_on(receiver, func.attr)
+                if method is not None:
+                    return method.qualname
+        return None
+
+    def _infer_type(
+        self, info: FunctionInfo, expr: ast.expr, env: dict[str, str]
+    ) -> str | None:
+        if isinstance(expr, ast.Name):
+            return env.get(expr.id)
+        if isinstance(expr, ast.Attribute):
+            base = self._infer_type(info, expr.value, env)
+            if base is not None:
+                return self.index.attr_type(base, expr.attr)
+            return None
+        if isinstance(expr, ast.Call):
+            callee = self._resolve_callee(info, expr, env)
+            if callee is None:
+                return None
+            if callee in self.index.classes:
+                return callee
+            target = self.index.functions.get(callee)
+            if target is not None:
+                if target.node.name == "__init__" and target.cls is not None:
+                    return target.cls
+                if target.node.returns is not None:
+                    return self.index.annotation_to_class(
+                        target.module, target.node.returns
+                    )
+            return None
+        if isinstance(expr, ast.Await):
+            return self._infer_type(info, expr.value, env)
+        return None
+
+
+def _own_statements(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> Iterator[ast.stmt]:
+    """Statements of a function body, not descending into nested defs."""
+    for stmt in func.body:
+        for node in walk_pruned(stmt):
+            if isinstance(node, ast.stmt):
+                yield node
+
+
+def walk_pruned(root: ast.AST) -> Iterator[ast.AST]:
+    """Like ``ast.walk`` but never descends into nested defs/classes.
+
+    Calls inside a nested function belong to that function's own call
+    graph entry; descending here would double-attribute them.  Lambda
+    bodies stay in scope — they have no entry of their own.
+    """
+    stack: list[ast.AST] = [root]
+    while stack:
+        node = stack.pop()
+        yield node
+        for child in ast.iter_child_nodes(node):
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue
+            stack.append(child)
+
+
+def _own_calls(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> Iterator[ast.Call]:
+    """Call expressions belonging to this function (not nested defs)."""
+    for stmt in func.body:
+        for node in walk_pruned(stmt):
+            if isinstance(node, ast.Call):
+                yield node

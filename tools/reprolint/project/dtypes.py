@@ -1,0 +1,204 @@
+"""RPRL102 — columnar dtype/shape contracts at the packed-array boundary.
+
+The columnar tier (``repro.synopses.columnstore`` storage,
+``repro.routing.columns`` views, ``repro.core.fastpath`` kernels) owes
+its bit-identity guarantee to every array having a *declared* dtype: a
+silent float64→float32 narrowing changes scores in the last bits, and
+an object-dtype array silently falls back to per-element Python
+dispatch — both would surface as a benchmark regression long after the
+offending commit.  This rule makes them fail lint instead:
+
+- array constructors (``np.array``, ``np.asarray``, ``np.zeros``,
+  ``np.ones``, ``np.empty``, ``np.full``, ``np.frombuffer``,
+  ``np.arange``, ``np.fromiter``) inside a boundary module must pass an
+  explicit ``dtype`` (keyword or the documented positional slot);
+- ``dtype=object`` / ``astype(object)`` is banned outright in boundary
+  modules, as are the narrowed floats ``float32``/``float16`` (all
+  scoring runs float64, all ids int64, all bitmaps uint64);
+- **inter-procedural**: every function in a boundary module that is
+  called *from a different boundary module* must carry full parameter
+  and return annotations — the annotation is the dtype contract the
+  caller compiles against, and the strict mypy gate holds it to truth.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator
+
+from ..engine import Finding
+from .base import ProjectRule, register_project_rule
+from .callgraph import walk_pruned
+
+if TYPE_CHECKING:
+    from .analyzer import ProjectContext
+
+__all__ = ["ColumnarDtypeContract"]
+
+#: numpy constructor -> positional index where dtype may legally sit
+#: (None: keyword-only for our purposes).
+_CONSTRUCTORS: dict[str, int | None] = {
+    "numpy.array": 1,
+    "numpy.asarray": 1,
+    "numpy.ascontiguousarray": 1,
+    "numpy.zeros": 1,
+    "numpy.ones": 1,
+    "numpy.empty": 1,
+    "numpy.full": 2,
+    "numpy.frombuffer": 1,
+    "numpy.fromiter": 1,
+    "numpy.arange": None,
+}
+
+_BANNED_OBJECT = ("object", "object_", "O")
+_BANNED_NARROW = ("float32", "float16", "half", "single")
+
+
+@register_project_rule
+class ColumnarDtypeContract(ProjectRule):
+    rule_id = "RPRL102"
+    name = "columnar-dtype-contract"
+    rationale = (
+        "Arrays crossing the columnstore/routing-columns/fastpath boundary "
+        "must carry declared dtypes: explicit dtype at every constructor, no "
+        "object or narrowed-float arrays, fully annotated signatures on "
+        "cross-module entry points."
+    )
+
+    def check(self, project: "ProjectContext") -> Iterator[Finding]:
+        contracts = project.contracts
+        boundary = [
+            module
+            for name, module in sorted(project.index.modules.items())
+            if contracts.is_columnar_module(name)
+        ]
+        for module in boundary:
+            yield from self._check_constructors(project, module)
+        yield from self._check_cross_module_signatures(project)
+
+    # -- intra-module constructor discipline -------------------------------
+
+    def _check_constructors(self, project, module) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr == "astype"
+            ):
+                for arg in node.args[:1] + [
+                    k.value for k in node.keywords if k.arg == "dtype"
+                ]:
+                    label = self._banned_dtype(project, module, arg)
+                    if label:
+                        yield self._finding(
+                            module,
+                            node,
+                            f"astype() to {label} inside the columnar "
+                            "boundary; keep arrays at their declared wide "
+                            "dtypes (float64/int64/uint64)",
+                        )
+                continue
+            canonical = project.index.resolve_expr(module.name, node.func)
+            if canonical is None:
+                continue
+            slot = _CONSTRUCTORS.get(canonical)
+            if canonical not in _CONSTRUCTORS:
+                continue
+            dtype_expr = self._dtype_argument(node, slot)
+            if dtype_expr is None:
+                yield self._finding(
+                    module,
+                    node,
+                    f"'{canonical}()' without an explicit dtype at the "
+                    "columnar boundary; a silent dtype inference here can "
+                    "regress the packed tiers (declare dtype=...)",
+                )
+                continue
+            label = self._banned_dtype(project, module, dtype_expr)
+            if label:
+                yield self._finding(
+                    module,
+                    node,
+                    f"'{canonical}()' constructs a {label} array inside the "
+                    "columnar boundary; object and narrowed-float dtypes "
+                    "break the packed-tier contract",
+                )
+
+    def _dtype_argument(
+        self, node: ast.Call, slot: int | None
+    ) -> ast.expr | None:
+        for keyword in node.keywords:
+            if keyword.arg == "dtype":
+                if (
+                    isinstance(keyword.value, ast.Constant)
+                    and keyword.value.value is None
+                ):
+                    return None
+                return keyword.value
+        if slot is not None and len(node.args) > slot:
+            return node.args[slot]
+        return None
+
+    def _banned_dtype(self, project, module, expr: ast.expr) -> str | None:
+        """Label ('object dtype' / 'float32 dtype') when banned."""
+        name: str | None = None
+        if isinstance(expr, ast.Constant) and isinstance(expr.value, str):
+            name = expr.value
+        elif isinstance(expr, ast.Name):
+            name = expr.id
+        else:
+            canonical = project.index.resolve_expr(module.name, expr)
+            if canonical and canonical.startswith("numpy."):
+                name = canonical.split(".")[-1]
+        if name in _BANNED_OBJECT:
+            return "object-dtype"
+        if name in _BANNED_NARROW:
+            return f"narrowed-float ({name})"
+        return None
+
+    # -- inter-procedural annotation contract ------------------------------
+
+    def _check_cross_module_signatures(self, project) -> Iterator[Finding]:
+        contracts = project.contracts
+        flagged: set[str] = set()
+        for site in project.graph.sites:
+            if site.external:
+                continue
+            callee_info = project.index.functions.get(site.callee)
+            if callee_info is None or callee_info.qualname in flagged:
+                continue
+            caller_info = project.index.functions.get(site.caller)
+            if caller_info is None:
+                continue
+            if not (
+                contracts.is_columnar_module(callee_info.module)
+                and contracts.is_columnar_module(caller_info.module)
+                and callee_info.module != caller_info.module
+            ):
+                continue
+            if callee_info.is_fully_annotated():
+                continue
+            flagged.add(callee_info.qualname)
+            module = project.index.modules[callee_info.module]
+            yield Finding(
+                rule_id=self.rule_id,
+                path=callee_info.path,
+                line=callee_info.line,
+                col=callee_info.node.col_offset,
+                message=(
+                    f"'{callee_info.qualname}' is called across the columnar "
+                    f"boundary (from {caller_info.module} at line {site.line}) "
+                    "but lacks full parameter/return annotations; the "
+                    "signature is the dtype contract callers rely on"
+                ),
+            )
+
+    def _finding(self, module, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            rule_id=self.rule_id,
+            path=module.path,
+            line=node.lineno,
+            col=node.col_offset,
+            message=message,
+        )

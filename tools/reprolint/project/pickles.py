@@ -1,0 +1,245 @@
+"""RPRL103 — task payloads dispatched to worker pools must pickle.
+
+``TaskPool.map`` / ``ExperimentRunner.map`` pickle three things into
+worker processes: the entrypoint (by reference), every task, and the
+shared setup artifact.  A lambda, a nested function, an open file
+handle, a ``threading.Lock``, or a simnet clock in any of them either
+raises ``PicklingError`` at dispatch time or — worse — pickles
+*by value* into a worker-local copy whose mutations silently diverge
+from the parent.  The per-file rules cannot see this: the lambda is
+defined in one module, the dispatch happens in another.
+
+Checks, at every resolved dispatch call site:
+
+- the entrypoint argument must be a module-level function — not a
+  lambda, not a nested def, not a bound method (the pool pickles
+  entrypoints by reference; this is the documented ``TaskPool``
+  contract).  ``functools.partial`` is unwrapped and its target held to
+  the same bar.
+- the task-list expression (followed one assignment back when it is a
+  local name) must not contain lambdas, ``open()`` calls, constructors
+  of known-unpicklable classes, or names whose inferred type is one
+  (``SimClock``, transports, locks).
+- the same payload scan applies to the ``setup=`` argument and to
+  values handed to ``ExperimentRunner.attach`` / ``SetupCache.spill``,
+  which pickle their payload verbatim.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator
+
+from ..engine import Finding
+from .base import ProjectRule, register_project_rule
+from .callgraph import walk_pruned
+from .resolver import FunctionInfo
+
+if TYPE_CHECKING:
+    from .analyzer import ProjectContext
+
+__all__ = ["PickleSafeTaskPayloads"]
+
+#: Calls that pickle their (first) payload argument verbatim.
+_SPILL_METHODS = ("*.ExperimentRunner.attach", "*.SetupCache.spill")
+
+
+@register_project_rule
+class PickleSafeTaskPayloads(ProjectRule):
+    rule_id = "RPRL103"
+    name = "pickle-safe-task-payloads"
+    rationale = (
+        "Everything handed to TaskPool.map / ExperimentRunner.map crosses a "
+        "process boundary: entrypoints must be module-level functions and "
+        "payloads must be transitively picklable (no lambdas, locks, open "
+        "handles, or simnet clock references)."
+    )
+
+    def check(self, project: "ProjectContext") -> Iterator[Finding]:
+        from fnmatch import fnmatchcase
+
+        for info in sorted(
+            project.index.functions.values(), key=lambda f: (f.path, f.line)
+        ):
+            for stmt in info.node.body:
+                for node in walk_pruned(stmt):
+                    if not isinstance(node, ast.Call):
+                        continue
+                    callee = project.graph.resolve_callee(info, node)
+                    if callee is None:
+                        continue
+                    if project.contracts.is_dispatch(callee):
+                        yield from self._check_dispatch(project, info, node)
+                    elif any(
+                        fnmatchcase(callee, pattern)
+                        for pattern in _SPILL_METHODS
+                    ):
+                        payload = self._argument(node, 1, "value")
+                        if payload is not None:
+                            yield from self._check_payload(
+                                project, info, node, payload, "spilled setup"
+                            )
+
+    @staticmethod
+    def _argument(
+        call: ast.Call, index: int, keyword_name: str
+    ) -> ast.expr | None:
+        if len(call.args) > index:
+            return call.args[index]
+        for keyword in call.keywords:
+            if keyword.arg == keyword_name:
+                return keyword.value
+        return None
+
+    # -- dispatch sites ----------------------------------------------------
+
+    def _check_dispatch(
+        self, project, info: FunctionInfo, call: ast.Call
+    ) -> Iterator[Finding]:
+        entrypoint = self._argument(call, 0, "fn")
+        if entrypoint is not None:
+            yield from self._check_entrypoint(project, info, call, entrypoint)
+        tasks = self._argument(call, 1, "tasks")
+        if tasks is not None:
+            yield from self._check_payload(
+                project, info, call, tasks, "task payload"
+            )
+        for keyword in call.keywords:
+            if keyword.arg == "setup":
+                yield from self._check_payload(
+                    project, info, call, keyword.value, "setup payload"
+                )
+
+    def _check_entrypoint(
+        self, project, info: FunctionInfo, call: ast.Call, expr: ast.expr
+    ) -> Iterator[Finding]:
+        expr = self._unwrap_partial(project, info, expr)
+        if isinstance(expr, ast.Lambda):
+            yield self._finding(
+                info,
+                expr,
+                "worker entrypoint is a lambda; pools pickle entrypoints by "
+                "reference, so it must be a module-level function",
+            )
+            return
+        resolved = project.index.resolve_expr(info.module, expr)
+        target = (
+            project.index.functions.get(resolved) if resolved else None
+        )
+        if target is not None and target.is_nested:
+            yield self._finding(
+                info,
+                expr,
+                f"worker entrypoint '{target.qualname}' is a nested "
+                "function and cannot be pickled by reference; hoist it to "
+                "module level",
+            )
+            return
+        if target is None and isinstance(expr, ast.Attribute):
+            receiver = project.graph.infer_type(info, expr.value)
+            if receiver is not None:
+                method = project.index.method_on(receiver, expr.attr)
+                if method is not None:
+                    yield self._finding(
+                        info,
+                        expr,
+                        f"worker entrypoint '{method.qualname}' is a bound "
+                        "method; dispatch pickles the whole instance per "
+                        "task — pass a module-level function instead",
+                    )
+
+    def _unwrap_partial(
+        self, project, info: FunctionInfo, expr: ast.expr
+    ) -> ast.expr:
+        if isinstance(expr, ast.Call):
+            canonical = project.index.resolve_expr(info.module, expr.func)
+            if canonical == "functools.partial" and expr.args:
+                return self._unwrap_partial(project, info, expr.args[0])
+        return expr
+
+    # -- payload scan ------------------------------------------------------
+
+    def _check_payload(
+        self,
+        project,
+        info: FunctionInfo,
+        call: ast.Call,
+        expr: ast.expr,
+        label: str,
+    ) -> Iterator[Finding]:
+        expr = self._follow_local(info, expr)
+        for node in walk_pruned(expr):
+            if isinstance(node, ast.Lambda):
+                yield self._finding(
+                    info,
+                    node,
+                    f"{label} contains a lambda; lambdas cannot cross the "
+                    "process boundary",
+                )
+            elif isinstance(node, ast.Call):
+                if (
+                    isinstance(node.func, ast.Name)
+                    and node.func.id == "open"
+                ):
+                    yield self._finding(
+                        info,
+                        node,
+                        f"{label} contains an open() file handle; handles "
+                        "cannot be pickled into workers",
+                    )
+                    continue
+                canonical = project.index.resolve_expr(
+                    info.module, node.func
+                )
+                if canonical and project.contracts.is_unpicklable_class(
+                    canonical
+                ):
+                    yield self._finding(
+                        info,
+                        node,
+                        f"{label} constructs '{canonical}', which cannot "
+                        "cross the process boundary",
+                    )
+            elif isinstance(node, (ast.Name, ast.Attribute)):
+                typed = project.graph.infer_type(info, node)
+                if typed and project.contracts.is_unpicklable_class(typed):
+                    yield self._finding(
+                        info,
+                        node,
+                        f"{label} references a '{typed}' instance; simnet "
+                        "clocks, transports, and locks must stay in the "
+                        "parent process",
+                    )
+
+    def _follow_local(self, info: FunctionInfo, expr: ast.expr) -> ast.expr:
+        """Follow ``tasks = [...]`` one assignment back for a bare name."""
+        if not isinstance(expr, ast.Name):
+            return expr
+        latest: ast.expr | None = None
+        for stmt in info.node.body:
+            for node in walk_pruned(stmt):
+                if isinstance(node, ast.Assign):
+                    for target in node.targets:
+                        if (
+                            isinstance(target, ast.Name)
+                            and target.id == expr.id
+                        ):
+                            latest = node.value
+                elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                    if (
+                        isinstance(node.target, ast.Name)
+                        and node.target.id == expr.id
+                    ):
+                        latest = node.value
+        return latest if latest is not None else expr
+
+    def _finding(
+        self, info: FunctionInfo, node: ast.AST, message: str
+    ) -> Finding:
+        return Finding(
+            rule_id=self.rule_id,
+            path=info.path,
+            line=getattr(node, "lineno", info.line),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )

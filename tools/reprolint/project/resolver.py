@@ -1,0 +1,441 @@
+"""Project-wide symbol table: modules, functions, classes, imports.
+
+:class:`ProjectIndex` walks one or more *package directories* (a
+directory containing ``__init__.py``, e.g. ``src/repro``), parses every
+module, and records
+
+- every module by dotted name (``repro.routing.columns``),
+- every function and method by **qualified name**
+  (``repro.parallel.pool.TaskPool.map``), including nested defs
+  (``repro.x.outer.inner``, flagged ``is_nested``),
+- every class with its methods, resolved base classes, and the types of
+  ``self.<attr>`` instance attributes assigned in ``__init__``,
+- per-module import bindings, including relative imports and the
+  re-export chains package ``__init__`` files create.
+
+:meth:`ProjectIndex.resolve` maps a dotted name *as written in a
+module* to its canonical qualified name — a project symbol when the
+target lives in the project, an external dotted name (``time.time``,
+``numpy.asarray``) otherwise.  Resolution follows alias chains (``from
+.bloom import BloomFilter`` re-exported through
+``repro.synopses.__init__``) to a fixed point.
+
+Everything here is best-effort static resolution: dynamic dispatch,
+``getattr``, and monkey-patching are invisible, which is the standard
+soundness trade every Python call-graph tool makes.  The rules built on
+top are written so that unresolvable names simply produce no finding.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable
+
+from ..engine import Suppressions
+
+__all__ = ["FunctionInfo", "ClassInfo", "ModuleInfo", "ProjectIndex"]
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method definition."""
+
+    qualname: str
+    module: str
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    path: str
+    cls: str | None = None  # qualified class name when a method
+    is_nested: bool = False  # defined inside another function
+
+    @property
+    def line(self) -> int:
+        return self.node.lineno
+
+    def param_names(self) -> list[str]:
+        args = self.node.args
+        names = [a.arg for a in args.posonlyargs + args.args + args.kwonlyargs]
+        if args.vararg:
+            names.append(args.vararg.arg)
+        if args.kwarg:
+            names.append(args.kwarg.arg)
+        return names
+
+    def is_fully_annotated(self) -> bool:
+        """Return + every parameter (self/cls excepted) annotated."""
+        if self.node.returns is None and self.node.name != "__init__":
+            return False
+        args = self.node.args
+        params = args.posonlyargs + args.args + args.kwonlyargs
+        for index, param in enumerate(params):
+            if index == 0 and self.cls is not None and param.arg in ("self", "cls"):
+                continue
+            if param.annotation is None:
+                return False
+        for star in (args.vararg, args.kwarg):
+            if star is not None and star.annotation is None:
+                return False
+        return True
+
+
+@dataclass
+class ClassInfo:
+    """One class definition with resolved structure."""
+
+    qualname: str
+    module: str
+    node: ast.ClassDef
+    path: str
+    methods: dict[str, FunctionInfo] = field(default_factory=dict)
+    bases: list[str] = field(default_factory=list)  # resolved or raw names
+    #: ``self.<name>`` attribute types assigned in ``__init__`` (class
+    #: qualnames), plus annotated class attributes.
+    attr_types: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def line(self) -> int:
+        return self.node.lineno
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed module and its name bindings."""
+
+    name: str
+    path: str
+    source: str
+    tree: ast.Module
+    #: local name -> qualified target.  Covers both ``import x.y as z``
+    #: (module binding) and ``from m import f`` (symbol binding).
+    imports: dict[str, str] = field(default_factory=dict)
+    #: module-level defs/classes by local name -> qualified name.
+    toplevel: dict[str, str] = field(default_factory=dict)
+    suppressions: Suppressions = field(default_factory=Suppressions)
+
+
+def _module_name_for(package_root: Path, file_path: Path) -> str:
+    relative = file_path.relative_to(package_root.parent)
+    parts = list(relative.with_suffix("").parts)
+    if parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+class ProjectIndex:
+    """Symbol table over one or more package directories."""
+
+    def __init__(self) -> None:
+        self.modules: dict[str, ModuleInfo] = {}
+        self.functions: dict[str, FunctionInfo] = {}
+        self.classes: dict[str, ClassInfo] = {}
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def build(cls, package_dirs: Iterable[str | Path]) -> "ProjectIndex":
+        index = cls()
+        for raw in package_dirs:
+            package_root = Path(raw)
+            if not (package_root / "__init__.py").exists():
+                raise FileNotFoundError(
+                    f"not a package directory (no __init__.py): {package_root}"
+                )
+            for file_path in sorted(package_root.rglob("*.py")):
+                if any(
+                    part == "__pycache__" or part.startswith(".")
+                    for part in file_path.parts
+                ):
+                    continue
+                index._add_module(package_root, file_path)
+        for module in index.modules.values():
+            index._collect_definitions(module)
+        index._resolve_class_structure()
+        return index
+
+    def _add_module(self, package_root: Path, file_path: Path) -> None:
+        source = file_path.read_text(encoding="utf-8")
+        name = _module_name_for(package_root, file_path)
+        try:
+            tree = ast.parse(source)
+        except SyntaxError:
+            # Project mode indexes what parses; the per-file engine
+            # reports RPRL000 for broken files.
+            return
+        module = ModuleInfo(
+            name=name,
+            path=str(file_path),
+            source=source,
+            tree=tree,
+            suppressions=Suppressions.from_source(source),
+        )
+        self._collect_imports(module)
+        self.modules[name] = module
+
+    def _collect_imports(self, module: ModuleInfo) -> None:
+        package = module.name if self._is_package_name(module) else (
+            module.name.rpartition(".")[0]
+        )
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname:
+                        module.imports[alias.asname] = alias.name
+                    else:
+                        head = alias.name.split(".")[0]
+                        module.imports[head] = head
+            elif isinstance(node, ast.ImportFrom):
+                base = self._import_base(package, node)
+                if base is None:
+                    continue
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    target = f"{base}.{alias.name}" if base else alias.name
+                    module.imports[local] = target
+
+    def _is_package_name(self, module: ModuleInfo) -> bool:
+        return module.path.endswith("__init__.py")
+
+    @staticmethod
+    def _import_base(package: str, node: ast.ImportFrom) -> str | None:
+        """The absolute module a ``from X import ...`` pulls from."""
+        if node.level == 0:
+            return node.module
+        parts = package.split(".") if package else []
+        ascend = node.level - 1
+        if ascend > len(parts):
+            return None
+        base_parts = parts[: len(parts) - ascend] if ascend else parts
+        if node.module:
+            base_parts = base_parts + node.module.split(".")
+        return ".".join(base_parts) if base_parts else None
+
+    def _collect_definitions(self, module: ModuleInfo) -> None:
+        def visit(
+            node: ast.AST, prefix: str, cls: str | None, nested: bool
+        ) -> None:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    qualname = f"{prefix}.{child.name}"
+                    info = FunctionInfo(
+                        qualname=qualname,
+                        module=module.name,
+                        node=child,
+                        path=module.path,
+                        cls=cls,
+                        is_nested=nested,
+                    )
+                    self.functions[qualname] = info
+                    if prefix == module.name:
+                        module.toplevel[child.name] = qualname
+                    if cls is not None and not nested:
+                        self.classes[cls].methods[child.name] = info
+                    visit(child, qualname, None, True)
+                elif isinstance(child, ast.ClassDef):
+                    qualname = f"{prefix}.{child.name}"
+                    self.classes[qualname] = ClassInfo(
+                        qualname=qualname,
+                        module=module.name,
+                        node=child,
+                        path=module.path,
+                    )
+                    if prefix == module.name:
+                        module.toplevel[child.name] = qualname
+                    visit(child, qualname, qualname if not nested else None, nested)
+
+        visit(module.tree, module.name, None, False)
+
+    def _resolve_class_structure(self) -> None:
+        for cls_info in self.classes.values():
+            module = self.modules[cls_info.module]
+            for base in cls_info.node.bases:
+                resolved = self.resolve_expr(module.name, base)
+                if resolved:
+                    cls_info.bases.append(resolved)
+            init = cls_info.methods.get("__init__")
+            if init is not None:
+                self._collect_attr_types(cls_info, init)
+            for child in cls_info.node.body:
+                if (
+                    isinstance(child, ast.AnnAssign)
+                    and isinstance(child.target, ast.Name)
+                ):
+                    typed = self.annotation_to_class(
+                        module.name, child.annotation
+                    )
+                    if typed:
+                        cls_info.attr_types[child.target.id] = typed
+
+    def _collect_attr_types(
+        self, cls_info: ClassInfo, init: FunctionInfo
+    ) -> None:
+        for node in ast.walk(init.node):
+            target: ast.expr | None = None
+            value: ast.expr | None = None
+            annotation: ast.expr | None = None
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target, value = node.targets[0], node.value
+            elif isinstance(node, ast.AnnAssign):
+                target, value, annotation = node.target, node.value, node.annotation
+            if not (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                continue
+            typed: str | None = None
+            if annotation is not None:
+                typed = self.annotation_to_class(cls_info.module, annotation)
+            if typed is None and isinstance(value, ast.Call):
+                callee = self.resolve_expr(cls_info.module, value.func)
+                if callee in self.classes:
+                    typed = callee
+            if typed:
+                cls_info.attr_types[target.attr] = typed
+
+    # -- name resolution ---------------------------------------------------
+
+    def resolve(self, module_name: str, parts: tuple[str, ...]) -> str | None:
+        """Canonical qualified name for dotted ``parts`` used in a module."""
+        module = self.modules.get(module_name)
+        if module is None or not parts:
+            return None
+        head, rest = parts[0], parts[1:]
+        if head in module.imports:
+            full = ".".join((module.imports[head],) + rest)
+        elif head in module.toplevel:
+            full = ".".join((module.toplevel[head],) + rest)
+        else:
+            return None
+        return self.canonicalize(full)
+
+    def resolve_expr(self, module_name: str, node: ast.expr) -> str | None:
+        parts = _dotted_parts(node)
+        if parts is None:
+            return None
+        return self.resolve(module_name, parts)
+
+    def canonicalize(self, qualified: str) -> str:
+        """Follow import/re-export chains to the defining module."""
+        seen: set[str] = set()
+        current = qualified
+        while current not in seen:
+            seen.add(current)
+            if (
+                current in self.functions
+                or current in self.classes
+                or current in self.modules
+            ):
+                return current
+            # Split current into the longest known-module prefix plus an
+            # attribute path, then chase the module's own bindings.
+            prefix, attrs = self._split_on_module(current)
+            if prefix is None or not attrs:
+                return current
+            module = self.modules[prefix]
+            head, rest = attrs[0], attrs[1:]
+            if head in module.toplevel:
+                rewritten = ".".join((module.toplevel[head],) + rest)
+            elif head in module.imports:
+                rewritten = ".".join((module.imports[head],) + rest)
+            else:
+                return current
+            current = rewritten
+        return current
+
+    def _split_on_module(
+        self, qualified: str
+    ) -> tuple[str | None, tuple[str, ...]]:
+        parts = qualified.split(".")
+        for cut in range(len(parts) - 1, 0, -1):
+            prefix = ".".join(parts[:cut])
+            if prefix in self.modules:
+                return prefix, tuple(parts[cut:])
+        return None, ()
+
+    # -- type helpers ------------------------------------------------------
+
+    def annotation_to_class(
+        self, module_name: str, annotation: ast.expr
+    ) -> str | None:
+        """The project class an annotation names, unwrapping unions.
+
+        Handles ``C``, ``"C"`` (forward reference), ``C | None``,
+        ``Optional[C]``.  Container annotations (``list[C]``) do not
+        type the annotated name itself, so they resolve to None.
+        """
+        if isinstance(annotation, ast.Constant) and isinstance(
+            annotation.value, str
+        ):
+            try:
+                annotation = ast.parse(annotation.value, mode="eval").body
+            except SyntaxError:
+                return None
+        if isinstance(annotation, ast.BinOp) and isinstance(
+            annotation.op, ast.BitOr
+        ):
+            return self.annotation_to_class(
+                module_name, annotation.left
+            ) or self.annotation_to_class(module_name, annotation.right)
+        if isinstance(annotation, ast.Subscript):
+            base = self.resolve_expr(module_name, annotation.value)
+            if base in ("typing.Optional", "typing.Annotated"):
+                inner = annotation.slice
+                if isinstance(inner, ast.Tuple) and inner.elts:
+                    inner = inner.elts[0]
+                return self.annotation_to_class(module_name, inner)
+            return None
+        if isinstance(annotation, ast.Constant) and annotation.value is None:
+            return None
+        resolved = self.resolve_expr(module_name, annotation)
+        if resolved in self.classes:
+            return resolved
+        return None
+
+    def method_on(self, class_qualname: str, method: str) -> FunctionInfo | None:
+        """Look up a method on a class, walking project base classes."""
+        seen: set[str] = set()
+        stack = [class_qualname]
+        while stack:
+            current = stack.pop(0)
+            if current in seen:
+                continue
+            seen.add(current)
+            cls_info = self.classes.get(current)
+            if cls_info is None:
+                continue
+            if method in cls_info.methods:
+                return cls_info.methods[method]
+            stack.extend(cls_info.bases)
+        return None
+
+    def attr_type(self, class_qualname: str, attr: str) -> str | None:
+        """Type of ``self.<attr>`` on a class, walking base classes."""
+        seen: set[str] = set()
+        stack = [class_qualname]
+        while stack:
+            current = stack.pop(0)
+            if current in seen:
+                continue
+            seen.add(current)
+            cls_info = self.classes.get(current)
+            if cls_info is None:
+                continue
+            if attr in cls_info.attr_types:
+                return cls_info.attr_types[attr]
+            stack.extend(cls_info.bases)
+        return None
+
+
+def _dotted_parts(node: ast.expr) -> tuple[str, ...] | None:
+    parts: list[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if not isinstance(current, ast.Name):
+        return None
+    parts.append(current.id)
+    return tuple(reversed(parts))
