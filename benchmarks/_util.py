@@ -3,15 +3,49 @@
 from __future__ import annotations
 
 import json
+import math
 import pathlib
 import resource
 import statistics
 import sys
 import time
 from dataclasses import dataclass
-from typing import Any, Callable
+from typing import Any, Callable, Iterable
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def percentile(values: Iterable[float], q: float) -> float:
+    """Nearest-rank percentile: smallest value with >= ``q`` of the mass.
+
+    The convention the experiment modules use (``ceil(q * n) - 1`` into
+    the ascending sort), kept here so every benchmark's p50/p95/p99
+    means the same thing.  ``q`` is a fraction in (0, 1].
+    """
+    if not 0 < q <= 1:
+        raise ValueError(f"q must be in (0, 1], got {q}")
+    ordered = sorted(values)
+    if not ordered:
+        raise ValueError("percentile of an empty sequence")
+    return ordered[max(0, math.ceil(q * len(ordered)) - 1)]
+
+
+def latency_summary(values: Iterable[float]) -> dict[str, float]:
+    """p50/p95/p99 (plus mean and count) of a latency sample, for JSON.
+
+    One shared shape for every benchmark's latency metadata, so the
+    regression harness can diff percentiles across benches uniformly.
+    """
+    ordered = sorted(values)
+    if not ordered:
+        raise ValueError("latency_summary of an empty sequence")
+    return {
+        "count": len(ordered),
+        "mean": sum(ordered) / len(ordered),
+        "p50": percentile(ordered, 0.50),
+        "p95": percentile(ordered, 0.95),
+        "p99": percentile(ordered, 0.99),
+    }
 
 
 def current_rss_bytes() -> int:

@@ -31,7 +31,7 @@ from repro.experiments.config import SMALL_CORPUS
 from repro.experiments.fig3 import build_combination_testbed
 from repro.parallel import ExperimentRunner
 
-from _util import measure, update_json_result
+from _util import latency_summary, measure, update_json_result
 
 CONFIG = dataclasses.replace(SMALL_CORPUS, topic_smear=1.0)
 TESTBED_PARAMS = dict(
@@ -48,10 +48,14 @@ K, PEER_K = 30, 10
 
 
 def run_sweep(workers: int):
-    """The whole grid at a given worker count (fresh testbed + runner)."""
+    """The whole grid at a given worker count (fresh testbed + runner).
+
+    Returns ``(points, map_mode)`` — the runner's ``last_map_mode`` rides
+    along so the perf record says how the grid actually executed.
+    """
     testbed = build_combination_testbed(CONFIG, **TESTBED_PARAMS)
     runner = ExperimentRunner(workers=workers)
-    return churn_sweep(
+    points = churn_sweep(
         testbed.engines["mips-64"],
         testbed.queries,
         IQNRouter,
@@ -65,13 +69,14 @@ def run_sweep(workers: int):
         peer_k=PEER_K,
         runner=runner,
     )
+    return points, runner.last_map_mode
 
 
 @pytest.fixture(scope="module")
 def sweep_data():
-    serial = run_sweep(1)
+    serial, serial_mode = run_sweep(1)
     serial_timing = measure(lambda: run_sweep(1), warmup=0, repeats=1)
-    pooled = run_sweep(2)
+    pooled, pooled_mode = run_sweep(2)
     pooled_timing = measure(lambda: run_sweep(2), warmup=0, repeats=1)
     serial_digest = hashlib.sha256(pickle.dumps(serial)).hexdigest()
     pooled_digest = hashlib.sha256(pickle.dumps(pooled)).hexdigest()
@@ -84,12 +89,17 @@ def sweep_data():
         },
         "serial": serial_timing.as_dict(),
         "pooled_2_workers": pooled_timing.as_dict(),
+        "serial_map_mode": serial_mode,
+        "pooled_map_mode": pooled_mode,
         "serial_digest": serial_digest,
         "pooled_digest": pooled_digest,
         "identical_serial_vs_pooled": serial_digest == pooled_digest,
         "points": [dataclasses.asdict(point) for point in serial],
         "total_fallback_successes": sum(p.fallback_successes for p in serial),
         "total_stale_routes": sum(p.stale_routes for p in serial),
+        "cell_p95_latency_summary_ms": latency_summary(
+            point.p95_latency_ms for point in serial
+        ),
     }
     update_json_result("BENCH_churn", "sweep", payload)
     return {"serial": serial, "pooled": pooled, "payload": payload}

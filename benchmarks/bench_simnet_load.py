@@ -18,7 +18,7 @@ from repro.experiments.report import format_table
 from repro.parallel import ExperimentRunner
 from repro.simnet.executor import SimNetExecutor
 
-from _util import measure, save_result, update_json_result
+from _util import latency_summary, measure, save_result, update_json_result
 
 SPEC_LABEL = "mips-64"
 OFFERED_QPS = (2.0, 10.0, 50.0, 200.0)
@@ -180,6 +180,10 @@ def test_pooled_sweep_matches_serial_and_records_throughput(
             "serial_cells_per_sec": num_cells / serial_timing.median_s,
             "pooled_cells_per_sec": num_cells / pooled_timing.median_s,
             "identical_to_serial": pooled_points == serial_points,
+            "last_map_mode": runner.last_map_mode,
+            "cell_mean_latency_summary_ms": latency_summary(
+                point.mean_latency_ms for point in pooled_points
+            ),
         },
     )
 

@@ -136,6 +136,23 @@ class DirectoryMaintainer:
 
     # -- repost ------------------------------------------------------------
 
+    def _stored_stats(
+        self, term: str, peer_id: str
+    ) -> tuple[int, float, float, int] | None:
+        """The stats tuple of the Post currently stored at the term's owner.
+
+        Reads the owner node's store directly (no routing, no cost):
+        this is maintenance bookkeeping, not a directory lookup.
+        """
+        ring = self.engine.ring
+        stored = ring.owner_of(term).store.get(ring.key_id(term))
+        if not isinstance(stored, PeerList):
+            return None
+        post = stored.get(peer_id)
+        if post is None:
+            return None
+        return (post.cdf, post.max_score, post.avg_score, post.term_space_size)
+
     def repost(self, peer_id: str, now_ms: float) -> int:
         """Republish one peer's Posts for every term it has published.
 
@@ -143,14 +160,41 @@ class DirectoryMaintainer:
         statistics), re-creates entries lost to node crashes, and resets
         the TTL stamp.  Returns the number of Posts published.
         """
+        count, _ = self.repost_detailed(peer_id, now_ms)
+        return count
+
+    def repost_detailed(
+        self, peer_id: str, now_ms: float
+    ) -> tuple[int, tuple[str, ...]]:
+        """:meth:`repost`, also reporting which terms *changed content*.
+
+        A periodic repost usually republishes identical statistics (the
+        peer's collection did not change) — a pure TTL refresh that no
+        directory consumer can observe.  Terms whose stored stats tuple
+        ``(cdf, max_score, avg_score, term_space_size)`` differs from
+        the fresh Post — or that were missing from the owner's store
+        (lost to a crash) — are returned so cache layers can invalidate
+        only on observable changes instead of on every repost tick.
+        Returns ``(posts_published, changed_terms)``.
+        """
         peer = self.engine.peers[peer_id]
         terms = sorted(
             term for term in self.engine._published_terms if term in peer.index
         )
+        changed: list[str] = []
         for term in terms:
-            self.engine.directory.publish(peer.build_post(term))
+            post = peer.build_post(term)
+            before = self._stored_stats(term, peer_id)
+            if before != (
+                post.cdf,
+                post.max_score,
+                post.avg_score,
+                post.term_space_size,
+            ):
+                changed.append(term)
+            self.engine.directory.publish(post)
             self.record_publish(term, peer_id, now_ms)
-        return len(terms)
+        return len(terms), tuple(changed)
 
     # -- TTL sweep ---------------------------------------------------------
 
@@ -160,6 +204,14 @@ class DirectoryMaintainer:
         A Post with no freshness record (published before the maintainer
         existed) is stamped ``now_ms`` rather than guessed stale.
         Returns the number of distinct ``(term, peer)`` Posts expired.
+        """
+        return len(self.sweep_detailed(now_ms))
+
+    def sweep_detailed(self, now_ms: float) -> tuple[tuple[str, str], ...]:
+        """:meth:`sweep`, returning the expired ``(term, peer_id)`` keys.
+
+        The keys are sorted, so consumers (cache invalidation, logging)
+        see a deterministic order regardless of ring iteration order.
         """
         expired: set[tuple[str, str]] = set()
         ring = self.engine.ring
@@ -178,7 +230,7 @@ class DirectoryMaintainer:
                         expired.add(key)
         for key in expired:
             self._posted_at.pop(key, None)
-        return len(expired)
+        return tuple(sorted(expired))
 
     # -- ring repair -------------------------------------------------------
 

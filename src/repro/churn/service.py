@@ -37,7 +37,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Any, Callable, Sequence
+from typing import Any, Callable, Sequence, TypeVar
 
 from ..datasets.queries import Query
 from ..minerva.engine import MinervaEngine
@@ -51,7 +51,34 @@ from ..simnet.rpc import RetryPolicy
 from .maintenance import DirectoryMaintainer, MaintenanceConfig
 from .membership import ChurnSchedule, MembershipEvent
 
-__all__ = ["ChurnStats", "ChurnService"]
+__all__ = ["ChurnStats", "ChurnService", "DirectoryEvent"]
+
+_T = TypeVar("_T")
+
+
+@dataclass(frozen=True)
+class DirectoryEvent:
+    """One observable membership or directory-content change.
+
+    Emitted synchronously (at the event's virtual time) to listeners
+    registered via :meth:`ChurnService.subscribe` — the hook the serving
+    layer's churn-aware caches key their invalidation off:
+
+    - ``crash`` / ``leave`` — ``peer_id`` went silent (plans routing to
+      it must be repaired or dropped);
+    - ``recover`` — ``peer_id`` is back and reposted ``terms`` fresh
+      (it is a candidate that cached plans never considered);
+    - ``repost`` — a maintenance repost *changed* the stored statistics
+      for ``terms`` (pure TTL refreshes are not reported);
+    - ``expire`` — a TTL sweep dropped stale Posts for ``terms``;
+    - ``evict`` — stabilization evicted ``peer_id``'s directory node
+      and re-replicated its key range.
+    """
+
+    kind: str
+    at_ms: float
+    peer_id: str = ""
+    terms: tuple[str, ...] = ()
 
 
 @dataclass
@@ -110,7 +137,29 @@ class ChurnService:
         self.stats = ChurnStats()
         #: Crashed peers whose ring nodes stabilization has not yet evicted.
         self._pending_eviction: list[str] = []
+        self._listeners: list[Callable[[DirectoryEvent], None]] = []
         self._schedule_all()
+
+    def subscribe(self, listener: Callable[[DirectoryEvent], None]) -> None:
+        """Register a callback for every :class:`DirectoryEvent`.
+
+        Listeners run synchronously inside the clock callback that
+        caused the change, in subscription order — so a cache hears
+        about a crash before any query submitted later in virtual time
+        can hit a stale plan.
+        """
+        self._listeners.append(listener)
+
+    def _emit(
+        self, kind: str, *, peer_id: str = "", terms: tuple[str, ...] = ()
+    ) -> None:
+        if not self._listeners:
+            return
+        event = DirectoryEvent(
+            kind=kind, at_ms=self.clock.now, peer_id=peer_id, terms=terms
+        )
+        for listener in self._listeners:
+            listener(event)
 
     @property
     def clock(self) -> SimClock:
@@ -150,7 +199,7 @@ class ChurnService:
             clock.schedule_at(at_ms, self._stabilize_tick)
             at_ms += self.maintenance.stabilize_interval_ms
 
-    def _charged(self, operation: Callable[[], int]) -> int:
+    def _charged(self, operation: Callable[[], _T]) -> _T:
         """Run a maintenance operation, crediting its engine-cost delta."""
         cost = self.engine.cost
         messages_before = cost.total_messages
@@ -178,6 +227,7 @@ class ChurnService:
         self.executor.transport.crash(peer_id)
         self._pending_eviction.append(peer_id)
         self.stats.crashes += 1
+        self._emit("crash", peer_id=peer_id)
 
     def _leave(self, peer_id: str) -> None:
         """Graceful departure: key handoff, Posts withdrawn, then silent."""
@@ -193,6 +243,7 @@ class ChurnService:
         self.maintainer.forget_peer(peer_id)
         self.executor.transport.crash(peer_id)
         self.stats.leaves += 1
+        self._emit("leave", peer_id=peer_id)
 
     def _recover(self, peer_id: str) -> None:
         """Return: transport up, ring rejoin (if evicted), fresh Posts."""
@@ -207,6 +258,18 @@ class ChurnService:
             lambda: self.maintainer.rejoin(peer_id, self.clock.now)
         )
         self.stats.recoveries += 1
+        peer = self.engine.peers[peer_id]
+        self._emit(
+            "recover",
+            peer_id=peer_id,
+            terms=tuple(
+                sorted(
+                    term
+                    for term in self.engine._published_terms
+                    if term in peer.index
+                )
+            ),
+        )
 
     # -- maintenance ticks -------------------------------------------------
 
@@ -216,20 +279,34 @@ class ChurnService:
         for peer_id in self.live_peers():
             if peer_id not in node_of_peer:
                 continue  # evicted and not yet recovered
-            self.stats.reposts += self._charged(
-                lambda p=peer_id: self.maintainer.repost(p, self.clock.now)  # type: ignore[misc]
+            count, changed = self._charged(
+                lambda p=peer_id: self.maintainer.repost_detailed(  # type: ignore[misc]
+                    p, self.clock.now
+                )
             )
+            self.stats.reposts += count
+            if changed:
+                self._emit("repost", peer_id=peer_id, terms=changed)
 
     def _stabilize_tick(self) -> None:
         """Detect crashed nodes, repair the ring, expire stale Posts."""
         if self._pending_eviction:
+            pending = sorted(self._pending_eviction)
             evicted, copied = self.maintainer.evict_crashed(
                 self._pending_eviction
             )
             self._pending_eviction.clear()
             self.stats.nodes_evicted += evicted
             self.stats.keys_re_replicated += copied
-        self.stats.posts_expired += self.maintainer.sweep(self.clock.now)
+            for peer_id in pending:
+                self._emit("evict", peer_id=peer_id)
+        expired = self.maintainer.sweep_detailed(self.clock.now)
+        self.stats.posts_expired += len(expired)
+        if expired:
+            self._emit(
+                "expire",
+                terms=tuple(sorted({term for term, _ in expired})),
+            )
 
     # -- workloads ---------------------------------------------------------
 

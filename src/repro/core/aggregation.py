@@ -49,6 +49,11 @@ class AggregationStrategy(abc.ABC):
     def novelty(self, state: Any, candidate: CandidatePeer) -> float:
         """Estimated novelty of ``candidate`` against the current state."""
 
+    def cache_signature(self) -> str:
+        """A stable identity for routing-plan caching: strategies whose
+        novelty estimates can differ must never share a signature."""
+        return type(self).__name__
+
     @abc.abstractmethod
     def absorb(self, state: Any, candidate: CandidatePeer) -> None:
         """Aggregate-Synopses step: fold the chosen peer into the state."""
@@ -86,6 +91,9 @@ class PerPeerAggregation(AggregationStrategy):
 
     def __init__(self, *, crude_conjunctive_fallback: bool = True) -> None:
         self.crude_conjunctive_fallback = crude_conjunctive_fallback
+
+    def cache_signature(self) -> str:
+        return f"{type(self).__name__}(crude={self.crude_conjunctive_fallback})"
 
     def start(self, context: RoutingContext) -> PerPeerState:
         seed_ids: frozenset[int] = frozenset()

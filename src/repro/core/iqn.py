@@ -99,6 +99,18 @@ class IQNRouter(PeerSelector):
             selection.peer_id for selection in self.rank_detailed(context, max_peers)
         ]
 
+    def cache_signature(self) -> str:
+        """Every knob that can change the ranked plan (``fast_path`` is
+        excluded: both tiers are bit-identical by construction)."""
+        stopping = "" if self.stopping is None else self.stopping.cache_signature()
+        return (
+            f"{type(self).__name__}"
+            f"({self.aggregation.cache_signature()},"
+            f" stopping={stopping},"
+            f" quality={self.quality_weighted},"
+            f" alpha={self.alpha!r})"
+        )
+
     def rank_detailed(
         self, context: RoutingContext, max_peers: int
     ) -> list[IQNSelection]:

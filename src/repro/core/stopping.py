@@ -39,6 +39,12 @@ class StoppingCriterion(abc.ABC):
         estimate, and the novelty the last peer contributed.
         """
 
+    def cache_signature(self) -> str:
+        """A stable identity for routing-plan caching: criteria whose
+        decisions can differ must never share a signature.  Subclasses
+        with parameters must include them."""
+        return type(self).__name__
+
 
 class MaxPeers(StoppingCriterion):
     """Stop after a fixed number of peers — the paper's primary budget."""
@@ -53,6 +59,9 @@ class MaxPeers(StoppingCriterion):
     ) -> bool:
         return selected_count >= self.limit
 
+    def cache_signature(self) -> str:
+        return f"{type(self).__name__}({self.limit})"
+
 
 class CoverageTarget(StoppingCriterion):
     """Stop once the estimated combined result reaches ``target`` documents."""
@@ -66,6 +75,9 @@ class CoverageTarget(StoppingCriterion):
         self, *, selected_count: int, estimated_coverage: float, last_novelty: float
     ) -> bool:
         return estimated_coverage >= self.target
+
+    def cache_signature(self) -> str:
+        return f"{type(self).__name__}({self.target!r})"
 
 
 class MinimumNoveltyGain(StoppingCriterion):
@@ -85,6 +97,9 @@ class MinimumNoveltyGain(StoppingCriterion):
         self, *, selected_count: int, estimated_coverage: float, last_novelty: float
     ) -> bool:
         return last_novelty < self.threshold
+
+    def cache_signature(self) -> str:
+        return f"{type(self).__name__}({self.threshold!r})"
 
 
 class AnyOf(StoppingCriterion):
@@ -106,3 +121,7 @@ class AnyOf(StoppingCriterion):
             )
             for criterion in self.criteria
         )
+
+    def cache_signature(self) -> str:
+        inner = ", ".join(c.cache_signature() for c in self.criteria)
+        return f"{type(self).__name__}({inner})"

@@ -15,7 +15,7 @@ from dataclasses import dataclass
 
 from .corpus import GovCorpusConfig, topic_vocabulary
 
-__all__ = ["Query", "make_workload"]
+__all__ = ["Query", "make_workload", "make_query_log"]
 
 
 @dataclass(frozen=True)
@@ -81,3 +81,35 @@ def make_workload(
         terms = tuple(rng.sample(pool, length))
         queries.append(Query(query_id=query_id, terms=terms, topic=topic))
     return queries
+
+
+def make_query_log(
+    queries: list[Query],
+    *,
+    num_events: int,
+    zipf_s: float = 1.0,
+    seed: int = 11,
+) -> list[Query]:
+    """A Zipf-repeating query stream over a base workload.
+
+    Real query logs are heavily skewed: a few popular queries repeat
+    constantly while the tail is seen once (the regularity Ismail et al.
+    exploit for routing).  This draws ``num_events`` events where the
+    query of popularity rank ``r`` (0-based position in ``queries``) is
+    chosen with probability proportional to ``1 / (r + 1) ** zipf_s`` —
+    ``zipf_s = 0`` is uniform, larger values are more repetitive.
+
+    Events reference the *same* :class:`Query` objects as the base
+    workload (identical ``query_id``), which is what makes routing-plan
+    reuse across repetitions well-defined: two occurrences of an event
+    are the same query, not merely an equal one.
+    """
+    if not queries:
+        raise ValueError("a query log needs a non-empty base workload")
+    if num_events <= 0:
+        raise ValueError(f"num_events must be positive, got {num_events}")
+    if zipf_s < 0:
+        raise ValueError(f"zipf_s must be >= 0, got {zipf_s}")
+    rng = random.Random(seed)
+    weights = [1.0 / (rank + 1) ** zipf_s for rank in range(len(queries))]
+    return rng.choices(queries, weights=weights, k=num_events)

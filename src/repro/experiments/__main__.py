@@ -11,6 +11,7 @@ Usage::
     python -m repro.experiments netload     [--quick]
     python -m repro.experiments reposting   [--quick]
     python -m repro.experiments churn       [--quick]
+    python -m repro.experiments serve       [--quick]
 
 ``--quick`` shrinks the corpus/workload so a figure renders in seconds
 (for smoke-testing; the bench harness runs the calibrated full scale).
@@ -59,6 +60,7 @@ TARGETS = (
     "netload",
     "reposting",
     "churn",
+    "serve",
 )
 
 
@@ -255,6 +257,62 @@ def run_target(
                     p.maintenance_messages,
                     p.stale_routes,
                     p.fallback_successes,
+                ]
+                for p in points
+            ],
+        )
+    if target == "serve":
+        from ..core.iqn import IQNRouter
+        from .report import format_table
+        from .serve import serve_sweep
+
+        handle = cached_testbed(
+            runner,
+            "combination",
+            config,
+            num_queries=num_queries,
+            query_pool_size=pool,
+            query_pool_offset=offset,
+            spec_labels=("mips-64",),
+        )
+        testbed = handle.value
+        points = serve_sweep(
+            testbed.engines["mips-64"],
+            testbed.queries,
+            IQNRouter,
+            offered_qps=(5.0, 20.0) if quick else (2.0, 10.0, 50.0),
+            zipf_skews=(0.0, 1.1),
+            churn_rates=(0.0,) if quick else (0.0, 2.0),
+            num_events=24 if quick else 64,
+            seed=29,
+            max_peers=5,
+            k=k,
+            peer_k=peer_k,
+            runner=runner,
+        )
+        return format_table(
+            [
+                "qps",
+                "zipf",
+                "churn/min",
+                "hit rate",
+                "bits/q",
+                "full bits/q",
+                "p95 ms",
+                "full p95 ms",
+                "identical",
+            ],
+            [
+                [
+                    p.qps,
+                    p.zipf_s,
+                    p.churn_rate,
+                    round(p.plan_hit_rate, 3),
+                    round(p.served_bits_per_query, 1),
+                    round(p.full_bits_per_query, 1),
+                    round(p.served_p95_ms, 2),
+                    round(p.full_p95_ms, 2),
+                    p.bit_identical if p.identity_checked else "n/a",
                 ]
                 for p in points
             ],

@@ -1,0 +1,370 @@
+"""Serving-layer sweep: cache efficacy × query skew × load × churn.
+
+The serving front end (:mod:`repro.serving`) claims three wins over the
+one-shot pipeline: repeated queries skip directory traffic and ranking
+(plan cache), novelty rescoring stops rebuilding identical synopses
+(reference-synopsis cache), and streamed early termination ships only
+the result entries that can still matter.  This sweep measures all
+three against the *full-forwarding* path — the plain
+:meth:`~repro.simnet.executor.SimNetExecutor.run_workload` over the
+same Zipf-repeating query log and arrival process — across offered
+load (qps), log skew (``zipf_s``), and churn rate.
+
+Every cell also re-asserts the correctness contract where it is
+checkable: on churn-free cells the served top-k and queried peers are
+compared, query by query, against
+:meth:`~repro.minerva.engine.MinervaEngine.run_query_networked` — the
+caches and early termination must change bytes and latency, never the
+answer.
+
+Cells are independent pool tasks; each cell's simulation seeds are
+derived from the sweep seed and the cell parameters (never from task
+position), so results are bit-identical at any ``--workers`` count —
+``benchmarks/bench_serving.py`` pins serial-vs-pooled digest equality.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from ..churn.maintenance import MaintenanceConfig
+from ..churn.membership import ChurnSchedule, MembershipConfig
+from ..churn.service import ChurnService
+from ..datasets.queries import Query, make_query_log
+from ..ir.documents import Corpus
+from ..ir.index import InvertedIndex
+from ..minerva.engine import MinervaEngine
+from ..parallel import ExperimentRunner, SetupHandle, current_setup
+from ..parallel.seeding import derive_seed
+from ..routing.base import PeerSelector
+from ..serving.frontend import ServingFrontend
+from ..simnet.executor import SimNetExecutor
+from ..synopses.factory import SynopsisSpec
+
+__all__ = ["ServePoint", "serve_cell_task", "serve_sweep"]
+
+
+def _percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending-sorted sequence."""
+    index = max(0, math.ceil(q * len(sorted_values)) - 1)
+    return sorted_values[index]
+
+
+@dataclass(frozen=True)
+class ServePoint:
+    """Aggregate behavior of one (qps, zipf_s, churn rate) cell.
+
+    ``full_*`` fields describe the full-forwarding reference run over
+    the same log and arrival process on an identical fresh engine
+    (always fault-free — under churn it is the clean-network yardstick,
+    not a raced rerun).  ``bit_identical`` is the per-query equality of
+    served top-k and queried peers against ``run_query_networked``; it
+    is only asserted on churn-free cells (``identity_checked``).
+    """
+
+    qps: float
+    zipf_s: float
+    churn_rate: float
+    num_events: int
+    unique_queries: int
+    plan_hits: int
+    plan_misses: int
+    plan_invalidated: int
+    plan_repaired: int
+    synopsis_hits: int
+    synopsis_misses: int
+    served_bits: int
+    full_bits: int
+    served_p50_ms: float
+    served_p95_ms: float
+    full_p50_ms: float
+    full_p95_ms: float
+    entries_streamed: int
+    entries_full: int
+    peers_skipped: int
+    mean_batch_rounds: float
+    degraded_queries: int
+    identity_checked: bool
+    bit_identical: bool
+
+    @property
+    def plan_hit_rate(self) -> float:
+        lookups = self.plan_hits + self.plan_misses
+        return self.plan_hits / lookups if lookups else 0.0
+
+    @property
+    def served_bits_per_query(self) -> float:
+        return self.served_bits / self.num_events if self.num_events else 0.0
+
+    @property
+    def full_bits_per_query(self) -> float:
+        return self.full_bits / self.num_events if self.num_events else 0.0
+
+    @property
+    def bytes_saved_fraction(self) -> float:
+        """Fraction of full-forwarding traffic the serving path avoided."""
+        if not self.full_bits:
+            return 0.0
+        return 1.0 - self.served_bits / self.full_bits
+
+
+def _build_engine(
+    collections: Sequence[Corpus],
+    indexes: Sequence[InvertedIndex],
+    queries: Sequence[Query],
+    *,
+    spec: SynopsisSpec,
+    replicas: int,
+) -> MinervaEngine:
+    engine = MinervaEngine(
+        list(collections), spec=spec, indexes=list(indexes), replicas=replicas
+    )
+    engine.publish({term for query in queries for term in query.terms})
+    return engine
+
+
+def _run_cell(
+    collections: Sequence[Corpus],
+    indexes: Sequence[InvertedIndex],
+    queries: Sequence[Query],
+    make_selector: Callable[[], PeerSelector],
+    *,
+    spec: SynopsisSpec,
+    qps: float,
+    zipf_s: float,
+    churn_rate: float,
+    num_events: int,
+    horizon_ms: float,
+    seed: int,
+    max_peers: int,
+    k: int,
+    peer_k: int,
+    batch_size: int | None,
+    fallback_spares: int,
+    replicas: int,
+) -> ServePoint:
+    """One cell: serve the log, rerun it full-forwarding, compare."""
+    interarrival_ms = 1000.0 / qps
+    log = make_query_log(
+        queries,
+        num_events=num_events,
+        zipf_s=zipf_s,
+        seed=derive_seed(seed, f"log:{zipf_s!r}"),
+    )
+    arrival_seed = derive_seed(seed, "arrivals")
+    simulation_seed = derive_seed(seed, "simulation")
+
+    # -- served run (caches + streaming, under churn if configured) ----
+    engine = _build_engine(
+        collections, indexes, queries, spec=spec, replicas=replicas
+    )
+    host: SimNetExecutor | ChurnService
+    if churn_rate > 0:
+        schedule = ChurnSchedule.generate(
+            sorted(engine.peers),
+            MembershipConfig.for_rate(churn_rate, horizon_ms=horizon_ms),
+            seed=derive_seed(seed, f"membership:{churn_rate!r}"),
+        )
+        host = ChurnService(
+            engine, schedule, maintenance=MaintenanceConfig(), seed=simulation_seed
+        )
+    else:
+        host = SimNetExecutor(engine, seed=simulation_seed)
+    front = ServingFrontend(
+        host,
+        make_selector(),
+        max_peers=max_peers,
+        k=k,
+        peer_k=peer_k,
+        batch_size=batch_size,
+        fallback_spares=fallback_spares,
+        successor_fallback=churn_rate > 0,
+    )
+    served = front.serve_log(
+        log, interarrival_ms=interarrival_ms, seed=arrival_seed
+    )
+
+    # -- full-forwarding reference over the same log and arrivals ------
+    full_engine = _build_engine(
+        collections, indexes, queries, spec=spec, replicas=replicas
+    )
+    executor = SimNetExecutor(full_engine, seed=simulation_seed)
+    full = executor.run_workload(
+        log,
+        make_selector(),
+        interarrival_ms=interarrival_ms,
+        seed=arrival_seed,
+        max_peers=max_peers,
+        k=k,
+        peer_k=peer_k,
+    )
+
+    # -- per-query identity against the one-shot path (churn-free) ----
+    identity_checked = churn_rate == 0
+    bit_identical = False
+    if identity_checked:
+        reference = {
+            query.query_id: full_engine.run_query_networked(
+                query,
+                make_selector(),
+                max_peers=max_peers,
+                k=k,
+                peer_k=peer_k,
+            )
+            for query in queries
+        }
+        bit_identical = all(
+            s.topk == tuple(reference[s.query.query_id].merged[:k])
+            and s.queried == reference[s.query.query_id].selected
+            for s in served
+        )
+
+    served_latencies = sorted(s.latency_ms for s in served)
+    full_latencies = sorted(o.latency_ms for o in full)
+    plan = front.plan_stats()
+    synopsis = front.synopsis_stats()
+    return ServePoint(
+        qps=qps,
+        zipf_s=zipf_s,
+        churn_rate=churn_rate,
+        num_events=len(served),
+        unique_queries=len({s.query.query_id for s in served}),
+        plan_hits=plan.hits,
+        plan_misses=plan.misses,
+        plan_invalidated=plan.invalidated,
+        plan_repaired=plan.repaired,
+        synopsis_hits=synopsis.hits,
+        synopsis_misses=synopsis.misses,
+        served_bits=sum(s.cost.total_bits for s in served),
+        full_bits=sum(o.outcome.cost.total_bits for o in full),
+        served_p50_ms=_percentile(served_latencies, 0.50),
+        served_p95_ms=_percentile(served_latencies, 0.95),
+        full_p50_ms=_percentile(full_latencies, 0.50),
+        full_p95_ms=_percentile(full_latencies, 0.95),
+        entries_streamed=sum(s.entries_streamed for s in served),
+        entries_full=sum(
+            len(results)
+            for o in full
+            for results in o.outcome.per_peer_results.values()
+        ),
+        peers_skipped=sum(s.peers_skipped for s in served),
+        mean_batch_rounds=(
+            sum(s.batch_rounds for s in served) / len(served) if served else 0.0
+        ),
+        degraded_queries=sum(1 for s in served if s.degraded),
+        identity_checked=identity_checked,
+        bit_identical=bit_identical,
+    )
+
+
+def serve_cell_task(task: dict, seed: int) -> ServePoint:
+    """Worker entrypoint: one sweep cell on the attached
+    (collections, indexes, queries, spec) setup.  The cell's seeds are
+    derived inside :func:`_run_cell` from the sweep seed and the cell
+    parameters (never from task position), so results are independent
+    of task order and worker count."""
+    del seed  # the sweep's own seed derivation is part of the task
+    collections, indexes, queries, spec = current_setup()
+    return _run_cell(
+        collections,
+        indexes,
+        queries,
+        task["make_selector"],
+        spec=spec,
+        qps=task["qps"],
+        zipf_s=task["zipf_s"],
+        churn_rate=task["churn_rate"],
+        num_events=task["num_events"],
+        horizon_ms=task["horizon_ms"],
+        seed=task["seed"],
+        max_peers=task["max_peers"],
+        k=task["k"],
+        peer_k=task["peer_k"],
+        batch_size=task["batch_size"],
+        fallback_spares=task["fallback_spares"],
+        replicas=task["replicas"],
+    )
+
+
+def serve_sweep(
+    engine: MinervaEngine,
+    queries: Sequence[Query],
+    make_selector: Callable[[], PeerSelector],
+    *,
+    offered_qps: Sequence[float] = (2.0, 10.0, 50.0),
+    zipf_skews: Sequence[float] = (0.0, 1.1),
+    churn_rates: Sequence[float] = (0.0, 2.0),
+    num_events: int = 64,
+    horizon_ms: float = 60_000.0,
+    seed: int = 0,
+    max_peers: int = 5,
+    k: int = 20,
+    peer_k: int | None = None,
+    batch_size: int | None = None,
+    fallback_spares: int = 2,
+    replicas: int = 2,
+    runner: ExperimentRunner | None = None,
+    setup_handle: SetupHandle | None = None,
+) -> list[ServePoint]:
+    """Serve the Zipf log at every (qps, zipf_s, churn rate) cell.
+
+    ``engine`` supplies the collections and prebuilt indexes; every
+    cell constructs its own engines from them (a served cell under
+    churn mutates its engine, and the full-forwarding reference needs a
+    clean twin).  ``churn_rates`` may include ``0.0`` for static cells,
+    which additionally assert per-query bit-identity against
+    ``run_query_networked``.  Returns one :class:`ServePoint` per cell
+    in sweep order (qps-major, then skew, then churn).
+
+    Cells are independent pool tasks on ``runner``; ``make_selector``
+    must be picklable for pooled execution (a selector class
+    qualifies).  ``setup_handle`` (from ``runner.attach("serve-setup",
+    (collections, indexes, queries, spec))``) lets repeated sweeps
+    share one worker artifact.
+    """
+    if not queries:
+        raise ValueError("a sweep needs at least one query")
+    if num_events <= 0:
+        raise ValueError(f"num_events must be positive, got {num_events}")
+    for qps in offered_qps:
+        if qps <= 0:
+            raise ValueError(f"offered qps must be positive, got {qps}")
+    for rate in churn_rates:
+        if rate < 0:
+            raise ValueError(f"churn rates must be >= 0, got {rate}")
+    if runner is None:
+        runner = ExperimentRunner(workers=1)
+    tasks = [
+        {
+            "make_selector": make_selector,
+            "qps": qps,
+            "zipf_s": zipf_s,
+            "churn_rate": rate,
+            "num_events": num_events,
+            "horizon_ms": horizon_ms,
+            "seed": derive_seed(seed, f"cell:{qps!r}:{zipf_s!r}:{rate!r}"),
+            "max_peers": max_peers,
+            "k": k,
+            "peer_k": k if peer_k is None else peer_k,
+            "batch_size": batch_size,
+            "fallback_spares": fallback_spares,
+            "replicas": replicas,
+        }
+        for qps in offered_qps
+        for zipf_s in zipf_skews
+        for rate in churn_rates
+    ]
+    if setup_handle is None:
+        peers = list(engine.peers.values())
+        setup_handle = runner.attach(
+            "serve-setup",
+            (
+                [peer.corpus for peer in peers],
+                [peer.index for peer in peers],
+                list(queries),
+                engine.spec,
+            ),
+        )
+    return runner.map(serve_cell_task, tasks, setup=setup_handle)

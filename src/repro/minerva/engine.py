@@ -56,6 +56,10 @@ RESULT_ENTRY_BITS = 64
 QUERY_HEADER_BITS = 64
 QUERY_TERM_BITS = 32
 
+#: Extra request bits on a streamed batch fetch (:mod:`repro.serving`):
+#: a 32-bit offset plus a 32-bit batch limit on top of the query header.
+BATCH_HEADER_BITS = 64
+
 
 @dataclass(frozen=True)
 class QueryOutcome:

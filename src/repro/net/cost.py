@@ -14,6 +14,8 @@ Message kinds used by the stack:
 - ``dht_hop``         — one Chord routing hop
 - ``query_forward``   — forwarding the query to a selected peer
 - ``result_return``   — a queried peer shipping its local top-k back
+- ``result_batch``    — one score-sorted result batch on the streamed
+  serving path (:mod:`repro.serving`), replacing a full result_return
 """
 
 from __future__ import annotations
@@ -33,6 +35,7 @@ class MessageKinds:
     DHT_HOP = "dht_hop"
     QUERY_FORWARD = "query_forward"
     RESULT_RETURN = "result_return"
+    RESULT_BATCH = "result_batch"
 
 
 @dataclass(frozen=True)

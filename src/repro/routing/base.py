@@ -140,6 +140,17 @@ class PeerSelector(abc.ABC):
     def name(self) -> str:
         return type(self).__name__
 
+    def cache_signature(self) -> str:
+        """A stable identity for routing-plan caching.
+
+        Two selector instances whose rankings can ever differ must
+        never share a signature — the serving layer's plan cache keys
+        on it.  The base implementation names the class; selectors
+        with ranking-relevant configuration (CORI's alpha, IQN's
+        aggregation mode) must extend it with those knobs.
+        """
+        return type(self).__name__
+
     def _check_max_peers(self, max_peers: int) -> None:
         if max_peers <= 0:
             raise ValueError(f"max_peers must be positive, got {max_peers}")

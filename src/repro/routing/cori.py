@@ -85,6 +85,9 @@ class CoriSelector(PeerSelector):
         ranked = sorted(scores.items(), key=lambda item: (-item[1], item[0]))
         return [peer_id for peer_id, _ in ranked[:max_peers]]
 
+    def cache_signature(self) -> str:
+        return f"{type(self).__name__}(alpha={self.alpha!r})"
+
     @property
     def name(self) -> str:
         return "CORI"

@@ -50,6 +50,9 @@ class OneShotOverlapSelector(PeerSelector):
         scored.sort(key=lambda item: (-item[0], -item[1], item[2]))
         return [peer_id for _, _, peer_id in scored[:max_peers]]
 
+    def cache_signature(self) -> str:
+        return f"{type(self).__name__}(alpha={self.alpha!r})"
+
     @staticmethod
     def _initiator_reference(context: RoutingContext) -> SetSynopsis:
         seed: frozenset[int] = frozenset()

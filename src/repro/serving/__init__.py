@@ -1,0 +1,42 @@
+"""Query serving: hot routing caches and streamed early-termination top-k.
+
+The one-shot pipeline (:mod:`repro.simnet`) answers each query from
+scratch; this package answers a *stream* of queries the way a deployed
+MINERVA front end would — exploiting the heavy repetition of real query
+logs (:func:`repro.datasets.queries.make_query_log`) with a churn-aware
+routing-plan cache, a reference-synopsis cache for IQN's novelty
+rescoring, and threshold-style early termination over score-sorted
+result streams.  On a cold cache and a fault-free network the served
+top-k is bit-identical to the one-shot path; everything else is bytes
+and latency saved.
+"""
+
+from .cache import (
+    CachedPlan,
+    CacheStats,
+    CachingSpec,
+    PlanKey,
+    ReferenceSynopsisCache,
+    RoutingPlanCache,
+    plan_key,
+    selector_signature,
+)
+from .frontend import BATCH_HEADER_BITS, ServedQuery, ServingFrontend
+from .streaming import StreamMerger, StreamState, synopsis_upper_bound
+
+__all__ = [
+    "BATCH_HEADER_BITS",
+    "CachedPlan",
+    "CacheStats",
+    "CachingSpec",
+    "PlanKey",
+    "ReferenceSynopsisCache",
+    "RoutingPlanCache",
+    "ServedQuery",
+    "ServingFrontend",
+    "StreamMerger",
+    "StreamState",
+    "plan_key",
+    "selector_signature",
+    "synopsis_upper_bound",
+]

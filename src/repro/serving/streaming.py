@@ -1,0 +1,159 @@
+"""Streamed top-k merging with threshold-style early termination.
+
+The one-shot executor ships every selected peer's full local top-k in a
+single ``result_return`` — simple, but most of those entries never make
+the merged top-k.  The serving path instead pulls *score-sorted batches*
+and stops a peer's stream as soon as it provably cannot change the
+answer, in the spirit of the threshold algorithm (Fagin et al.) the
+paper builds its own candidate pruning on (Section 5's "TA-style
+evaluations over the peer lists" — here applied to result shipping
+rather than candidate selection).
+
+The stopping rule is conservative on two fronts:
+
+- a stream is closed only when the k-th best merged score *strictly*
+  exceeds the stream's upper bound — on a tie the bound could still be
+  attained by a not-yet-seen document whose doc-id wins the tiebreak,
+  so ties keep the stream open;
+- synopsis-predicted bounds (sum of per-term Post ``max_score`` over the
+  query terms) are padded by a tiny relative margin
+  (:func:`synopsis_upper_bound`), because the peer's own scorer
+  accumulates per-term scores in set-iteration order while the bound is
+  an :func:`math.fsum` over the posted maxima — IEEE addition is not
+  associative, and the bound must dominate every achievable sum, not
+  just the infinitely precise one.
+
+Bounds only ever decide *how much gets fetched*; the merged values
+themselves come from the peers, so a slack bound costs bytes, never
+correctness.  The final :meth:`StreamMerger.topk` reproduces
+:func:`repro.ir.merge.merge_results` exactly (max-dedup by doc-id, sort
+by score then doc-id descending), which is what makes the streamed
+answer bit-identical to the full-forwarding one.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..ir.topk import ScoredDocument
+
+__all__ = ["synopsis_upper_bound", "StreamState", "StreamMerger"]
+
+#: Relative + absolute padding applied to summed score bounds, covering
+#: accumulation-order differences between the bound's fsum and the
+#: peer-side scorer's running sum.  Orders of magnitude above any
+#: double-rounding error for realistic scores, orders below any real
+#: score gap — it only matters when a bound ties the k-th score to the
+#: last ulp, where correctness demands staying open anyway.
+_BOUND_MARGIN = 1e-9
+
+
+def synopsis_upper_bound(max_scores: Iterable[float]) -> float:
+    """Upper bound on one peer's best achievable document score.
+
+    A document's score is the sum of its per-term scores over the query
+    terms it matches, so the peer-side maximum is bounded by the sum of
+    the per-term maxima its directory Posts advertise.  The bound is
+    padded (see module docstring) so floating-point accumulation order
+    can never make a real score exceed it.
+    """
+    total = math.fsum(max_scores)
+    return total + abs(total) * _BOUND_MARGIN + _BOUND_MARGIN
+
+
+@dataclass
+class StreamState:
+    """Progress of one peer's score-sorted result stream.
+
+    ``upper`` bounds the score of any entry the stream has not shipped
+    yet: initially the plan's synopsis-predicted bound, then the score
+    of the last entry of the latest batch (streams are score-sorted, so
+    nothing later can exceed it).
+    """
+
+    peer_id: str
+    upper: float
+    offset: int = 0
+    exhausted: bool = False
+
+    def note_batch(self, batch: Sequence[ScoredDocument], limit: int) -> None:
+        """Advance past ``batch`` (requested with size ``limit``)."""
+        self.offset += len(batch)
+        if len(batch) < limit:
+            self.exhausted = True
+        if batch:
+            self.upper = min(self.upper, batch[-1].score)
+
+    @property
+    def contributed(self) -> bool:
+        """True once the peer has shipped at least one entry."""
+        return self.offset > 0
+
+
+class StreamMerger:
+    """Incremental max-dedup merge with a provable stopping rule.
+
+    Seeded with the initiator's local results (which cost no network
+    traffic), then fed batches as they arrive.  :meth:`still_open`
+    implements the early-termination test; :meth:`topk` produces the
+    final merged ranking, identical to what
+    :func:`~repro.ir.merge.merge_results` computes over the full
+    per-peer result lists.
+    """
+
+    def __init__(self, local: Iterable[ScoredDocument], k: int) -> None:
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        self.k = k
+        self._best: dict[int, float] = {}
+        self.absorb(local)
+
+    def __len__(self) -> int:
+        return len(self._best)
+
+    def absorb(self, entries: Iterable[ScoredDocument]) -> None:
+        """Merge a batch: keep each doc-id's maximum score."""
+        best = self._best
+        for entry in entries:
+            current = best.get(entry.doc_id)
+            if current is None or entry.score > current:
+                best[entry.doc_id] = entry.score
+
+    def threshold(self) -> float | None:
+        """The k-th best merged score, or None with fewer than k docs.
+
+        With fewer than k distinct documents merged, *any* stream could
+        still contribute a top-k entry, so there is no threshold yet.
+        """
+        if len(self._best) < self.k:
+            return None
+        return sorted(self._best.values(), reverse=True)[self.k - 1]
+
+    def still_open(self, stream: StreamState) -> bool:
+        """Must ``stream`` keep shipping batches?
+
+        Closed only when the current k-th merged score strictly exceeds
+        everything the stream could still send.  A tie keeps the stream
+        open: an unseen document at exactly the bound could displace a
+        current member on the doc-id tiebreak.
+        """
+        if stream.exhausted:
+            return False
+        threshold = self.threshold()
+        return threshold is None or not threshold > stream.upper
+
+    def topk(self) -> tuple[ScoredDocument, ...]:
+        """The merged top-k, exactly as ``merge_results`` would rank it."""
+        ranked = sorted(
+            (
+                ScoredDocument(score=score, doc_id=doc_id)
+                for doc_id, score in self._best.items()
+            ),
+            reverse=True,
+        )
+        return tuple(ranked[: self.k])
+
+    def __repr__(self) -> str:
+        return f"StreamMerger(k={self.k}, docs={len(self._best)})"

@@ -49,6 +49,7 @@ from ..minerva.posts import PeerList
 from ..net.cost import CostModel, MessageKinds
 from ..net.latency import LatencyProfile
 from ..routing.base import LocalView, PeerSelector, RoutingContext
+from ..synopses.factory import SynopsisSpec
 from .clock import SimClock, SimFuture, gather, spawn
 from .faults import FaultPlan
 from .rpc import RetryPolicy, RpcHandler, RpcLayer, RpcResult
@@ -360,96 +361,20 @@ class SimNetExecutor:
         engine = self.engine
         started = self.clock.now
         cost = CostModel()
-        initiator = engine.peers[initiator_id]
 
         # Phase 1 — PeerList fetches, all terms in flight concurrently,
         # each routed along its real Chord lookup path.
-        start_node = engine.directory._node_of_peer.get(initiator_id)
-        hops_by_term: dict[str, int] = {}
-        calls = []
-        for term in query.terms:
-            lookup = engine.ring.lookup(term, start_node=start_node)
-            hops_by_term[term] = lookup.hops
-            calls.append(
-                self.rpc.call(
-                    initiator_id,
-                    self._peer_of_node[lookup.owner],
-                    MessageKinds.PEERLIST_FETCH,
-                    payload=term,
-                    request_bits=PEERLIST_REQUEST_BITS,
-                    via=[self._peer_of_node[n] for n in lookup.path[1:-1]],
-                )
-            )
-        responses: list[RpcResult] = yield gather(calls)
-        peer_lists: dict[str, PeerList] = {}
-        failed_terms: list[str] = []
-        directory_attempts = 0
-        directory_fallbacks = 0
-        for term, response in zip(query.terms, responses):
-            directory_attempts += response.attempts
-            cost.record(
-                MessageKinds.DHT_HOP,
-                count=hops_by_term[term] * response.attempts,
-            )
-            if response.ok:
-                peer_lists[term] = response.value
-                cost.record(
-                    MessageKinds.PEERLIST_FETCH,
-                    bits=response.value.size_in_bits,
-                    count=response.attempts,
-                )
-                continue
-            cost.record(MessageKinds.PEERLIST_FETCH, count=response.attempts)
-            if successor_fallback:
-                # Stale route: the owner we looked up no longer answers.
-                # Re-resolve on the (possibly repaired) ring and retry
-                # once at the current owner — or, if that is still the
-                # dead node, at its successor, where the replica lives.
-                target = self._fallback_directory_peer(term, response.peer_id)
-                if target is not None:
-                    directory_fallbacks += 1
-                    retry: RpcResult = yield self.rpc.call(
-                        initiator_id,
-                        target,
-                        MessageKinds.PEERLIST_FETCH,
-                        payload=term,
-                        request_bits=PEERLIST_REQUEST_BITS,
-                    )
-                    directory_attempts += retry.attempts
-                    if retry.ok:
-                        peer_lists[term] = retry.value
-                        cost.record(
-                            MessageKinds.PEERLIST_FETCH,
-                            bits=retry.value.size_in_bits,
-                            count=retry.attempts,
-                        )
-                        continue
-                    cost.record(
-                        MessageKinds.PEERLIST_FETCH, count=retry.attempts
-                    )
-            # Directory unreachable for this term: route with what we
-            # have rather than failing the query.
-            peer_lists[term] = PeerList(
-                term=term, peer_table=engine.directory.peer_table
-            )
-            failed_terms.append(term)
+        fetch = yield from self._fetch_peer_lists(
+            query, initiator_id, cost, successor_fallback
+        )
+        peer_lists, failed_terms, directory_attempts, directory_fallbacks = fetch
 
         # Phase 2 — routing, a local computation at the initiator.
-        local = tuple(
-            initiator.answer_query(query.terms, k=peer_k, conjunctive=conjunctive)
-        )
-        context = RoutingContext(
-            query=query,
-            peer_lists=peer_lists,
-            num_peers=len(engine.peers),
-            spec=engine.spec,
-            initiator=LocalView(
-                peer_id=initiator_id,
-                result_doc_ids=result_ids(local),
-                doc_ids_by_term={
-                    term: initiator.local_doc_ids(term) for term in query.terms
-                },
-            ),
+        context, local = self.make_routing_context(
+            query,
+            initiator_id,
+            peer_lists,
+            peer_k=peer_k,
             conjunctive=conjunctive,
         )
         ranked = tuple(selector.rank(context, max_peers + fallback_spares))
@@ -545,6 +470,137 @@ class SimNetExecutor:
             fallback_attempts=fallback_attempts,
             directory_fallbacks=directory_fallbacks,
         )
+
+    def _fetch_peer_lists(
+        self,
+        query: Query,
+        initiator_id: str,
+        cost: CostModel,
+        successor_fallback: bool,
+    ) -> Generator[
+        SimFuture, Any, tuple[dict[str, PeerList], list[str], int, int]
+    ]:
+        """Phase 1 as a reusable sub-generator: fetch every term's PeerList.
+
+        Issues one PEERLIST_FETCH per query term concurrently, each
+        routed along the real Chord lookup path, charging DHT hops and
+        payload bits to ``cost``.  Returns ``(peer_lists, failed_terms,
+        directory_attempts, directory_fallbacks)``; a term whose
+        directory stayed unreachable contributes an empty PeerList and
+        lands in ``failed_terms``.  Shared by the one-shot query job and
+        the serving front end (:mod:`repro.serving.frontend`), which
+        must pay exactly this traffic on a routing-plan cache miss.
+        """
+        engine = self.engine
+        start_node = engine.directory._node_of_peer.get(initiator_id)
+        hops_by_term: dict[str, int] = {}
+        calls = []
+        for term in query.terms:
+            lookup = engine.ring.lookup(term, start_node=start_node)
+            hops_by_term[term] = lookup.hops
+            calls.append(
+                self.rpc.call(
+                    initiator_id,
+                    self._peer_of_node[lookup.owner],
+                    MessageKinds.PEERLIST_FETCH,
+                    payload=term,
+                    request_bits=PEERLIST_REQUEST_BITS,
+                    via=[self._peer_of_node[n] for n in lookup.path[1:-1]],
+                )
+            )
+        responses: list[RpcResult] = yield gather(calls)
+        peer_lists: dict[str, PeerList] = {}
+        failed_terms: list[str] = []
+        directory_attempts = 0
+        directory_fallbacks = 0
+        for term, response in zip(query.terms, responses):
+            directory_attempts += response.attempts
+            cost.record(
+                MessageKinds.DHT_HOP,
+                count=hops_by_term[term] * response.attempts,
+            )
+            if response.ok:
+                peer_lists[term] = response.value
+                cost.record(
+                    MessageKinds.PEERLIST_FETCH,
+                    bits=response.value.size_in_bits,
+                    count=response.attempts,
+                )
+                continue
+            cost.record(MessageKinds.PEERLIST_FETCH, count=response.attempts)
+            if successor_fallback:
+                # Stale route: the owner we looked up no longer answers.
+                # Re-resolve on the (possibly repaired) ring and retry
+                # once at the current owner — or, if that is still the
+                # dead node, at its successor, where the replica lives.
+                target = self._fallback_directory_peer(term, response.peer_id)
+                if target is not None:
+                    directory_fallbacks += 1
+                    retry: RpcResult = yield self.rpc.call(
+                        initiator_id,
+                        target,
+                        MessageKinds.PEERLIST_FETCH,
+                        payload=term,
+                        request_bits=PEERLIST_REQUEST_BITS,
+                    )
+                    directory_attempts += retry.attempts
+                    if retry.ok:
+                        peer_lists[term] = retry.value
+                        cost.record(
+                            MessageKinds.PEERLIST_FETCH,
+                            bits=retry.value.size_in_bits,
+                            count=retry.attempts,
+                        )
+                        continue
+                    cost.record(
+                        MessageKinds.PEERLIST_FETCH, count=retry.attempts
+                    )
+            # Directory unreachable for this term: route with what we
+            # have rather than failing the query.
+            peer_lists[term] = PeerList(
+                term=term, peer_table=engine.directory.peer_table
+            )
+            failed_terms.append(term)
+        return peer_lists, failed_terms, directory_attempts, directory_fallbacks
+
+    def make_routing_context(
+        self,
+        query: Query,
+        initiator_id: str,
+        peer_lists: dict[str, PeerList],
+        *,
+        peer_k: int,
+        conjunctive: bool,
+        spec: SynopsisSpec | None = None,
+    ) -> tuple[RoutingContext, tuple[ScoredDocument, ...]]:
+        """Assemble the Phase-2 routing context from fetched PeerLists.
+
+        Executes the query locally at the initiator (seeding IQN's
+        reference synopsis) and returns ``(context, local_results)``.
+        ``spec`` overrides the engine's synopsis spec — the serving
+        layer passes a build-memoizing wrapper so reference synopses
+        shared across queries are constructed once.
+        """
+        engine = self.engine
+        initiator = engine.peers[initiator_id]
+        local = tuple(
+            initiator.answer_query(query.terms, k=peer_k, conjunctive=conjunctive)
+        )
+        context = RoutingContext(
+            query=query,
+            peer_lists=peer_lists,
+            num_peers=len(engine.peers),
+            spec=engine.spec if spec is None else spec,
+            initiator=LocalView(
+                peer_id=initiator_id,
+                result_doc_ids=result_ids(local),
+                doc_ids_by_term={
+                    term: initiator.local_doc_ids(term) for term in query.terms
+                },
+            ),
+            conjunctive=conjunctive,
+        )
+        return context, local
 
     def _fallback_directory_peer(self, term: str, dead_peer: str) -> str | None:
         """Where to retry a PeerList fetch after ``dead_peer`` went silent.

@@ -163,3 +163,82 @@ class TestWorkload:
         for outcome in outcomes:
             assert outcome.stale_routes == 0
             assert outcome.substituted_peers == ()
+
+
+class TestDirectoryEvents:
+    """The subscribe() feed the serving layer's caches invalidate off."""
+
+    def collect(self, service):
+        events = []
+        service.subscribe(events.append)
+        return events
+
+    def test_membership_changes_are_emitted(self):
+        service = make_service()
+        events = self.collect(service)
+        run_service(service)
+        kinds = {event.kind for event in events}
+        stats = service.stats
+        if stats.crashes:
+            assert "crash" in kinds
+        if stats.leaves:
+            assert "leave" in kinds
+        if stats.recoveries:
+            assert "recover" in kinds
+        if stats.nodes_evicted:
+            assert "evict" in kinds
+
+    def test_events_carry_virtual_timestamps_in_order(self):
+        service = make_service()
+        events = self.collect(service)
+        run_service(service)
+        assert events
+        times = [event.at_ms for event in events]
+        assert times == sorted(times)
+        assert all(0.0 <= t <= HORIZON_MS for t in times)
+
+    def test_crash_then_evict_for_the_same_peer(self):
+        """A crash's eviction arrives as a separate later event — the
+        crash-detection latency the serving caches must ride out."""
+        service = make_service()
+        events = self.collect(service)
+        run_service(service)
+        for evict in (e for e in events if e.kind == "evict"):
+            # Stabilization only evicts peers whose crash it detected
+            # — strictly after the crash fired (detection latency).
+            assert any(
+                crash.kind == "crash"
+                and crash.peer_id == evict.peer_id
+                and crash.at_ms < evict.at_ms
+                for crash in events
+            )
+
+    def test_recover_reports_the_reposted_terms(self):
+        service = make_service()
+        events = self.collect(service)
+        run_service(service)
+        for event in events:
+            if event.kind == "recover":
+                assert set(event.terms) <= {"apple", "banana"}
+                assert event.terms == tuple(sorted(event.terms))
+
+    def test_unchanged_reposts_are_not_reported(self):
+        """Pure TTL refreshes must not spam listeners: with no churn at
+        all, repost ticks re-publish identical statistics and the feed
+        stays silent."""
+        engine = make_engine()
+        schedule = ChurnSchedule([], horizon_ms=HORIZON_MS)
+        service = ChurnService(
+            engine, schedule, maintenance=MAINTENANCE, seed=3
+        )
+        events = self.collect(service)
+        service.run_workload(
+            QUERIES[:2],
+            IQNRouter(),
+            interarrival_ms=HORIZON_MS / 3,
+            arrivals="uniform",
+            max_peers=2,
+            k=10,
+        )
+        assert service.stats.reposts > 0
+        assert events == []

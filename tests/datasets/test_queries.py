@@ -3,7 +3,7 @@
 import pytest
 
 from repro.datasets.corpus import GovCorpusConfig, topic_vocabulary
-from repro.datasets.queries import Query, make_workload
+from repro.datasets.queries import Query, make_query_log, make_workload
 
 CFG = GovCorpusConfig(
     num_docs=100,
@@ -65,3 +65,44 @@ class TestWorkload:
     def test_pool_beyond_vocabulary_rejected(self):
         with pytest.raises(ValueError, match="too small"):
             make_workload(CFG, pool_offset=49, pool_size=3, max_terms=3)
+
+
+class TestMakeQueryLog:
+    BASE = [Query(i, (f"term{i}", "shared")) for i in range(8)]
+
+    def test_events_are_the_same_query_objects(self):
+        log = make_query_log(self.BASE, num_events=30, seed=4)
+        assert len(log) == 30
+        assert all(any(q is base for base in self.BASE) for q in log)
+
+    def test_reproducible(self):
+        first = make_query_log(self.BASE, num_events=50, zipf_s=1.1, seed=4)
+        second = make_query_log(self.BASE, num_events=50, zipf_s=1.1, seed=4)
+        assert first == second
+
+    def test_seed_changes_the_log(self):
+        assert make_query_log(self.BASE, num_events=50, seed=1) != make_query_log(
+            self.BASE, num_events=50, seed=2
+        )
+
+    def test_skew_concentrates_on_the_head(self):
+        def head_share(zipf_s):
+            log = make_query_log(
+                self.BASE, num_events=400, zipf_s=zipf_s, seed=4
+            )
+            return sum(1 for q in log if q is self.BASE[0]) / len(log)
+
+        assert head_share(2.0) > head_share(1.0) > head_share(0.0)
+
+    def test_zero_skew_is_roughly_uniform(self):
+        log = make_query_log(self.BASE, num_events=800, zipf_s=0.0, seed=4)
+        share = sum(1 for q in log if q is self.BASE[0]) / len(log)
+        assert share == pytest.approx(1 / len(self.BASE), abs=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_query_log([], num_events=10)
+        with pytest.raises(ValueError):
+            make_query_log(self.BASE, num_events=0)
+        with pytest.raises(ValueError):
+            make_query_log(self.BASE, num_events=10, zipf_s=-0.1)

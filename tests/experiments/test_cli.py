@@ -45,6 +45,7 @@ class TestMain:
             "netload",
             "reposting",
             "churn",
+            "serve",
         }
 
     def test_reposting_quick(self):
@@ -58,6 +59,10 @@ class TestMain:
     def test_netload_quick(self):
         text = run_target("netload", quick=True)
         assert "qps" in text and "recall" in text
+
+    def test_serve_quick(self):
+        text = run_target("serve", quick=True)
+        assert "hit rate" in text and "identical" in text
 
     def test_churn_quick(self):
         text = run_target("churn", quick=True)

@@ -1,0 +1,194 @@
+"""Unit tests for the routing-plan and reference-synopsis caches."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.iqn import IQNRouter
+from repro.core.aggregation import PerTermAggregation
+from repro.core.stopping import MaxPeers
+from repro.datasets.queries import Query
+from repro.routing.cori import CoriSelector
+from repro.serving.cache import (
+    CachedPlan,
+    CachingSpec,
+    ReferenceSynopsisCache,
+    RoutingPlanCache,
+    plan_key,
+    selector_signature,
+)
+from repro.synopses.factory import SynopsisSpec
+
+
+def key_for(terms, *, initiator="p00", selector=None):
+    return plan_key(
+        Query(0, tuple(terms)),
+        selector or IQNRouter(),
+        initiator_id=initiator,
+        max_peers=3,
+        fallback_spares=1,
+        conjunctive=False,
+    )
+
+
+def plan_for(*peers, terms=("a", "b"), epoch=0):
+    return CachedPlan(
+        ranked=tuple(peers),
+        bounds={p: 1.0 for p in peers},
+        terms=tuple(sorted(terms)),
+        epoch=epoch,
+    )
+
+
+class TestPlanKey:
+    def test_term_order_is_normalized(self):
+        assert key_for(["b", "a"]) == key_for(["a", "b"])
+
+    def test_distinct_selectors_never_alias(self):
+        assert key_for(["a"]) != key_for(["a"], selector=CoriSelector())
+
+    def test_aggregation_mode_is_part_of_the_key(self):
+        per_peer = selector_signature(IQNRouter())
+        per_term = selector_signature(
+            IQNRouter(aggregation=PerTermAggregation())
+        )
+        assert per_peer != per_term
+
+    def test_initiator_is_part_of_the_key(self):
+        assert key_for(["a"]) != key_for(["a"], initiator="p01")
+
+    def test_selector_configuration_never_aliases(self):
+        """Same class, different ranking-relevant knobs -> distinct keys."""
+        assert selector_signature(CoriSelector(alpha=0.3)) != selector_signature(
+            CoriSelector(alpha=0.5)
+        )
+        assert selector_signature(
+            IQNRouter(stopping=MaxPeers(3))
+        ) != selector_signature(IQNRouter(stopping=MaxPeers(5)))
+        assert selector_signature(
+            IQNRouter(quality_weighted=False)
+        ) != selector_signature(IQNRouter())
+
+
+class TestRoutingPlanCache:
+    def test_miss_then_hit(self):
+        cache = RoutingPlanCache()
+        key = key_for(["a", "b"])
+        assert cache.lookup(key) is None
+        cache.store(key, plan_for("p01", "p02"))
+        assert cache.lookup(key) == plan_for("p01", "p02")
+        stats = cache.stats()
+        assert (stats.hits, stats.misses, stats.size) == (1, 1, 1)
+        assert stats.hit_rate == 0.5
+
+    def test_drop_peer_repairs_plans_in_place(self):
+        cache = RoutingPlanCache()
+        key = key_for(["a", "b"])
+        cache.store(key, plan_for("p01", "p02", "p03"))
+        assert cache.drop_peer("p02") == 1
+        repaired = cache.lookup(key)
+        assert repaired is not None
+        assert repaired.ranked == ("p01", "p03")
+        assert "p02" not in repaired.bounds
+        assert cache.stats().repaired == 1
+
+    def test_drop_peer_invalidates_emptied_plans(self):
+        cache = RoutingPlanCache()
+        key = key_for(["a"])
+        cache.store(key, plan_for("p01"))
+        cache.drop_peer("p01")
+        assert cache.lookup(key) is None
+        assert len(cache) == 0
+        assert cache.stats().invalidated == 1
+
+    def test_drop_peer_leaves_unrelated_plans_alone(self):
+        cache = RoutingPlanCache()
+        touched, untouched = key_for(["a"]), key_for(["b"])
+        cache.store(touched, plan_for("p01", terms=("a",)))
+        cache.store(untouched, plan_for("p02", terms=("b",)))
+        cache.drop_peer("p01")
+        assert cache.lookup(untouched) is not None
+
+    def test_invalidate_term_drops_only_matching_plans(self):
+        cache = RoutingPlanCache()
+        hit_key = key_for(["a", "b"])
+        safe_key = key_for(["c"])
+        cache.store(hit_key, plan_for("p01"))
+        cache.store(safe_key, plan_for("p02", terms=("c",)))
+        assert cache.invalidate_term("b") == 1
+        assert cache.lookup(hit_key) is None
+        assert cache.lookup(safe_key) is not None
+        assert cache.invalidate_term("zzz") == 0
+
+    def test_clear_counts_invalidations(self):
+        cache = RoutingPlanCache()
+        cache.store(key_for(["a"]), plan_for("p01", terms=("a",)))
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats().invalidated == 1
+
+    def test_stats_memo_never_goes_stale(self):
+        cache = RoutingPlanCache()
+        before = cache.stats()
+        cache.lookup(key_for(["a"]))
+        after = cache.stats()
+        assert before.misses == 0
+        assert after.misses == 1
+
+
+class TestReferenceSynopsisCache:
+    SPEC = SynopsisSpec.parse("mips-16")
+
+    def test_build_is_memoized_by_content(self):
+        cache = ReferenceSynopsisCache(self.SPEC)
+        first = cache.build([1, 2, 3])
+        second = cache.build([3, 2, 1])  # same set, different order
+        assert first is second
+        stats = cache.stats()
+        assert (stats.hits, stats.misses) == (1, 1)
+
+    def test_built_values_match_the_plain_spec(self):
+        cache = ReferenceSynopsisCache(self.SPEC)
+        assert cache.build([5, 7]) == self.SPEC.build([5, 7])
+
+    def test_epoch_bump_invalidates(self):
+        cache = ReferenceSynopsisCache(self.SPEC)
+        first = cache.build([1])
+        assert cache.bump_epoch() == 1
+        assert len(cache) == 0
+        second = cache.build([1])
+        assert second is not first
+        assert second == first
+
+    def test_distinct_sets_get_distinct_entries(self):
+        cache = ReferenceSynopsisCache(self.SPEC)
+        cache.build([1])
+        cache.build([2])
+        assert len(cache) == 2
+        assert cache.stats().misses == 2
+
+
+class TestCachingSpec:
+    SPEC = SynopsisSpec.parse("mips-16")
+
+    def test_build_goes_through_the_cache(self):
+        cache = ReferenceSynopsisCache(self.SPEC)
+        spec = CachingSpec(cache)
+        assert spec.build([1, 2]) is spec.build([2, 1])
+        assert cache.stats().hits == 1
+
+    def test_configuration_fields_match_the_wrapped_spec(self):
+        spec = CachingSpec(ReferenceSynopsisCache(self.SPEC))
+        assert spec.kind == self.SPEC.kind
+        assert spec.parameter == self.SPEC.parameter
+        assert spec.label == self.SPEC.label
+        assert spec.size_in_bits == self.SPEC.size_in_bits
+
+    def test_build_values_equal_the_plain_spec(self):
+        spec = CachingSpec(ReferenceSynopsisCache(self.SPEC))
+        assert spec.build([9, 11]) == self.SPEC.build([9, 11])
+
+    def test_still_frozen(self):
+        spec = CachingSpec(ReferenceSynopsisCache(self.SPEC))
+        with pytest.raises(Exception):
+            spec.parameter = 99  # type: ignore[misc]

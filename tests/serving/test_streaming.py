@@ -1,0 +1,175 @@
+"""Streamed top-k: stopping-rule safety and merge_results bit-identity."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir.merge import merge_results
+from repro.ir.topk import ScoredDocument
+from repro.serving.streaming import (
+    StreamMerger,
+    StreamState,
+    synopsis_upper_bound,
+)
+
+
+def docs(*pairs):
+    return [ScoredDocument(score=s, doc_id=d) for s, d in pairs]
+
+
+class TestSynopsisUpperBound:
+    def test_dominates_the_plain_sum(self):
+        scores = [0.31, 1.7, 0.05]
+        assert synopsis_upper_bound(scores) > sum(scores)
+
+    def test_dominates_any_accumulation_order(self):
+        import itertools
+
+        scores = [0.1, 0.2, 0.3, 1e-12, 7.77]
+        bound = synopsis_upper_bound(scores)
+        for order in itertools.permutations(scores):
+            running = 0.0
+            for s in order:
+                running += s
+            assert running <= bound
+
+    def test_empty_is_padded_zero(self):
+        assert synopsis_upper_bound([]) == pytest.approx(0.0, abs=1e-8)
+
+
+class TestStreamState:
+    def test_full_batch_advances_and_tightens_the_bound(self):
+        stream = StreamState("p01", upper=10.0)
+        stream.note_batch(docs((5.0, 1), (3.0, 2)), limit=2)
+        assert stream.offset == 2
+        assert not stream.exhausted
+        assert stream.upper == 3.0
+        assert stream.contributed
+
+    def test_short_batch_exhausts(self):
+        stream = StreamState("p01", upper=10.0)
+        stream.note_batch(docs((5.0, 1)), limit=2)
+        assert stream.exhausted
+
+    def test_empty_batch_exhausts_without_contributing(self):
+        stream = StreamState("p01", upper=10.0)
+        stream.note_batch([], limit=2)
+        assert stream.exhausted
+        assert not stream.contributed
+        assert stream.upper == 10.0
+
+    def test_bound_never_loosens(self):
+        stream = StreamState("p01", upper=2.0)
+        stream.note_batch(docs((9.0, 1), (8.0, 2)), limit=2)
+        assert stream.upper == 2.0
+
+
+class TestStreamMerger:
+    def test_rejects_nonpositive_k(self):
+        with pytest.raises(ValueError):
+            StreamMerger([], 0)
+
+    def test_threshold_is_none_below_k_docs(self):
+        merger = StreamMerger(docs((1.0, 1)), 2)
+        assert merger.threshold() is None
+
+    def test_threshold_is_the_kth_best(self):
+        merger = StreamMerger(docs((3.0, 1), (2.0, 2), (1.0, 3)), 2)
+        assert merger.threshold() == 2.0
+
+    def test_absorb_keeps_the_max_per_doc(self):
+        merger = StreamMerger(docs((1.0, 7)), 1)
+        merger.absorb(docs((4.0, 7)))
+        merger.absorb(docs((2.0, 7)))
+        assert merger.topk() == (ScoredDocument(score=4.0, doc_id=7),)
+
+    def test_tie_with_the_bound_keeps_the_stream_open(self):
+        """An unseen doc at exactly the bound could win the doc-id
+        tiebreak, so `threshold == upper` must NOT close the stream."""
+        merger = StreamMerger(docs((2.0, 1), (2.0, 2)), 2)
+        assert merger.threshold() == 2.0
+        assert merger.still_open(StreamState("p01", upper=2.0))
+        assert not merger.still_open(StreamState("p01", upper=1.999))
+
+    def test_exhausted_stream_is_closed(self):
+        merger = StreamMerger([], 2)
+        assert not merger.still_open(
+            StreamState("p01", upper=99.0, exhausted=True)
+        )
+
+    def test_no_threshold_keeps_every_stream_open(self):
+        merger = StreamMerger([], 2)
+        assert merger.still_open(StreamState("p01", upper=0.0))
+
+    def test_topk_matches_merge_results(self):
+        lists = [docs((2.0, 1), (2.0, 3)), docs((2.0, 2), (1.0, 1))]
+        merger = StreamMerger(lists[0], 3)
+        merger.absorb(lists[1])
+        assert merger.topk() == tuple(merge_results(lists, k=3))
+
+
+def simulate_stream(per_peer, k, batch_size):
+    """Drive the exact serving loop shape over in-memory sorted lists.
+
+    Each peer's list plays the role of its score-sorted stream; the
+    initial upper bound is the padded top score (what a tight synopsis
+    bound would predict).  Returns (topk, total entries shipped).
+    """
+    merger = StreamMerger([], k)
+    streams = {}
+    for peer_id, entries in per_peer.items():
+        upper = synopsis_upper_bound([entries[0].score]) if entries else 0.0
+        streams[peer_id] = StreamState(peer_id, upper=upper)
+    shipped = 0
+    while True:
+        active = [s for s in streams.values() if merger.still_open(s)]
+        if not active:
+            break
+        for stream in active:
+            entries = per_peer[stream.peer_id]
+            batch = entries[stream.offset : stream.offset + batch_size]
+            merger.absorb(batch)
+            stream.note_batch(batch, batch_size)
+            shipped += len(batch)
+    return merger.topk(), shipped
+
+
+@st.composite
+def peer_result_lists(draw):
+    """2-4 peers, each with a score-sorted list over a small doc space
+    (overlap and score ties are likely by construction)."""
+    num_peers = draw(st.integers(min_value=2, max_value=4))
+    per_peer = {}
+    for p in range(num_peers):
+        entries = draw(
+            st.lists(
+                st.tuples(
+                    st.sampled_from([0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 3.0]),
+                    st.integers(min_value=0, max_value=12),
+                ),
+                max_size=10,
+                unique_by=lambda pair: pair[1],
+            )
+        )
+        per_peer[f"p{p:02d}"] = sorted(
+            (ScoredDocument(score=s, doc_id=d) for s, d in entries),
+            reverse=True,
+        )
+    return per_peer
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    per_peer=peer_result_lists(),
+    k=st.integers(min_value=1, max_value=6),
+    batch_size=st.integers(min_value=1, max_value=4),
+)
+def test_streamed_topk_is_bit_identical_to_full_merge(per_peer, k, batch_size):
+    """Property: for ANY peers/scores/k/batch size, early termination
+    never changes the answer — only how many entries are shipped."""
+    expected = tuple(merge_results(per_peer.values(), k=k))
+    streamed, shipped = simulate_stream(per_peer, k, batch_size)
+    assert streamed == expected
+    assert shipped <= sum(len(entries) for entries in per_peer.values())

@@ -17,6 +17,7 @@ SUBPACKAGES = [
     "repro.core",
     "repro.experiments",
     "repro.simnet",
+    "repro.serving",
 ]
 
 

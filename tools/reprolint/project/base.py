@@ -46,6 +46,7 @@ class ProjectContracts:
     #: experiment results, anything compared across serial/pooled runs.
     result_sinks: tuple[str, ...] = (
         "repro.experiments.*",
+        "repro.serving.*",
     )
     #: Callables whose *arguments* become fingerprints or wire bytes; a
     #: tainted argument here corrupts a content-addressed cache key or a

@@ -23,7 +23,7 @@ from ..registry import Rule, register_rule
 __all__ = ["MutatingMethodMustInvalidateCache", "MEMO_SLOT_NAMES"]
 
 #: Instance attributes treated as memo caches of derived state.
-MEMO_SLOT_NAMES = frozenset({"_cardinality", "_bit_count"})
+MEMO_SLOT_NAMES = frozenset({"_cardinality", "_bit_count", "_stats_memo"})
 
 #: Methods allowed to assign state without invalidation: constructors
 #: and copy/pickle plumbing that rebuilds instances from scratch.
