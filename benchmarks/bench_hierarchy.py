@@ -1,0 +1,153 @@
+"""HIERARCHY — flat vs. super-peer routing on 1k–100k-peer directories.
+
+Not a paper figure: this is the acceptance gate for the hierarchical
+routing tier (:mod:`repro.topology`).  For each network size it builds
+one :class:`~repro.datasets.scale.ScaledTestbed` and routes the same
+topical workload through ``FlatTopology`` and ``SuperPeerTopology``
+over the same directory, recording coverage recall, directory messages,
+bits, and DHT hops per query (see
+:mod:`repro.experiments.hierarchy` for the accounting rules).
+
+The claim under test: **at 10k peers and above, two-phase super-peer
+routing spends strictly fewer messages per query at essentially the
+same recall** (within ``RECALL_EPS``), and eliminates per-term DHT hop
+chains entirely.
+
+Results land in ``benchmarks/results/BENCH_hierarchy.json`` alongside a
+readable table in ``hierarchy.txt``.
+
+CI runs this module with ``BENCH_HIERARCHY_QUICK=1``, which caps the
+sweep at 10k peers so every PR exercises the super-peer tier at scale
+in seconds; the full 100k sweep is a local/nightly run.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.hierarchy import hierarchy_sweep
+from repro.experiments.report import format_table
+
+from _util import save_result, update_json_result
+
+QUICK = bool(os.environ.get("BENCH_HIERARCHY_QUICK"))
+
+SIZES = (1_000, 10_000) if QUICK else (1_000, 10_000, 100_000)
+NUM_QUERIES = 12 if QUICK else 20
+SEED = 11
+#: Recall a super-peer cell may give up and still count as "fixed".
+RECALL_EPS = 0.02
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    points = hierarchy_sweep(SIZES, num_queries=NUM_QUERIES, seed=SEED)
+    rows = [
+        {
+            "peers": p.num_peers,
+            "topology": p.topology,
+            "recall": round(p.mean_recall, 4),
+            "messages": round(p.mean_messages, 2),
+            "kbits": round(p.mean_kbits, 2),
+            "dht_hops": round(p.mean_dht_hops, 2),
+            "super_fetches": round(p.mean_super_fetches, 2),
+            "scope": round(p.mean_scope, 1),
+        }
+        for p in points
+    ]
+    table = format_table(
+        [
+            "peers",
+            "topology",
+            "recall",
+            "msgs/q",
+            "kbits/q",
+            "hops/q",
+            "fetches/q",
+            "scope",
+        ],
+        [
+            [
+                r["peers"],
+                r["topology"],
+                r["recall"],
+                r["messages"],
+                r["kbits"],
+                r["dht_hops"],
+                r["super_fetches"],
+                r["scope"],
+            ]
+            for r in rows
+        ],
+    )
+    suffix = "_quick" if QUICK else ""
+    save_result(f"hierarchy{suffix}", table)
+    update_json_result(
+        "BENCH_hierarchy",
+        "quick" if QUICK else "full",
+        {
+            "sizes": list(SIZES),
+            "num_queries": NUM_QUERIES,
+            "seed": SEED,
+            "recall_eps": RECALL_EPS,
+            "cells": rows,
+        },
+    )
+    return points
+
+
+def _paired(points):
+    """(flat, super-peer) per size, in sweep order."""
+    by_size = {}
+    for point in points:
+        by_size.setdefault(point.num_peers, {})[point.topology] = point
+    return [
+        (cell["flat"], cell["super-peer"]) for cell in by_size.values()
+    ]
+
+
+def test_sweep_covers_both_topologies_at_every_size(sweep):
+    assert len(sweep) == 2 * len(SIZES)
+    assert {p.num_peers for p in sweep} == set(SIZES)
+    pairs = _paired(sweep)
+    assert len(pairs) == len(SIZES)
+
+
+def test_superpeer_fewer_messages_at_fixed_recall(sweep):
+    """Acceptance: >= 1 cell at >= 10k peers with strictly fewer
+    messages and recall within RECALL_EPS of flat."""
+    wins = [
+        (flat, sp)
+        for flat, sp in _paired(sweep)
+        if flat.num_peers >= 10_000
+        and sp.mean_messages < flat.mean_messages
+        and sp.mean_recall >= flat.mean_recall - RECALL_EPS
+    ]
+    assert wins, [
+        (p.topology, p.num_peers, p.mean_messages, p.mean_recall)
+        for p in sweep
+    ]
+
+
+def test_superpeer_beats_flat_everywhere_on_messages(sweep):
+    for flat, sp in _paired(sweep):
+        assert sp.mean_messages < flat.mean_messages, (flat, sp)
+
+
+def test_superpeer_skips_dht_hop_chains(sweep):
+    """Two-phase routing asks its super-peer directly: zero DHT hops,
+    while flat pays a hop chain per term lookup."""
+    for flat, sp in _paired(sweep):
+        assert sp.mean_dht_hops == 0.0, sp
+        assert flat.mean_dht_hops > 0.0, flat
+        assert sp.mean_super_fetches > 0.0, sp
+
+
+def test_sweep_is_deterministic_per_cell(sweep):
+    """Re-running the smallest cell reproduces its two rows exactly."""
+    smallest = min(SIZES)
+    again = hierarchy_sweep((smallest,), num_queries=NUM_QUERIES, seed=SEED)
+    original = [p for p in sweep if p.num_peers == smallest]
+    assert again == original

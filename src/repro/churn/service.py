@@ -72,13 +72,19 @@ class DirectoryEvent:
       for ``terms`` (pure TTL refreshes are not reported);
     - ``expire`` — a TTL sweep dropped stale Posts for ``terms``;
     - ``evict`` — stabilization evicted ``peer_id``'s directory node
-      and re-replicated its key range.
+      and re-replicated its key range;
+    - ``reelect`` — a hierarchical topology re-elected a super-peer
+      after its predecessor went down: ``peer_id`` is the *new* super,
+      ``members`` the cluster's surviving peers, ``terms`` the terms
+      whose merged cluster synopses were rebuilt.  Serving caches use
+      ``members`` to invalidate exactly the affected cluster's plans.
     """
 
     kind: str
     at_ms: float
     peer_id: str = ""
     terms: tuple[str, ...] = ()
+    members: tuple[str, ...] = ()
 
 
 @dataclass
@@ -137,6 +143,9 @@ class ChurnService:
         self.stats = ChurnStats()
         #: Crashed peers whose ring nodes stabilization has not yet evicted.
         self._pending_eviction: list[str] = []
+        #: Crashed peers the topology has not yet been told about —
+        #: super-peer re-election shares the crash *detection* latency.
+        self._pending_reelection: list[str] = []
         self._listeners: list[Callable[[DirectoryEvent], None]] = []
         self._schedule_all()
 
@@ -150,15 +159,34 @@ class ChurnService:
         """
         self._listeners.append(listener)
 
+    def unsubscribe(self, listener: Callable[[DirectoryEvent], None]) -> None:
+        """Remove a previously subscribed listener.
+
+        Raises ``ValueError`` if the listener was never subscribed (or
+        was already removed) — silently ignoring that hides double-
+        unsubscribe bugs in cache wiring.
+        """
+        self._listeners.remove(listener)
+
     def _emit(
-        self, kind: str, *, peer_id: str = "", terms: tuple[str, ...] = ()
+        self,
+        kind: str,
+        *,
+        peer_id: str = "",
+        terms: tuple[str, ...] = (),
+        members: tuple[str, ...] = (),
     ) -> None:
         if not self._listeners:
             return
         event = DirectoryEvent(
-            kind=kind, at_ms=self.clock.now, peer_id=peer_id, terms=terms
+            kind=kind,
+            at_ms=self.clock.now,
+            peer_id=peer_id,
+            terms=terms,
+            members=members,
         )
-        for listener in self._listeners:
+        # Snapshot: a listener may unsubscribe itself mid-dispatch.
+        for listener in list(self._listeners):
             listener(event)
 
     @property
@@ -226,6 +254,8 @@ class ChurnService:
             return
         self.executor.transport.crash(peer_id)
         self._pending_eviction.append(peer_id)
+        if self.engine.topology.hierarchical:
+            self._pending_reelection.append(peer_id)
         self.stats.crashes += 1
         self._emit("crash", peer_id=peer_id)
 
@@ -244,6 +274,9 @@ class ChurnService:
         self.executor.transport.crash(peer_id)
         self.stats.leaves += 1
         self._emit("leave", peer_id=peer_id)
+        # Graceful departure is announced, so the topology reacts now
+        # (a crash waits for stabilization to *detect* it).
+        self._notify_topology_down(peer_id)
 
     def _recover(self, peer_id: str) -> None:
         """Return: transport up, ring rejoin (if evicted), fresh Posts."""
@@ -254,6 +287,11 @@ class ChurnService:
             # Crashed and back before stabilization noticed: the node
             # (store intact) never left the ring; nothing to repair.
             self._pending_eviction.remove(peer_id)
+        if peer_id in self._pending_reelection:
+            # Back before detection: the topology never saw it down.
+            self._pending_reelection.remove(peer_id)
+        else:
+            self.engine.topology.handle_peer_up(peer_id)
         self.stats.reposts += self._charged(
             lambda: self.maintainer.rejoin(peer_id, self.clock.now)
         )
@@ -270,6 +308,17 @@ class ChurnService:
                 )
             ),
         )
+
+    def _notify_topology_down(self, peer_id: str) -> None:
+        """Tell the topology a peer is gone; emit ``reelect`` if it acted."""
+        reelection = self.engine.topology.handle_peer_down(peer_id)
+        if reelection is not None:
+            self._emit(
+                "reelect",
+                peer_id=reelection.new_super,
+                terms=reelection.terms,
+                members=reelection.members,
+            )
 
     # -- maintenance ticks -------------------------------------------------
 
@@ -300,6 +349,13 @@ class ChurnService:
             self.stats.keys_re_replicated += copied
             for peer_id in pending:
                 self._emit("evict", peer_id=peer_id)
+        if self._pending_reelection:
+            # Detection fires here, so re-election shares the eviction
+            # latency; sorted order keeps same-tick processing
+            # deterministic regardless of crash insertion order.
+            for peer_id in sorted(self._pending_reelection):
+                self._notify_topology_down(peer_id)
+            self._pending_reelection.clear()
         expired = self.maintainer.sweep_detailed(self.clock.now)
         self.stats.posts_expired += len(expired)
         if expired:

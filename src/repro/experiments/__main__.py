@@ -61,6 +61,7 @@ TARGETS = (
     "reposting",
     "churn",
     "serve",
+    "hierarchy",
 )
 
 
@@ -98,6 +99,42 @@ def run_target(
         return format_error_points(points, x_name="mutual overlap")
     if target == "matrix":
         return format_capability_matrix()
+    if target == "hierarchy":
+        from .hierarchy import hierarchy_sweep
+        from .report import format_table
+
+        points = hierarchy_sweep(
+            (300, 1_000) if quick else (1_000, 10_000),
+            num_queries=6 if quick else 20,
+            spec_label="bf-512" if quick else "bf-2048",
+            seed=11,
+            runner=runner,
+        )
+        return format_table(
+            [
+                "peers",
+                "topology",
+                "recall",
+                "msgs/q",
+                "kbits/q",
+                "hops/q",
+                "super fetches/q",
+                "scope",
+            ],
+            [
+                [
+                    p.num_peers,
+                    p.topology,
+                    round(p.mean_recall, 3),
+                    round(p.mean_messages, 1),
+                    round(p.mean_kbits, 1),
+                    round(p.mean_dht_hops, 1),
+                    round(p.mean_super_fetches, 1),
+                    round(p.mean_scope, 1),
+                ]
+                for p in points
+            ],
+        )
     config, num_queries, pool, offset, k, peer_k = _fig3_setup(quick)
     if target == "reposting":
         from .report import format_table

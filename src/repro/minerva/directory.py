@@ -191,6 +191,17 @@ class Directory:
         )
         return batch
 
+    def stored_list(self, term: str) -> PeerList | None:
+        """The stored PeerList for ``term`` without charging any cost.
+
+        Maintenance-path read: topology builds (cluster synopses,
+        super-peer elections) and churn repairs consume directory state
+        in place; only *query-time* fetches pay routing and payload.
+        """
+        lookup = self.ring.lookup(term)
+        stored = self.ring.node(lookup.owner).store.get(self.ring.key_id(term))
+        return stored if isinstance(stored, PeerList) else None
+
     def stored_terms(self) -> set[str]:
         """All terms any node currently stores (diagnostic helper)."""
         terms: set[str] = set()

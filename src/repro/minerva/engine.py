@@ -45,6 +45,7 @@ if TYPE_CHECKING:  # annotation only — avoids core/simnet import cycles
     from ..simnet.executor import NetworkedQueryOutcome
     from ..simnet.faults import FaultPlan
     from ..simnet.rpc import RetryPolicy
+    from ..topology.base import RoutingTopology
 
 __all__ = ["QueryOutcome", "MinervaEngine"]
 
@@ -82,6 +83,11 @@ class QueryOutcome:
     #: Routing work counters from the selector's last rank call (selectors
     #: without instrumentation — anything but IQNRouter — leave this None).
     routing_stats: "RoutingStats | None" = field(default=None, repr=False)
+    #: Clusters selected in phase one when routing through a hierarchical
+    #: topology (empty on the flat topology).
+    clusters_ranked: tuple[str, ...] = ()
+    #: Messages answered by super-peers while assembling this query.
+    super_fetches: int = 0
 
     @property
     def final_recall(self) -> float:
@@ -102,6 +108,7 @@ class MinervaEngine:
         ring_bits: int = DEFAULT_ID_BITS,
         indexes: list[InvertedIndex] | None = None,
         reference_index: InvertedIndex | None = None,
+        topology: "RoutingTopology | None" = None,
     ) -> None:
         if not collections:
             raise ValueError("an engine needs at least one collection")
@@ -139,6 +146,19 @@ class MinervaEngine:
         self._scorer = scorer
         self._published_terms: set[str] = set()
         self._departed: set[str] = set()
+        if topology is None:
+            # Late import: repro.topology imports minerva.posts, which
+            # pulls in this module via the package __init__.
+            from ..topology.flat import FlatTopology
+
+            topology = FlatTopology()
+        self.topology = topology
+        self.topology.bind(self)
+
+    @property
+    def num_peers(self) -> int:
+        """Current network size (the TopologyHost contract)."""
+        return len(self.peers)
 
     # -- directory population ---------------------------------------------------
 
@@ -217,6 +237,8 @@ class MinervaEngine:
         # The union of collections changed; the reference engine must be
         # rebuilt lazily on next access.
         self._reference_index = None
+        self._departed.discard(peer_id)
+        self.topology.handle_peer_up(peer_id)
         return peer
 
     def remove_peer(self, peer_id: str, *, purge_posts: bool = True) -> None:
@@ -236,6 +258,9 @@ class MinervaEngine:
         self._reference_index = None
         # Keep a tombstone view so executions skip the dead peer.
         self._departed.add(peer_id)
+        # Hierarchical topologies rebuild the cluster entry and re-elect
+        # if the departed peer was a super-peer (no-op on FlatTopology).
+        self.topology.handle_peer_down(peer_id)
         _ = peer  # the object dies with its last reference
 
     def grow_peer(
@@ -307,6 +332,27 @@ class MinervaEngine:
 
     # -- query pipeline --------------------------------------------------------------
 
+    def local_view(
+        self,
+        query: Query,
+        initiator_id: str,
+        *,
+        k: int = 50,
+        conjunctive: bool = False,
+    ) -> LocalView:
+        """The initiator's local knowledge (seeds the reference synopsis)."""
+        initiator = self._get_peer(initiator_id)
+        local_result = initiator.answer_query(
+            query.terms, k=k, conjunctive=conjunctive
+        )
+        return LocalView(
+            peer_id=initiator_id,
+            result_doc_ids=result_ids(local_result),
+            doc_ids_by_term={
+                term: initiator.local_doc_ids(term) for term in query.terms
+            },
+        )
+
     def make_context(
         self,
         query: Query,
@@ -316,58 +362,33 @@ class MinervaEngine:
         conjunctive: bool = False,
         peer_list_limit: int | None = None,
         peer_list_batch_size: int = 8,
+        max_peers: int | None = None,
     ) -> RoutingContext:
-        """Fetch PeerLists and assemble the routing context (Section 4).
+        """Assemble the routing context via the topology (Section 4).
 
-        With ``peer_list_limit`` set, the initiator does not pull the
-        complete PeerLists: it runs the distributed top-k algorithm of
-        :mod:`repro.minerva.topk_peers` to fetch only enough
-        quality-ordered batches to determine the best ``peer_list_limit``
-        peers, and routing sees those partial lists.  (CORI's ``cf_t``
-        then reflects the fetched portion — the approximation the paper
-        accepts "for efficiency reasons".)
+        The topology owns candidate assembly: :class:`FlatTopology`
+        fetches one full PeerList per term (or, with ``peer_list_limit``,
+        the distributed quality-ordered top-k fetch of
+        :mod:`repro.minerva.topk_peers`, whose partial lists routing then
+        sees — the approximation the paper accepts "for efficiency
+        reasons").  A hierarchical topology instead ranks clusters and
+        returns only the winning clusters' member posts; ``max_peers``
+        lets it derive its cluster budget from the query's peer budget.
         """
-        initiator = self._get_peer(initiator_id)
-        if peer_list_limit is not None:
-            from .topk_peers import fetch_top_k_peers
-
-            result = fetch_top_k_peers(
-                self.directory,
-                query.terms,
-                peer_list_limit,
-                batch_size=peer_list_batch_size,
-                requester=initiator_id,
-            )
-            peer_lists = {}
-            for term in query.terms:
-                partial = PeerList(
-                    term=term, peer_table=self.directory.peer_table
-                )
-                for post in result.posts_by_term.get(term, {}).values():
-                    partial.add(post)
-                peer_lists[term] = partial
-        else:
-            peer_lists = {
-                term: self.directory.peer_list(term, requester=initiator_id)
-                for term in query.terms
-            }
-        local_result = initiator.answer_query(
-            query.terms, k=k, conjunctive=conjunctive
+        local_view = self.local_view(
+            query, initiator_id, k=k, conjunctive=conjunctive
         )
-        local_view = LocalView(
-            peer_id=initiator_id,
-            result_doc_ids=result_ids(local_result),
-            doc_ids_by_term={
-                term: initiator.local_doc_ids(term) for term in query.terms
-            },
-        )
-        return RoutingContext(
-            query=query,
-            peer_lists=peer_lists,
-            num_peers=len(self.peers),
-            spec=self.spec,
+        scoped = self.topology.assemble(
+            query,
+            requester=initiator_id,
             initiator=local_view,
             conjunctive=conjunctive,
+            max_peers=max_peers,
+            peer_list_limit=peer_list_limit,
+            peer_list_batch_size=peer_list_batch_size,
+        )
+        return self.topology.context_for(
+            query, scoped, initiator=local_view, conjunctive=conjunctive
         )
 
     def execute(
@@ -433,15 +454,22 @@ class MinervaEngine:
             peer_ids = sorted(self.peers)
             initiator_id = peer_ids[query.query_id % len(peer_ids)]
         before = self.cost.snapshot()
-        context = self.make_context(
+        local_view = self.local_view(
+            query, initiator_id, k=peer_k, conjunctive=conjunctive
+        )
+        scoped = self.topology.assemble(
             query,
-            initiator_id=initiator_id,
-            k=peer_k,
+            requester=initiator_id,
+            initiator=local_view,
             conjunctive=conjunctive,
+            max_peers=max_peers,
             peer_list_limit=peer_list_limit,
         )
-        selected = selector.rank(context, max_peers)
-        routing_stats = getattr(selector, "last_stats", None)
+        context = self.topology.context_for(
+            query, scoped, initiator=local_view, conjunctive=conjunctive
+        )
+        plan = self.topology.plan(context, scoped, selector, max_peers)
+        selected = list(plan.selected)
         per_peer = self.execute(query, selected, k=peer_k, conjunctive=conjunctive)
         cost = self.cost.snapshot() - before
 
@@ -474,7 +502,9 @@ class MinervaEngine:
             reference_ids=reference,
             cost=cost,
             per_peer_results=per_peer,
-            routing_stats=routing_stats,
+            routing_stats=plan.routing_stats,
+            clusters_ranked=plan.clusters_ranked,
+            super_fetches=plan.super_fetches,
         )
 
     def run_query_networked(

@@ -16,6 +16,10 @@ Message kinds used by the stack:
 - ``result_return``   — a queried peer shipping its local top-k back
 - ``result_batch``    — one score-sorted result batch on the streamed
   serving path (:mod:`repro.serving`), replacing a full result_return
+- ``cluster_fetch``   — the initiator pulling the per-term cluster
+  directory from its super-peer (:mod:`repro.topology`)
+- ``member_fetch``    — one winning cluster's super-peer shipping its
+  members' restricted PeerList entries back
 """
 
 from __future__ import annotations
@@ -36,6 +40,8 @@ class MessageKinds:
     QUERY_FORWARD = "query_forward"
     RESULT_RETURN = "result_return"
     RESULT_BATCH = "result_batch"
+    CLUSTER_FETCH = "cluster_fetch"
+    MEMBER_FETCH = "member_fetch"
 
 
 @dataclass(frozen=True)

@@ -138,6 +138,8 @@ class CacheStats:
     size: int
     invalidated: int = 0
     repaired: int = 0
+    #: Entries dropped by the LRU size cap (0 on unbounded caches).
+    evicted: int = 0
 
     @property
     def lookups(self) -> int:
@@ -168,7 +170,13 @@ class RoutingPlanCache:
       now be wrong, so the next occurrence re-routes cold.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, *, max_plans: int | None = None) -> None:
+        if max_plans is not None and max_plans <= 0:
+            raise ValueError(f"max_plans must be positive, got {max_plans}")
+        #: Size cap; ``None`` keeps the cache unbounded (historical
+        #: behavior).  The plans dict doubles as the LRU order: hits and
+        #: stores move the key to the end, eviction pops the front.
+        self.max_plans = max_plans
         self._plans: dict[PlanKey, CachedPlan] = {}
         self._keys_by_peer: dict[str, set[PlanKey]] = {}
         self._keys_by_term: dict[str, set[PlanKey]] = {}
@@ -176,6 +184,7 @@ class RoutingPlanCache:
         self._misses = 0
         self._invalidated = 0
         self._repaired = 0
+        self._evicted = 0
         self._stats_memo: CacheStats | None = None
 
     def __len__(self) -> int:
@@ -188,6 +197,9 @@ class RoutingPlanCache:
             self._misses += 1
         else:
             self._hits += 1
+            # Refresh recency: re-insertion moves the key to the end.
+            del self._plans[key]
+            self._plans[key] = plan
         self._stats_memo = None
         return plan
 
@@ -195,11 +207,17 @@ class RoutingPlanCache:
         """Cache ``plan`` under ``key`` (replacing any previous entry)."""
         if key in self._plans:
             self._unindex(key)
+            del self._plans[key]
         self._plans[key] = plan
         for peer_id in plan.ranked:
             self._keys_by_peer.setdefault(peer_id, set()).add(key)
         for term in key.terms:
             self._keys_by_term.setdefault(term, set()).add(key)
+        while self.max_plans is not None and len(self._plans) > self.max_plans:
+            oldest = next(iter(self._plans))
+            self._unindex(oldest)
+            del self._plans[oldest]
+            self._evicted += 1
         self._stats_memo = None
 
     def drop_peer(self, peer_id: str) -> int:
@@ -249,6 +267,27 @@ class RoutingPlanCache:
         """:meth:`invalidate_term` over several terms; returns the total."""
         return sum(self.invalidate_term(term) for term in terms)
 
+    def invalidate_peers(self, peer_ids: Iterable[str]) -> int:
+        """Drop every plan routing to *any* of ``peer_ids`` entirely.
+
+        Unlike :meth:`drop_peer` (which repairs a plan around one dead
+        peer), this is for cluster-level upheaval — a super-peer
+        re-election changed which candidates a scoped plan should have
+        seen, so every plan touching the affected cluster's members must
+        re-route cold.  Returns the number of plans invalidated.
+        """
+        keys: set[PlanKey] = set()
+        for peer_id in peer_ids:
+            keys |= self._keys_by_peer.get(peer_id, set())
+        dropped = 0
+        for key in sorted(keys, key=lambda k: (k.terms, k.initiator_id)):
+            self._unindex(key)
+            del self._plans[key]
+            self._invalidated += 1
+            dropped += 1
+        self._stats_memo = None
+        return dropped
+
     def clear(self) -> None:
         """Drop every plan (counters are kept)."""
         self._invalidated += len(self._plans)
@@ -284,6 +323,7 @@ class RoutingPlanCache:
                 size=len(self._plans),
                 invalidated=self._invalidated,
                 repaired=self._repaired,
+                evicted=self._evicted,
             )
         return self._stats_memo
 
@@ -305,12 +345,22 @@ class ReferenceSynopsisCache:
     id-sets a change affected.
     """
 
-    def __init__(self, spec: SynopsisSpec) -> None:
+    def __init__(
+        self, spec: SynopsisSpec, *, max_entries: int | None = None
+    ) -> None:
+        if max_entries is not None and max_entries <= 0:
+            raise ValueError(
+                f"max_entries must be positive, got {max_entries}"
+            )
         self.spec = spec
+        #: Size cap; ``None`` keeps the cache unbounded.  Entries evict
+        #: in LRU order (the dict doubles as the recency list).
+        self.max_entries = max_entries
         self._epoch = 0
         self._synopses: dict[tuple[int, frozenset[int]], SetSynopsis] = {}
         self._hits = 0
         self._misses = 0
+        self._evicted = 0
         self._stats_memo: CacheStats | None = None
 
     @property
@@ -326,11 +376,20 @@ class ReferenceSynopsisCache:
         cached = self._synopses.get(key)
         if cached is not None:
             self._hits += 1
+            # Refresh recency: re-insertion moves the key to the end.
+            del self._synopses[key]
+            self._synopses[key] = cached
             self._stats_memo = None
             return cached
         self._misses += 1
         synopsis = self.spec.build(key[1])
         self._synopses[key] = synopsis
+        while (
+            self.max_entries is not None
+            and len(self._synopses) > self.max_entries
+        ):
+            self._synopses.pop(next(iter(self._synopses)))
+            self._evicted += 1
         self._stats_memo = None
         return synopsis
 
@@ -349,6 +408,7 @@ class ReferenceSynopsisCache:
                 misses=self._misses,
                 size=len(self._synopses),
                 invalidated=self._epoch,
+                evicted=self._evicted,
             )
         return self._stats_memo
 

@@ -141,6 +141,8 @@ class ServingFrontend:
         batch_size: int | None = None,
         fallback_spares: int = 0,
         successor_fallback: bool = False,
+        plan_cache_size: int | None = None,
+        synopsis_cache_size: int | None = None,
     ) -> None:
         if isinstance(host, ChurnService):
             self.executor = host.executor
@@ -170,8 +172,10 @@ class ServingFrontend:
                 f"fallback_spares must be >= 0, got {fallback_spares}"
             )
         engine = self.executor.engine
-        self.plan_cache = RoutingPlanCache()
-        self.synopsis_cache = ReferenceSynopsisCache(engine.spec)
+        self.plan_cache = RoutingPlanCache(max_plans=plan_cache_size)
+        self.synopsis_cache = ReferenceSynopsisCache(
+            engine.spec, max_entries=synopsis_cache_size
+        )
         self._caching_spec = CachingSpec(self.synopsis_cache)
         #: (peer_id, sorted terms, peer_k, conjunctive) -> full local top-k.
         self._answers: dict[
@@ -230,6 +234,13 @@ class ServingFrontend:
         """Apply one directory change to both caches (see cache module)."""
         if event.kind in ("crash", "leave", "evict"):
             self.plan_cache.drop_peer(event.peer_id)
+        if event.kind == "reelect":
+            # A super-peer re-election rebuilt the cluster's merged
+            # synopses: every scoped plan touching the cluster's members
+            # could have ranked differently, so those re-route cold —
+            # per-cluster invalidation, not a full flush.
+            self.plan_cache.invalidate_peers(event.members)
+            self.synopsis_cache.bump_epoch()
         if event.kind in ("recover", "repost", "expire", "evict"):
             # Directory content observably changed (fresh reposts, TTL
             # expiry, or an eviction's re-replication pass): plans over
@@ -349,10 +360,23 @@ class ServingFrontend:
     ]:
         """Phases 1 + 2 of the one-shot path, producing a cacheable plan."""
         executor = self.executor
-        fetch = yield from executor._fetch_peer_lists(
-            query, initiator_id, cost, self.successor_fallback
-        )
-        peer_lists, failed_terms, _attempts, _fallbacks = fetch
+        if executor.engine.topology.hierarchical:
+            scoped = yield from executor._fetch_scoped_lists(
+                query,
+                initiator_id,
+                cost,
+                peer_k=self.peer_k,
+                conjunctive=self.conjunctive,
+                max_peers=self.max_peers,
+                successor_fallback=self.successor_fallback,
+            )
+            peer_lists, scoped_failed = scoped[0], scoped[1]
+            failed_terms = list(scoped_failed)
+        else:
+            fetch = yield from executor._fetch_peer_lists(
+                query, initiator_id, cost, self.successor_fallback
+            )
+            peer_lists, failed_terms, _attempts, _fallbacks = fetch
         context, local = executor.make_routing_context(
             query,
             initiator_id,

@@ -50,6 +50,7 @@ from ..net.cost import CostModel, MessageKinds
 from ..net.latency import LatencyProfile
 from ..routing.base import LocalView, PeerSelector, RoutingContext
 from ..synopses.factory import SynopsisSpec
+from ..topology.superpeer import SuperPeerTopology
 from .clock import SimClock, SimFuture, gather, spawn
 from .faults import FaultPlan
 from .rpc import RetryPolicy, RpcHandler, RpcLayer, RpcResult
@@ -90,6 +91,13 @@ class NetworkedQueryOutcome:
     fallback_attempts: int = 0
     #: PeerList fetches retried at the owner's ring successor.
     directory_fallbacks: int = 0
+    #: Messages answered by super-peers: the cluster-directory fetch plus
+    #: one member fetch per winning cluster (hierarchical topology only).
+    super_peer_fetches: int = 0
+    #: Hierarchical fetches that fell back to degraded behavior: an
+    #: unreachable super-peer (full flat re-fetch) or a winning cluster
+    #: whose member fetch never answered (cluster skipped).
+    topology_fallbacks: int = 0
 
     @property
     def latency_ms(self) -> float:
@@ -111,6 +119,10 @@ class NetworkedQueryOutcome:
     @property
     def recall_at(self) -> tuple[float, ...]:
         return self.outcome.recall_at
+
+    @property
+    def clusters_ranked(self) -> tuple[str, ...]:
+        return self.outcome.clusters_ranked
 
     @property
     def final_recall(self) -> float:
@@ -185,6 +197,19 @@ class SimNetExecutor:
             self.rpc.serve(
                 peer_id, MessageKinds.QUERY_FORWARD, self._serve_query(peer_id)
             )
+        if engine.topology.hierarchical:
+            for peer_id in engine.peers:
+                self.rpc.serve(
+                    peer_id, MessageKinds.CLUSTER_FETCH, self._serve_clusters(peer_id)
+                )
+                self.rpc.serve(
+                    peer_id, MessageKinds.MEMBER_FETCH, self._serve_members(peer_id)
+                )
+            profile_of = getattr(engine.topology, "latency_profile_of", None)
+            if profile_of is not None:
+                # Intra- vs inter-cluster links get their own latency
+                # profiles; flat topologies leave the transport untouched.
+                self.transport.profile_of = profile_of
 
     # -- server side -----------------------------------------------------------
 
@@ -218,6 +243,35 @@ class SimNetExecutor:
                 return None  # departed since construction: no reply
             results = tuple(peer.answer_query(terms, k=k, conjunctive=conjunctive))
             return results, RESULT_ENTRY_BITS * len(results), self.peer_service_ms
+
+        return handler
+
+    def _serve_clusters(self, peer_id: str) -> RpcHandler:
+        """Handler: a super-peer serving the per-term cluster directory."""
+
+        def handler(terms: tuple[str, ...]) -> tuple[Any, int, float] | None:
+            if peer_id not in self.engine.peers:
+                return None  # departed since construction: no reply
+            topology = self.engine.topology
+            assert isinstance(topology, SuperPeerTopology)
+            lists, bits = topology.cluster_peer_lists(tuple(terms))
+            return lists, bits, self.directory_service_ms
+
+        return handler
+
+    def _serve_members(self, peer_id: str) -> RpcHandler:
+        """Handler: a winning cluster's super-peer shipping member posts."""
+
+        def handler(
+            payload: tuple[str, tuple[str, ...]]
+        ) -> tuple[Any, int, float] | None:
+            label, terms = payload
+            if peer_id not in self.engine.peers:
+                return None  # departed since construction: no reply
+            topology = self.engine.topology
+            assert isinstance(topology, SuperPeerTopology)
+            posts_by_term, bits = topology.member_posts(label, tuple(terms))
+            return posts_by_term, bits, self.directory_service_ms
 
         return handler
 
@@ -362,12 +416,38 @@ class SimNetExecutor:
         started = self.clock.now
         cost = CostModel()
 
-        # Phase 1 — PeerList fetches, all terms in flight concurrently,
-        # each routed along its real Chord lookup path.
-        fetch = yield from self._fetch_peer_lists(
-            query, initiator_id, cost, successor_fallback
-        )
-        peer_lists, failed_terms, directory_attempts, directory_fallbacks = fetch
+        clusters_ranked: tuple[str, ...] = ()
+        super_fetches = 0
+        topology_fallbacks = 0
+        if engine.topology.hierarchical:
+            # Phase 1 (hierarchical) — cluster directory from the
+            # initiator's super-peer, cluster ranking locally, then one
+            # member fetch per winning cluster.
+            scoped = yield from self._fetch_scoped_lists(
+                query,
+                initiator_id,
+                cost,
+                peer_k=peer_k,
+                conjunctive=conjunctive,
+                max_peers=max_peers,
+                successor_fallback=successor_fallback,
+            )
+            (
+                peer_lists,
+                failed_terms,
+                directory_attempts,
+                directory_fallbacks,
+                clusters_ranked,
+                super_fetches,
+                topology_fallbacks,
+            ) = scoped
+        else:
+            # Phase 1 — PeerList fetches, all terms in flight concurrently,
+            # each routed along its real Chord lookup path.
+            fetch = yield from self._fetch_peer_lists(
+                query, initiator_id, cost, successor_fallback
+            )
+            peer_lists, failed_terms, directory_attempts, directory_fallbacks = fetch
 
         # Phase 2 — routing, a local computation at the initiator.
         context, local = self.make_routing_context(
@@ -456,6 +536,8 @@ class SimNetExecutor:
             reference_ids=reference,
             cost=cost.snapshot(),
             per_peer_results=per_peer,
+            clusters_ranked=clusters_ranked,
+            super_fetches=super_fetches,
         )
         return NetworkedQueryOutcome(
             outcome=outcome,
@@ -469,6 +551,8 @@ class SimNetExecutor:
             substituted_peers=tuple(substituted),
             fallback_attempts=fallback_attempts,
             directory_fallbacks=directory_fallbacks,
+            super_peer_fetches=super_fetches,
+            topology_fallbacks=topology_fallbacks,
         )
 
     def _fetch_peer_lists(
@@ -562,6 +646,136 @@ class SimNetExecutor:
             )
             failed_terms.append(term)
         return peer_lists, failed_terms, directory_attempts, directory_fallbacks
+
+    def _fetch_scoped_lists(
+        self,
+        query: Query,
+        initiator_id: str,
+        cost: CostModel,
+        *,
+        peer_k: int,
+        conjunctive: bool,
+        max_peers: int,
+        successor_fallback: bool,
+    ) -> Generator[
+        SimFuture,
+        Any,
+        tuple[
+            dict[str, PeerList],
+            list[str],
+            int,
+            int,
+            tuple[str, ...],
+            int,
+            int,
+        ],
+    ]:
+        """Phase 1 over a super-peer tier: two-phase scoped assembly.
+
+        The initiator asks its own super-peer for the per-term cluster
+        directory (one ``cluster_fetch`` RPC — a direct link, no DHT
+        hops), ranks clusters locally, then pulls each winning cluster's
+        member posts from that cluster's super-peer (one ``member_fetch``
+        RPC per winner).  An unreachable super-peer degrades to the full
+        flat fetch (counted as a topology fallback); a winning cluster
+        whose member fetch never answers is skipped (also counted).
+        Returns ``(peer_lists, failed_terms, directory_attempts,
+        directory_fallbacks, clusters_ranked, super_fetches,
+        topology_fallbacks)``.
+        """
+        engine = self.engine
+        topology = engine.topology
+        assert isinstance(topology, SuperPeerTopology)
+        unique_terms = tuple(dict.fromkeys(query.terms))
+        request_bits = QUERY_HEADER_BITS + QUERY_TERM_BITS * len(unique_terms)
+        super_id = topology.super_peer_of(initiator_id) or initiator_id
+        reply: RpcResult = yield self.rpc.call(
+            initiator_id,
+            super_id,
+            MessageKinds.CLUSTER_FETCH,
+            payload=unique_terms,
+            request_bits=request_bits,
+        )
+        directory_attempts = reply.attempts
+        if not reply.ok:
+            cost.record(MessageKinds.CLUSTER_FETCH, count=reply.attempts)
+            flat = yield from self._fetch_peer_lists(
+                query, initiator_id, cost, successor_fallback
+            )
+            peer_lists, failed_terms, flat_attempts, directory_fallbacks = flat
+            return (
+                peer_lists,
+                failed_terms,
+                directory_attempts + flat_attempts,
+                directory_fallbacks,
+                (),
+                0,
+                1,
+            )
+        cluster_lists: dict[str, PeerList] = reply.value
+        cluster_bits = sum(pl.size_in_bits for pl in cluster_lists.values())
+        cost.record(
+            MessageKinds.CLUSTER_FETCH, bits=cluster_bits, count=reply.attempts
+        )
+        local_view = engine.local_view(
+            query, initiator_id, k=peer_k, conjunctive=conjunctive
+        )
+        winners = topology.rank_clusters(
+            query,
+            initiator=local_view,
+            conjunctive=conjunctive,
+            budget=topology.resolve_cluster_budget(max_peers),
+        )
+        member_replies: list[RpcResult] = yield gather(
+            [
+                self.rpc.call(
+                    initiator_id,
+                    topology.super_of_cluster(label),
+                    MessageKinds.MEMBER_FETCH,
+                    payload=(label, unique_terms),
+                    request_bits=request_bits,
+                )
+                for label in winners
+            ]
+        )
+        peer_lists = {
+            term: PeerList(term=term, peer_table=engine.directory.peer_table)
+            for term in unique_terms
+        }
+        super_fetches = 1
+        topology_fallbacks = 0
+        for label, member_reply in zip(winners, member_replies):
+            directory_attempts += member_reply.attempts
+            if not member_reply.ok:
+                cost.record(
+                    MessageKinds.MEMBER_FETCH, count=member_reply.attempts
+                )
+                topology_fallbacks += 1
+                continue
+            super_fetches += 1
+            posts_by_term: dict[str, list] = member_reply.value
+            member_bits = sum(
+                post.size_in_bits
+                for posts in posts_by_term.values()
+                for post in posts
+            )
+            cost.record(
+                MessageKinds.MEMBER_FETCH,
+                bits=member_bits,
+                count=member_reply.attempts,
+            )
+            for term, posts in posts_by_term.items():
+                for post in posts:
+                    peer_lists[term].add(post, retain=False)
+        return (
+            peer_lists,
+            [],
+            directory_attempts,
+            0,
+            tuple(winners),
+            super_fetches,
+            topology_fallbacks,
+        )
 
     def make_routing_context(
         self,

@@ -93,6 +93,12 @@ class Transport:
             )
         self.clock = clock
         self.profile = profile or LatencyProfile()
+        #: Optional per-link profile override ``(src, dst) -> profile``;
+        #: a hierarchical topology installs its intra-/inter-cluster
+        #: profiles here (returning None keeps the base profile for that
+        #: link).  Unset, every link uses :attr:`profile` — the flat
+        #: behavior, bit-identical to before this hook existed.
+        self.profile_of: Callable[[str, str], LatencyProfile | None] | None = None
         self.faults = faults or FaultPlan()
         self.rng = random.Random(seed)
         self.cost = cost or CostModel()
@@ -135,15 +141,26 @@ class Transport:
 
     # -- latency model -------------------------------------------------------
 
-    def service_time_ms(self, dst: str, bits: int) -> float:
+    def _profile_for(self, dst: str, src: str | None) -> LatencyProfile:
+        if self.profile_of is not None and src is not None:
+            override = self.profile_of(src, dst)
+            if override is not None:
+                return override
+        return self.profile
+
+    def service_time_ms(
+        self, dst: str, bits: int, *, src: str | None = None
+    ) -> float:
         """Wire service time for one message to ``dst`` (no queueing)."""
+        profile = self._profile_for(dst, src)
         base = (
-            self.profile.per_message_ms
-            + bits / 1000.0 * self.profile.per_kilobit_ms
+            profile.per_message_ms + bits / 1000.0 * profile.per_kilobit_ms
         )
         return base * self.faults.slowdown(dst)
 
-    def link_delay_ms(self, dst: str, bits: int) -> float:
+    def link_delay_ms(
+        self, dst: str, bits: int, *, src: str | None = None
+    ) -> float:
         """Total one-way delay to ``dst`` now: service time x M/M/1 factor.
 
         The destination link's utilization is estimated as (arrivals in
@@ -154,7 +171,7 @@ class Transport:
         an otherwise idle link still pays a tiny queueing factor — and a
         busy one pays superlinearly.
         """
-        service = self.service_time_ms(dst, bits)
+        service = self.service_time_ms(dst, bits, src=src)
         if service <= 0:
             return 0.0
         window = self._arrivals[dst]
@@ -204,7 +221,7 @@ class Transport:
         if self.faults.loss_rate and self.rng.random() < self.faults.loss_rate:
             self.stats.lost += 1
             return
-        delay = self.link_delay_ms(dst, bits)
+        delay = self.link_delay_ms(dst, bits, src=src)
 
         def deliver() -> None:
             if dst in self._down:

@@ -184,6 +184,22 @@ class SynopsisColumn:
         """A fresh all-neutral matrix with ``rows`` rows."""
         return self._make_matrix(rows)
 
+    def rows(self, count: int) -> np.ndarray:
+        """Live view of the first ``count`` packed rows."""
+        return self._matrix[:count]
+
+    def set_packed_row(self, row: int, values: np.ndarray) -> None:
+        """Store one already-packed row (cluster-synopsis merging)."""
+        self._matrix[row] = values
+
+    def fresh(self, capacity: int) -> "SynopsisColumn":
+        """A new empty column with this column's family and parameters.
+
+        Relies on :attr:`params` listing the family parameters in the
+        subclass constructor's order (the documented contract).
+        """
+        return type(self)(*self.params, capacity=capacity)  # type: ignore[call-arg]
+
     def gather(self, rows: np.ndarray, mask: np.ndarray) -> np.ndarray:
         """Copy the masked rows into a fresh candidate-ordered matrix.
 

@@ -1,0 +1,30 @@
+"""Routing topologies: who assembles candidate peers for a query.
+
+The engine, the simnet executor, and the serving frontend all route
+through one :class:`RoutingTopology` object.  :class:`FlatTopology`
+reproduces the original flat-directory behavior bit-for-bit;
+:class:`SuperPeerTopology` adds the hierarchical super-peer tier
+(clustered peers, merged cluster synopses, two-phase IQN).
+"""
+
+from .base import (
+    ReElection,
+    RoutingTopology,
+    ScopedLists,
+    TopologyHost,
+    TopologyPlan,
+)
+from .clustering import Cluster
+from .flat import FlatTopology
+from .superpeer import SuperPeerTopology
+
+__all__ = [
+    "Cluster",
+    "FlatTopology",
+    "ReElection",
+    "RoutingTopology",
+    "ScopedLists",
+    "SuperPeerTopology",
+    "TopologyHost",
+    "TopologyPlan",
+]

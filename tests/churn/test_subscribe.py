@@ -1,0 +1,206 @@
+"""Tests for ChurnService's DirectoryEvent subscription feed:
+unsubscribe semantics, multiple listeners, deterministic ordering, and
+super-peer re-election events under churn."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.churn import (
+    ChurnSchedule,
+    ChurnService,
+    MaintenanceConfig,
+    MembershipConfig,
+)
+from repro.churn.membership import MembershipEvent
+from repro.core.iqn import IQNRouter
+from repro.datasets.queries import Query
+from repro.ir.documents import Corpus, Document
+from repro.minerva.engine import MinervaEngine
+from repro.synopses.factory import SynopsisSpec
+from repro.topology import SuperPeerTopology
+
+HORIZON_MS = 20_000.0
+MAINTENANCE = MaintenanceConfig.for_repost_interval(
+    4_000.0, stabilize_interval_ms=2_000.0
+)
+QUERIES = [Query(i, ("apple", "banana")) for i in range(3)]
+
+
+def make_engine(topology=None) -> MinervaEngine:
+    docs = {
+        i: Document.from_terms(i, ["apple"] * (1 + i % 3) + ["banana"])
+        for i in range(24)
+    }
+    collections = [
+        Corpus.from_documents(docs[i % 24] for i in range(p * 4, p * 4 + 8))
+        for p in range(6)
+    ]
+    engine = MinervaEngine(
+        collections,
+        spec=SynopsisSpec.parse("mips-16"),
+        replicas=2,
+        topology=topology,
+    )
+    engine.publish({"apple", "banana"})
+    return engine
+
+
+def make_service(
+    engine: MinervaEngine | None = None,
+    *,
+    schedule: ChurnSchedule | None = None,
+    seed: int = 3,
+) -> ChurnService:
+    engine = engine or make_engine()
+    if schedule is None:
+        schedule = ChurnSchedule.generate(
+            sorted(engine.peers),
+            MembershipConfig.for_rate(8.0, horizon_ms=HORIZON_MS),
+            seed=seed,
+        )
+    return ChurnService(engine, schedule, maintenance=MAINTENANCE, seed=seed)
+
+
+def run_service(service: ChurnService) -> None:
+    service.run_workload(
+        QUERIES,
+        IQNRouter(),
+        interarrival_ms=HORIZON_MS / (len(QUERIES) + 1),
+        arrivals="uniform",
+        max_peers=2,
+        k=10,
+    )
+
+
+def event_fingerprint(event):
+    return (event.kind, event.at_ms, event.peer_id, event.terms, event.members)
+
+
+class TestSubscribe:
+    def test_multiple_subscribers_see_the_same_stream(self):
+        service = make_service()
+        first, second = [], []
+        service.subscribe(first.append)
+        service.subscribe(second.append)
+        run_service(service)
+        assert first  # the seeded trace produces events
+        assert [event_fingerprint(e) for e in first] == [
+            event_fingerprint(e) for e in second
+        ]
+
+    def test_listeners_run_in_subscription_order(self):
+        service = make_service()
+        order = []
+        service.subscribe(lambda e: order.append("first"))
+        service.subscribe(lambda e: order.append("second"))
+        run_service(service)
+        assert order
+        assert order[::2] == ["first"] * (len(order) // 2)
+        assert order[1::2] == ["second"] * (len(order) // 2)
+
+    def test_event_stream_deterministic_for_a_seed(self):
+        streams = []
+        for _ in range(2):
+            service = make_service()
+            events = []
+            service.subscribe(events.append)
+            run_service(service)
+            streams.append([event_fingerprint(e) for e in events])
+        assert streams[0] == streams[1]
+
+
+class TestUnsubscribe:
+    def test_unsubscribe_stops_delivery(self):
+        service = make_service()
+        muted, active = [], []
+        muted_listener = muted.append
+        service.subscribe(muted_listener)
+        service.subscribe(active.append)
+        service.unsubscribe(muted_listener)
+        run_service(service)
+        assert active
+        assert muted == []
+
+    def test_unsubscribe_unknown_listener_raises(self):
+        service = make_service()
+        with pytest.raises(ValueError):
+            service.unsubscribe(lambda e: None)
+
+    def test_double_unsubscribe_raises(self):
+        service = make_service()
+        listener = lambda e: None  # noqa: E731
+        service.subscribe(listener)
+        service.unsubscribe(listener)
+        with pytest.raises(ValueError):
+            service.unsubscribe(listener)
+
+    def test_listener_may_unsubscribe_itself_mid_event(self):
+        service = make_service()
+        heard = []
+
+        def one_shot(event):
+            heard.append(event)
+            service.unsubscribe(one_shot)
+
+        service.subscribe(one_shot)
+        run_service(service)
+        assert len(heard) == 1
+
+
+class TestReElectionEvents:
+    def _super_crash_service(self, kind: str):
+        engine = make_engine(SuperPeerTopology(num_clusters=2, seed=0))
+        topology = engine.topology
+        topology.ensure_clusters()
+        label = topology.clusters[0].label
+        super_peer = topology.super_of_cluster(label)
+        schedule = ChurnSchedule(
+            [MembershipEvent(at_ms=1_000.0, peer_id=super_peer, kind=kind)],
+            horizon_ms=HORIZON_MS,
+        )
+        return make_service(engine, schedule=schedule), label, super_peer
+
+    def test_super_crash_emits_reelect_after_detection(self):
+        service, label, old_super = self._super_crash_service("crash")
+        events = []
+        service.subscribe(events.append)
+        run_service(service)
+        reelects = [e for e in events if e.kind == "reelect"]
+        assert len(reelects) == 1
+        (event,) = reelects
+        # Crash re-election waits for the next stabilize tick (failure
+        # detection latency); the crash itself lands at 1000 ms.
+        assert event.at_ms >= 1_000.0
+        assert event.peer_id != old_super
+        assert old_super not in event.members
+        assert event.peer_id in event.members
+        assert event.terms
+
+    def test_super_leave_reelects_immediately(self):
+        service, label, old_super = self._super_crash_service("leave")
+        events = []
+        service.subscribe(events.append)
+        run_service(service)
+        reelects = [e for e in events if e.kind == "reelect"]
+        assert len(reelects) == 1
+        assert reelects[0].at_ms == 1_000.0
+
+    def test_reelection_is_deterministic(self):
+        fingerprints = []
+        for _ in range(2):
+            service, _, _ = self._super_crash_service("crash")
+            events = []
+            service.subscribe(events.append)
+            run_service(service)
+            fingerprints.append(
+                [event_fingerprint(e) for e in events if e.kind == "reelect"]
+            )
+        assert fingerprints[0] == fingerprints[1]
+
+    def test_flat_topology_never_emits_reelect(self):
+        service = make_service()
+        events = []
+        service.subscribe(events.append)
+        run_service(service)
+        assert not [e for e in events if e.kind == "reelect"]

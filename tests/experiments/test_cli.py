@@ -46,6 +46,7 @@ class TestMain:
             "reposting",
             "churn",
             "serve",
+            "hierarchy",
         }
 
     def test_reposting_quick(self):
@@ -68,6 +69,11 @@ class TestMain:
         text = run_target("churn", quick=True)
         assert "churn/min" in text and "maint msgs" in text
         assert "rescued" in text
+
+    def test_hierarchy_quick(self):
+        text = run_target("hierarchy", quick=True)
+        assert "flat" in text and "super-peer" in text
+        assert "msgs/q" in text
 
     def test_workers_flag_parses(self, capsys):
         assert main(["matrix", "--workers", "2", "--no-cache"]) == 0

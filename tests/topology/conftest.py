@@ -1,0 +1,56 @@
+"""Shared testbeds for the topology suite: a small topical engine whose
+peers fall into three clearly separated content communities, so
+synopsis clustering has real structure to recover."""
+
+from __future__ import annotations
+
+from repro.ir.documents import Corpus, Document
+from repro.minerva.engine import MinervaEngine
+from repro.synopses.factory import SynopsisSpec
+
+#: Three topics, two characteristic terms each.
+TOPIC_TERMS = (
+    ("apple", "apricot"),
+    ("banana", "berry"),
+    ("cherry", "citrus"),
+)
+ALL_TERMS = frozenset(term for terms in TOPIC_TERMS for term in terms)
+
+
+def make_topical_collections(peers_per_topic: int = 3):
+    """Per topic: ``peers_per_topic`` collections sharing a six-document
+    core plus two peer-specific documents (pairwise Jaccard 0.6 inside a
+    topic, zero across topics), so clustering has real communities."""
+    collections = []
+    for topic, terms in enumerate(TOPIC_TERMS):
+        base = topic * 100
+        for rank in range(peers_per_topic):
+            doc_ids = list(range(base, base + 6)) + [
+                base + 20 + rank * 2,
+                base + 21 + rank * 2,
+            ]
+            docs = [
+                Document.from_terms(
+                    doc_id, [terms[0]] * (1 + doc_id % 2) + [terms[1]]
+                )
+                for doc_id in doc_ids
+            ]
+            collections.append(Corpus.from_documents(docs))
+    return collections
+
+
+def make_topical_engine(
+    spec_label: str = "mips-16",
+    *,
+    peers_per_topic: int = 3,
+    topology=None,
+    replicas: int = 1,
+) -> MinervaEngine:
+    engine = MinervaEngine(
+        make_topical_collections(peers_per_topic),
+        spec=SynopsisSpec.parse(spec_label),
+        topology=topology,
+        replicas=replicas,
+    )
+    engine.publish(set(ALL_TERMS))
+    return engine

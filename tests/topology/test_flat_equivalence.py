@@ -1,0 +1,160 @@
+"""FlatTopology is the pre-topology engine, bit for bit.
+
+The refactor moved candidate assembly out of ``MinervaEngine`` into
+:class:`~repro.topology.flat.FlatTopology`.  These tests pin the
+contract that made that move safe: for every synopsis family and both
+fetch tiers (full PeerLists and the ``peer_list_limit`` quality-ordered
+partial fetch), ``engine.run_query`` produces exactly the plan that
+hand-assembling the context the old way produces — same selection,
+same order, same costs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.iqn import IQNRouter
+from repro.datasets.queries import Query
+from repro.minerva.posts import PeerList
+from repro.minerva.topk_peers import fetch_top_k_peers
+from repro.routing.base import RoutingContext
+from repro.routing.cori import CoriSelector
+from repro.topology import FlatTopology
+
+from .conftest import make_topical_engine
+
+FAMILIES = ("mips-16", "bf-512", "hs-32", "ll-128")
+QUERY = Query(0, ("apple", "banana"))
+INITIATOR = "p00"
+MAX_PEERS = 3
+
+
+def manual_selection(engine, *, peer_list_limit=None, selector=None):
+    """Candidate assembly exactly as the engine did it pre-refactor."""
+    view = engine.local_view(QUERY, INITIATOR)
+    if peer_list_limit is not None:
+        result = fetch_top_k_peers(
+            engine.directory,
+            QUERY.terms,
+            peer_list_limit,
+            batch_size=8,
+            requester=INITIATOR,
+        )
+        peer_lists = {}
+        for term in QUERY.terms:
+            partial = PeerList(
+                term=term, peer_table=engine.directory.peer_table
+            )
+            for post in result.posts_by_term.get(term, {}).values():
+                partial.add(post)
+            peer_lists[term] = partial
+    else:
+        peer_lists = {
+            term: engine.directory.peer_list(term, requester=INITIATOR)
+            for term in QUERY.terms
+        }
+    context = RoutingContext(
+        query=QUERY,
+        peer_lists=peer_lists,
+        num_peers=len(engine.peers),
+        spec=engine.spec,
+        initiator=view,
+        conjunctive=False,
+    )
+    selector = selector or IQNRouter()
+    return tuple(selector.rank(context, MAX_PEERS))
+
+
+@pytest.mark.parametrize("label", FAMILIES)
+@pytest.mark.parametrize("peer_list_limit", (None, 2))
+def test_run_query_matches_manual_assembly(label, peer_list_limit):
+    engine = make_topical_engine(label)
+    outcome = engine.run_query(
+        QUERY,
+        IQNRouter(),
+        initiator_id=INITIATOR,
+        max_peers=MAX_PEERS,
+        peer_list_limit=peer_list_limit,
+    )
+    manual = manual_selection(
+        make_topical_engine(label), peer_list_limit=peer_list_limit
+    )
+    assert outcome.selected == manual
+
+
+@pytest.mark.parametrize("label", FAMILIES)
+def test_cori_selector_unaffected_by_refactor(label):
+    engine = make_topical_engine(label)
+    outcome = engine.run_query(
+        QUERY, CoriSelector(), initiator_id=INITIATOR, max_peers=MAX_PEERS
+    )
+    manual = manual_selection(
+        make_topical_engine(label), selector=CoriSelector()
+    )
+    assert outcome.selected == manual
+
+
+def test_default_topology_is_flat():
+    engine = make_topical_engine()
+    assert isinstance(engine.topology, FlatTopology)
+    assert engine.topology.host is engine
+    assert engine.topology.cache_signature() == "FlatTopology()"
+
+
+def test_flat_plan_carries_no_hierarchy_metadata():
+    engine = make_topical_engine()
+    outcome = engine.run_query(
+        QUERY, IQNRouter(), initiator_id=INITIATOR, max_peers=MAX_PEERS
+    )
+    assert outcome.clusters_ranked == ()
+    assert outcome.super_fetches == 0
+
+
+def test_run_query_cost_identical_across_reruns():
+    """Same engine build → same per-query message and bit deltas."""
+    fingerprints = []
+    for _ in range(2):
+        engine = make_topical_engine()
+        outcome = engine.run_query(
+            QUERY, IQNRouter(), initiator_id=INITIATOR, max_peers=MAX_PEERS
+        )
+        fingerprints.append(
+            (
+                outcome.selected,
+                tuple(round(r, 12) for r in outcome.recall_at),
+                outcome.cost.total_messages,
+                outcome.cost.total_bits,
+            )
+        )
+    assert fingerprints[0] == fingerprints[1]
+
+
+def test_make_context_still_serves_selectors_directly():
+    """make_context (kept for callers that rank by hand) goes through
+    the topology and yields the same candidates as run_query."""
+    engine = make_topical_engine()
+    context = engine.make_context(QUERY, initiator_id=INITIATOR)
+    ranked = tuple(IQNRouter().rank(context, MAX_PEERS))
+    outcome = make_topical_engine().run_query(
+        QUERY, IQNRouter(), initiator_id=INITIATOR, max_peers=MAX_PEERS
+    )
+    assert ranked == outcome.selected
+
+
+def test_hierarchy_sweep_serial_equals_pooled():
+    """The hierarchy experiment's cells are bit-identical at any worker
+    count (the repo-wide serial == pooled contract)."""
+    from repro.experiments.hierarchy import hierarchy_sweep
+    from repro.parallel import ExperimentRunner
+
+    serial = hierarchy_sweep(
+        (120,), num_queries=4, spec_label="bf-512", seed=5
+    )
+    pooled = hierarchy_sweep(
+        (120,),
+        num_queries=4,
+        spec_label="bf-512",
+        seed=5,
+        runner=ExperimentRunner(workers=2),
+    )
+    assert serial == pooled

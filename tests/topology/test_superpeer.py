@@ -1,0 +1,235 @@
+"""Tests for two-phase super-peer routing (SuperPeerTopology)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.iqn import IQNRouter
+from repro.datasets.queries import Query
+from repro.net.cost import MessageKinds
+from repro.net.latency import LatencyProfile
+from repro.topology import SuperPeerTopology
+from repro.topology.base import ReElection
+
+from .conftest import make_topical_engine
+
+QUERY = Query(0, ("apple", "banana"))
+INITIATOR = "p00"
+
+
+def make_superpeer_engine(
+    spec_label: str = "bf-512", *, num_clusters: int = 3, seed: int = 0, **kw
+):
+    return make_topical_engine(
+        spec_label,
+        topology=SuperPeerTopology(
+            num_clusters=num_clusters, seed=seed, **kw
+        ),
+    )
+
+
+class TestClusterState:
+    def test_build_is_deterministic(self):
+        first = make_superpeer_engine().topology
+        second = make_superpeer_engine().topology
+        assert first.ensure_clusters() == second.ensure_clusters()
+
+    def test_every_peer_in_exactly_one_cluster(self):
+        engine = make_superpeer_engine()
+        clusters = engine.topology.ensure_clusters()
+        seen = [p for c in clusters for p in c.members]
+        assert sorted(seen) == sorted(engine.peers)
+
+    def test_super_peer_is_a_member(self):
+        for cluster in make_superpeer_engine().topology.ensure_clusters():
+            assert cluster.super_peer in cluster.members
+
+    def test_cache_signature_reflects_knobs(self):
+        a = SuperPeerTopology(num_clusters=3, seed=0)
+        b = SuperPeerTopology(num_clusters=4, seed=0)
+        c = SuperPeerTopology(num_clusters=3, seed=1)
+        assert len({a.cache_signature(), b.cache_signature(), c.cache_signature()}) == 3
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            SuperPeerTopology(num_clusters=0)
+        with pytest.raises(ValueError):
+            SuperPeerTopology(cluster_budget=0)
+        with pytest.raises(ValueError):
+            SuperPeerTopology(refine_rounds=-1)
+
+
+class TestBudgetSplit:
+    def test_explicit_budget_wins(self):
+        assert SuperPeerTopology(cluster_budget=7).resolve_cluster_budget(100) == 7
+
+    def test_isqrt_of_max_peers(self):
+        topo = SuperPeerTopology()
+        assert topo.resolve_cluster_budget(16) == 4
+        assert topo.resolve_cluster_budget(1) == 1
+
+    def test_default_without_max_peers(self):
+        assert SuperPeerTopology().resolve_cluster_budget(None) == 3
+
+
+class TestRouting:
+    def test_selected_come_from_winning_clusters(self):
+        engine = make_superpeer_engine()
+        outcome = engine.run_query(
+            QUERY, IQNRouter(), initiator_id=INITIATOR, max_peers=3
+        )
+        topology = engine.topology
+        assert outcome.clusters_ranked
+        winners = set(outcome.clusters_ranked)
+        for peer_id in outcome.selected:
+            assert topology.cluster_of(peer_id) in winners
+
+    def test_super_fetches_counted(self):
+        engine = make_superpeer_engine()
+        outcome = engine.run_query(
+            QUERY, IQNRouter(), initiator_id=INITIATOR, max_peers=3
+        )
+        assert outcome.super_fetches == 1 + len(outcome.clusters_ranked)
+
+    def test_charges_cluster_and_member_fetches_not_hops(self):
+        engine = make_superpeer_engine()
+        outcome = engine.run_query(
+            QUERY, IQNRouter(), initiator_id=INITIATOR, max_peers=3
+        )
+        assert outcome.cost.messages(MessageKinds.CLUSTER_FETCH) == 1
+        assert outcome.cost.messages(MessageKinds.MEMBER_FETCH) == len(
+            outcome.clusters_ranked
+        )
+        assert outcome.cost.messages(MessageKinds.DHT_HOP) == 0
+        assert outcome.cost.messages(MessageKinds.PEERLIST_FETCH) == 0
+
+    def test_fewer_messages_than_flat(self):
+        flat_outcome = make_topical_engine("bf-512").run_query(
+            QUERY, IQNRouter(), initiator_id=INITIATOR, max_peers=3
+        )
+        super_outcome = make_superpeer_engine().run_query(
+            QUERY, IQNRouter(), initiator_id=INITIATOR, max_peers=3
+        )
+        assert (
+            super_outcome.cost.total_messages
+            < flat_outcome.cost.total_messages
+        )
+
+    def test_peer_list_limit_unsupported(self):
+        engine = make_superpeer_engine()
+        with pytest.raises(ValueError, match="peer_list_limit"):
+            engine.run_query(
+                QUERY,
+                IQNRouter(),
+                initiator_id=INITIATOR,
+                max_peers=3,
+                peer_list_limit=2,
+            )
+
+    def test_networked_matches_passive_without_faults(self):
+        passive = make_superpeer_engine().run_query(
+            QUERY, IQNRouter(), initiator_id=INITIATOR, max_peers=3
+        )
+        networked = make_superpeer_engine().run_query_networked(
+            QUERY, IQNRouter(), initiator_id=INITIATOR, max_peers=3
+        )
+        assert networked.outcome.selected == passive.selected
+        assert networked.clusters_ranked == passive.clusters_ranked
+        assert networked.super_peer_fetches == passive.super_fetches
+        assert networked.topology_fallbacks == 0
+
+
+class TestChurnHooks:
+    def test_member_down_rebuilds_without_reelection(self):
+        engine = make_superpeer_engine()
+        topology = engine.topology
+        topology.ensure_clusters()
+        label = topology.clusters[0].label
+        victim = next(
+            p
+            for p in topology.members_of(label)
+            if p != topology.super_of_cluster(label)
+        )
+        assert topology.handle_peer_down(victim) is None
+        assert victim not in topology.live_members(label)
+
+    def test_super_down_triggers_deterministic_reelection(self):
+        results = []
+        for _ in range(2):
+            engine = make_superpeer_engine()
+            topology = engine.topology
+            topology.ensure_clusters()
+            label = topology.clusters[0].label
+            old_super = topology.super_of_cluster(label)
+            reelection = topology.handle_peer_down(old_super)
+            results.append(reelection)
+        first, second = results
+        assert isinstance(first, ReElection)
+        assert first == second
+        assert first.old_super != first.new_super
+        assert first.old_super not in first.members
+        assert first.new_super in first.members
+
+    def test_down_peer_excluded_from_routing_scope(self):
+        engine = make_superpeer_engine()
+        topology = engine.topology
+        outcome = engine.run_query(
+            QUERY, IQNRouter(), initiator_id=INITIATOR, max_peers=3
+        )
+        victim = outcome.selected[0]
+        topology.handle_peer_down(victim)
+        after = engine.run_query(
+            QUERY, IQNRouter(), initiator_id=INITIATOR, max_peers=3
+        )
+        assert victim not in after.selected
+
+    def test_unknown_or_repeated_down_is_noop(self):
+        engine = make_superpeer_engine()
+        topology = engine.topology
+        topology.ensure_clusters()
+        assert topology.handle_peer_down("nobody") is None
+        label = topology.clusters[0].label
+        super_peer = topology.super_of_cluster(label)
+        assert topology.handle_peer_down(super_peer) is not None
+        assert topology.handle_peer_down(super_peer) is None
+
+    def test_peer_up_restores_membership(self):
+        engine = make_superpeer_engine()
+        topology = engine.topology
+        topology.ensure_clusters()
+        label = topology.clusters[0].label
+        victim = next(
+            p
+            for p in topology.members_of(label)
+            if p != topology.super_of_cluster(label)
+        )
+        topology.handle_peer_down(victim)
+        topology.handle_peer_up(victim)
+        assert victim in topology.live_members(label)
+
+
+class TestLatencyProfiles:
+    def test_intra_vs_inter_cluster_profile(self):
+        intra = LatencyProfile(per_message_ms=1.0, per_kilobit_ms=0.0)
+        inter = LatencyProfile(per_message_ms=9.0, per_kilobit_ms=0.0)
+        engine = make_topical_engine(
+            "bf-512",
+            topology=SuperPeerTopology(
+                num_clusters=3, seed=0, intra_profile=intra, inter_profile=inter
+            ),
+        )
+        topology = engine.topology
+        topology.ensure_clusters()
+        label = topology.clusters[0].label
+        members = topology.members_of(label)
+        assert topology.latency_profile_of(members[0], members[-1]) is intra
+        other = next(
+            c.members[0] for c in topology.clusters if c.label != label
+        )
+        assert topology.latency_profile_of(members[0], other) is inter
+
+    def test_unknown_peers_fall_back_to_base(self):
+        topology = SuperPeerTopology(
+            intra_profile=LatencyProfile(per_message_ms=1.0)
+        )
+        assert topology.latency_profile_of("x", "y") is None

@@ -47,6 +47,7 @@ class ProjectContracts:
     result_sinks: tuple[str, ...] = (
         "repro.experiments.*",
         "repro.serving.*",
+        "repro.topology.*",
     )
     #: Callables whose *arguments* become fingerprints or wire bytes; a
     #: tainted argument here corrupts a content-addressed cache key or a
